@@ -1,0 +1,180 @@
+// Command koshabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	koshabench -exp table1|table2|fig5|fig6|fig7|model|all [-runs N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/mab"
+	"repro/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, all")
+	runs := flag.Int("runs", 0, "override the number of averaged runs (0 = default)")
+	quick := flag.Bool("quick", false, "scaled-down workloads for a fast smoke run")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	csv := *format == "csv"
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		opts := experiments.DefaultTable1Options()
+		if *runs > 0 {
+			opts.Runs = *runs
+		}
+		if *quick {
+			opts.Workload = mab.Tiny()
+			opts.Runs = 2
+		}
+		res, err := experiments.RunTable1(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("fig5", func() error {
+		opts := experiments.DefaultFigure5Options()
+		if *runs > 0 {
+			opts.Seeds = *runs
+		}
+		if *quick {
+			opts.Trace = trace.SmallFSConfig()
+			opts.Seeds = 5
+		}
+		res, err := experiments.RunFigure5(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("fig6", func() error {
+		opts := experiments.DefaultFigure6Options()
+		if *runs > 0 {
+			opts.Seeds = *runs
+		}
+		if *quick {
+			opts.Trace = trace.SmallFSConfig()
+			// Scale capacities with the smaller trace (keep the 3:4:5 mix).
+			for i := range opts.Capacities {
+				opts.Capacities[i] /= 256
+			}
+			opts.Seeds = 5
+		}
+		res, err := experiments.RunFigure6(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("fig7", func() error {
+		opts := experiments.DefaultFigure7Options()
+		if *runs > 0 {
+			opts.Runs = *runs
+		}
+		if *quick {
+			opts.Trace = trace.SmallFSConfig()
+			opts.Nodes = 50
+			opts.Avail = trace.CorporateAvailConfig(50)
+			opts.Runs = 3
+		}
+		res, err := experiments.RunFigure7(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("scale", func() error {
+		opts := experiments.DefaultScaleOptions()
+		if *runs > 0 {
+			opts.Runs = *runs
+		}
+		if *quick {
+			opts.Workload = mab.Tiny()
+			opts.Runs = 2
+			opts.NodeCounts = []int{1, 4, 16}
+		}
+		res, err := experiments.RunScale(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("model", func() error {
+		opts := experiments.DefaultModelOptions()
+		rows := experiments.RunModel(opts)
+		if csv {
+			experiments.FprintModelCSV(os.Stdout, rows)
+		} else {
+			experiments.FprintModel(os.Stdout, rows, opts)
+		}
+		return nil
+	})
+
+	run("table2", func() error {
+		opts := experiments.DefaultTable2Options()
+		if *runs > 0 {
+			opts.Runs = *runs
+		}
+		if *quick {
+			opts.Workload = mab.Tiny()
+			opts.Runs = 2
+		}
+		res, err := experiments.RunTable2(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+}

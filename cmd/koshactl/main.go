@@ -1,0 +1,216 @@
+// Command koshactl drives a running koshad's virtual file system from the
+// command line, the way a user shell would use the /kosha mount:
+//
+//	koshactl -node 127.0.0.1:7001 put /alice/doc.txt local.txt
+//	koshactl -node 127.0.0.1:7002 get /alice/doc.txt
+//	koshactl -node 127.0.0.1:7001 ls /alice
+//	koshactl -node 127.0.0.1:7001 mkdir /projects/sim
+//	koshactl -node 127.0.0.1:7001 rm /projects
+//	koshactl -node 127.0.0.1:7001 stat /alice/doc.txt
+//	koshactl -node 127.0.0.1:7001 status
+//
+// Any node answers for any path: location is transparent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+	"repro/internal/tcpnet"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: koshactl -node host:port <command> [args]
+
+commands:
+  ls <path>            list a virtual directory
+  get <path>           print a file's contents to stdout
+  put <path> [file]    store a file (stdin when no local file given)
+  mkdir <path>         create a directory (and ancestors)
+  rm <path>            remove a file or subtree
+  stat <path>          show entry attributes
+  status               show the node's store occupancy and overlay identity
+  cluster              crawl the overlay from this node and summarize every member
+  tree <path>          recursively list a virtual subtree
+`)
+	os.Exit(2)
+}
+
+func main() {
+	node := flag.String("node", "127.0.0.1:7001", "address of any koshad")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	tn := tcpnet.Dialer("koshactl", simnet.LAN100)
+	defer tn.Close()
+	ctl := &core.CtlClient{Net: tn, From: tn.Addr(), To: simnet.Addr(*node)}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "koshactl: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch args[0] {
+	case "ls":
+		if len(args) != 2 {
+			usage()
+		}
+		ents, _, err := ctl.List(args[1])
+		if err != nil {
+			fail(err)
+		}
+		for _, e := range ents {
+			marker := ""
+			switch e.Type {
+			case localfs.TypeDir:
+				marker = "/"
+			case localfs.TypeSymlink:
+				marker = "@"
+			}
+			fmt.Printf("%s%s\n", e.Name, marker)
+		}
+
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		data, _, err := ctl.ReadFile(args[1])
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(data)
+
+	case "put":
+		if len(args) != 2 && len(args) != 3 {
+			usage()
+		}
+		var data []byte
+		var err error
+		if len(args) == 3 {
+			data, err = os.ReadFile(args[2])
+		} else {
+			data, err = io.ReadAll(os.Stdin)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if _, err := ctl.WriteFile(args[1], data); err != nil {
+			fail(err)
+		}
+		fmt.Printf("stored %d bytes at %s\n", len(data), args[1])
+
+	case "mkdir":
+		if len(args) != 2 {
+			usage()
+		}
+		if _, err := ctl.MkdirAll(args[1]); err != nil {
+			fail(err)
+		}
+
+	case "rm":
+		if len(args) != 2 {
+			usage()
+		}
+		if _, err := ctl.RemoveAll(args[1]); err != nil {
+			fail(err)
+		}
+
+	case "stat":
+		if len(args) != 2 {
+			usage()
+		}
+		st, _, err := ctl.Stat(args[1])
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %s mode %o size %d\n", args[1], st.Type, st.Mode, st.Size)
+
+	case "status":
+		st, _, err := ctl.Status()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("node %s\n  nodeId      %s\n  leaf set    %d neighbors\n  files       %d\n  used bytes  %d\n",
+			*node, st.NodeID, st.LeafSize, st.Files, st.UsedBytes)
+		if st.TotalBytes > 0 {
+			fmt.Printf("  capacity    %d (%.1f%% used)\n", st.TotalBytes,
+				float64(st.UsedBytes)/float64(st.TotalBytes)*100)
+		} else {
+			fmt.Printf("  capacity    unlimited\n")
+		}
+
+	case "tree":
+		if len(args) != 2 {
+			usage()
+		}
+		var walk func(p, indent string)
+		walk = func(p, indent string) {
+			ents, _, err := ctl.List(p)
+			if err != nil {
+				fail(err)
+			}
+			for _, e := range ents {
+				child := p + "/" + e.Name
+				if p == "/" {
+					child = "/" + e.Name
+				}
+				switch e.Type {
+				case localfs.TypeDir:
+					fmt.Printf("%s%s/\n", indent, e.Name)
+					walk(child, indent+"  ")
+				case localfs.TypeSymlink:
+					fmt.Printf("%s%s@\n", indent, e.Name)
+				default:
+					st, _, err := ctl.Stat(child)
+					if err != nil {
+						fmt.Printf("%s%s\n", indent, e.Name)
+						continue
+					}
+					fmt.Printf("%s%s (%d bytes)\n", indent, e.Name, st.Size)
+				}
+			}
+		}
+		fmt.Println(args[1])
+		walk(args[1], "  ")
+
+	case "cluster":
+		peers, _, err := ctl.Peers()
+		if err != nil {
+			fail(err)
+		}
+		addrs := []simnet.Addr{simnet.Addr(*node)}
+		for _, p := range peers {
+			addrs = append(addrs, p.Addr)
+		}
+		fmt.Printf("%-22s %-12s %8s %12s %10s\n", "node", "nodeId", "files", "used", "capacity")
+		var totFiles, totUsed int64
+		for _, a := range addrs {
+			peerCtl := &core.CtlClient{Net: tn, From: tn.Addr(), To: a}
+			st, _, err := peerCtl.Status()
+			if err != nil {
+				fmt.Printf("%-22s %s\n", a, "unreachable")
+				continue
+			}
+			capStr := "unlimited"
+			if st.TotalBytes > 0 {
+				capStr = fmt.Sprintf("%d", st.TotalBytes)
+			}
+			fmt.Printf("%-22s %-12s %8d %12d %10s\n", a, st.NodeID[:8], st.Files, st.UsedBytes, capStr)
+			totFiles += st.Files
+			totUsed += st.UsedBytes
+		}
+		fmt.Printf("%-22s %-12s %8d %12d\n", "TOTAL", "", totFiles, totUsed)
+
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,136 @@
+// Command koshad runs one Kosha node as a long-lived daemon over TCP: the
+// contributed store, its NFS export, the Pastry overlay endpoint, and the
+// koshad interposition logic, plus the koshactl administrative service.
+//
+// Start a first node, then join more against it:
+//
+//	koshad -listen 127.0.0.1:7001
+//	koshad -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//	koshad -listen 127.0.0.1:7003 -join 127.0.0.1:7001 -capacity 10G
+//
+// then drive the shared file system from any node with koshactl.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskfs"
+	"repro/internal/id"
+	"repro/internal/simnet"
+	"repro/internal/tcpnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "TCP address to serve on (also the node's overlay address)")
+	join := flag.String("join", "", "address of an existing node to join ('' starts a new overlay)")
+	capacity := flag.String("capacity", "0", "contributed store bytes (supports K/M/G suffix; 0 = unlimited)")
+	level := flag.Int("level", 1, "distribution level L")
+	replicas := flag.Int("replicas", 1, "replication factor K")
+	redirects := flag.Int("redirects", 4, "capacity redirection attempts")
+	stabilize := flag.Duration("stabilize", 10*time.Second, "overlay stabilization interval")
+	datadir := flag.String("datadir", "", "persist the contributed store in this directory (default: in-memory)")
+	seed := flag.Uint64("seed", 0, "nodeId seed (0 = random)")
+	flag.Parse()
+
+	capBytes, err := parseSize(*capacity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	tn, err := tcpnet.Listen(*listen, simnet.LAN100)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer tn.Close()
+
+	s := *seed
+	if s == 0 {
+		var b [8]byte
+		rand.Read(b[:])
+		s = binary.BigEndian.Uint64(b[:])
+	}
+	nodeID := id.Rand128(&s)
+
+	cfg := core.Config{
+		DistributionLevel: *level,
+		Replicas:          *replicas,
+		RedirectAttempts:  *redirects,
+		Capacity:          capBytes,
+	}
+	if *replicas == 0 {
+		cfg.Replicas = -1
+	}
+	var node *core.Node
+	if *datadir != "" {
+		store, err := diskfs.Open(*datadir, capBytes, simnet.Disk7200)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		node = core.NewNodeWithStore(tn.Addr(), nodeID, tn, cfg, store)
+	} else {
+		node = core.NewNode(tn.Addr(), nodeID, tn, cfg)
+	}
+	node.AttachCtl()
+
+	if _, err := node.Join(simnet.Addr(*join)); err != nil {
+		fmt.Fprintf(os.Stderr, "koshad: join: %v\n", err)
+		os.Exit(1)
+	}
+	node.Overlay().Stabilize()
+	node.SyncReplicas()
+
+	fmt.Printf("koshad: serving on %s  nodeId=%s  L=%d K=%d capacity=%s\n",
+		tn.Addr(), nodeID.Short(), *level, cfg.Replicas, *capacity)
+	if *join != "" {
+		fmt.Printf("koshad: joined overlay via %s (%d leaf-set neighbors)\n",
+			*join, len(node.Overlay().Leaf()))
+	}
+
+	ticker := time.NewTicker(*stabilize)
+	defer ticker.Stop()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			node.Overlay().Stabilize()
+			node.SyncReplicas()
+		case <-sigs:
+			fmt.Println("koshad: leaving overlay")
+			node.Overlay().Leave()
+			return
+		}
+	}
+}
+
+// parseSize parses "10G"/"512M"/"3K"/plain bytes.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("koshad: bad size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"0":    0,
+		"1024": 1024,
+		"3K":   3 << 10,
+		"512M": 512 << 20,
+		"10G":  10 << 30,
+		"10g":  10 << 30,
+		" 2K ": 2 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "12Q", "G"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}

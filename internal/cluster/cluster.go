@@ -1,0 +1,160 @@
+// Package cluster assembles multi-node Kosha deployments in one process:
+// the substitute for the paper's eight-machine FreeBSD testbed (Section
+// 6.1). It wires N core.Nodes onto a shared simulated network, joins them
+// into one Pastry overlay, and offers failure injection and membership
+// churn for the integration tests and benchmark harnesses.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/simnet"
+)
+
+// Options configures a cluster build.
+type Options struct {
+	// Nodes is the initial node count.
+	Nodes int
+	// Seed drives nodeId assignment; experiments vary it across runs ("50
+	// runs ... varying the nodeId assignments", Section 6.2).
+	Seed uint64
+	// Config is applied to every node.
+	Config core.Config
+	// Capacities optionally overrides Config.Capacity per node, for the
+	// heterogeneous-capacity experiment (Figure 6: 8x3 GB, 4x4 GB, 4x5 GB).
+	Capacities []int64
+	// Link overrides the network model (default LAN100).
+	Link simnet.LinkModel
+}
+
+// Cluster is a running set of Kosha nodes on one simulated network.
+type Cluster struct {
+	Net   *simnet.Network
+	Nodes []*core.Node
+
+	seedState uint64
+	cfg       core.Config
+	nextAddr  int
+}
+
+// New builds, joins, and stabilizes a cluster.
+func New(opts Options) (*Cluster, error) {
+	link := opts.Link
+	if link == (simnet.LinkModel{}) {
+		link = simnet.LAN100
+	}
+	c := &Cluster{
+		Net:       simnet.New(link),
+		seedState: opts.Seed,
+		cfg:       opts.Config,
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		cfg := opts.Config
+		if i < len(opts.Capacities) {
+			cfg.Capacity = opts.Capacities[i]
+		}
+		if _, err := c.addNode(cfg); err != nil {
+			return nil, err
+		}
+	}
+	c.Stabilize()
+	return c, nil
+}
+
+func (c *Cluster) addNode(cfg core.Config) (*core.Node, error) {
+	addr := simnet.Addr(fmt.Sprintf("node%02d", c.nextAddr))
+	c.nextAddr++
+	nd := core.NewNode(addr, id.Rand128(&c.seedState), c.Net, cfg)
+	var boot simnet.Addr
+	if len(c.Nodes) > 0 {
+		boot = c.Nodes[0].Addr()
+	}
+	if _, err := nd.Join(boot); err != nil {
+		return nil, fmt.Errorf("cluster: join %s: %w", addr, err)
+	}
+	c.Nodes = append(c.Nodes, nd)
+	return nd, nil
+}
+
+// AddNode joins one more node (default config) and stabilizes.
+func (c *Cluster) AddNode() (*core.Node, error) {
+	nd, err := c.addNode(c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Stabilize()
+	return nd, nil
+}
+
+// Stabilize runs overlay repair and replica synchronization until the
+// membership views settle.
+func (c *Cluster) Stabilize() {
+	for round := 0; round < 3; round++ {
+		for _, nd := range c.Nodes {
+			if !c.Net.IsDown(nd.Addr()) {
+				nd.Overlay().Stabilize()
+			}
+		}
+	}
+	// Two synchronization rounds: after heavy churn a node promoted from a
+	// stale copy first learns the newer version (or deletion) from a peer
+	// in round one and redistributes it in round two.
+	for round := 0; round < 2; round++ {
+		for _, nd := range c.Nodes {
+			if !c.Net.IsDown(nd.Addr()) {
+				nd.SyncReplicas()
+			}
+		}
+	}
+}
+
+// Mount returns a client mount attached through node i's koshad.
+func (c *Cluster) Mount(i int) *core.Mount { return c.Nodes[i].NewMount() }
+
+// Fail crashes node i.
+func (c *Cluster) Fail(i int) { c.Nodes[i].Fail() }
+
+// Revive restarts node i with a fresh overlay identifier (its store is
+// purged, Section 4.3.2) and stabilizes.
+func (c *Cluster) Revive(i int) error {
+	seed := c.Nodes[(i+1)%len(c.Nodes)].Addr()
+	if _, err := c.Nodes[i].Revive(id.Rand128(&c.seedState), seed); err != nil {
+		return err
+	}
+	c.Stabilize()
+	return nil
+}
+
+// Alive returns the indices of nodes currently up.
+func (c *Cluster) Alive() []int {
+	var out []int
+	for i, nd := range c.Nodes {
+		if !c.Net.IsDown(nd.Addr()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NodeStat summarizes one node's store occupancy.
+type NodeStat struct {
+	Addr  simnet.Addr
+	Files int64
+	Bytes int64
+}
+
+// StoreStats snapshots per-node occupancy (file counts and bytes), the raw
+// data behind the load-distribution analysis (Figure 5).
+func (c *Cluster) StoreStats() []NodeStat {
+	out := make([]NodeStat, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		out[i] = NodeStat{
+			Addr:  nd.Addr(),
+			Files: nd.Store().NumFiles(),
+			Bytes: nd.Store().Used(),
+		}
+	}
+	return out
+}

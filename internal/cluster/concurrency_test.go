@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentMounts drives several mounts from different client nodes in
+// parallel: each worker owns a distinct user directory, so operations are
+// independent; all data must land intact and be visible from every mount.
+func TestConcurrentMounts(t *testing.T) {
+	c, err := New(Options{Nodes: 6, Seed: 901, Config: core.Config{Replicas: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	const filesPerWorker = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := c.Mount(w % len(c.Nodes))
+			for i := 0; i < filesPerWorker; i++ {
+				p := fmt.Sprintf("/user%d/docs/f%02d", w, i)
+				payload := bytes.Repeat([]byte{byte(w), byte(i)}, 100+i)
+				if _, err := m.WriteFile(p, payload); err != nil {
+					errs <- fmt.Errorf("worker %d write %s: %w", w, p, err)
+					return
+				}
+				got, _, err := m.ReadFile(p)
+				if err != nil || !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("worker %d readback %s: %w", w, p, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every file visible through one reader mount.
+	m := c.Mount(0)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < filesPerWorker; i++ {
+			p := fmt.Sprintf("/user%d/docs/f%02d", w, i)
+			if _, _, err := m.ReadFile(p); err != nil {
+				t.Fatalf("final read %s: %v", p, err)
+			}
+		}
+	}
+	stats := c.StoreStats()
+	var files int64
+	for _, s := range stats {
+		files += s.Files
+	}
+	// workers*filesPerWorker primaries + same number of replicas (K=1).
+	want := int64(workers * filesPerWorker * 2)
+	if files != want {
+		t.Fatalf("total stored file copies = %d, want %d", files, want)
+	}
+}
+
+// TestConcurrentSharedDirectory has several clients writing distinct files
+// into ONE directory concurrently; the primary serializes them.
+func TestConcurrentSharedDirectory(t *testing.T) {
+	c, err := New(Options{Nodes: 5, Seed: 902, Config: core.Config{Replicas: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := c.Mount(w % len(c.Nodes))
+			for i := 0; i < 10; i++ {
+				p := fmt.Sprintf("/shared/w%d-f%d", w, i)
+				if _, err := m.WriteFile(p, []byte(p)); err != nil {
+					errs <- fmt.Errorf("w%d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := c.Mount(1)
+	vh, _, _, err := m.LookupPath("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, _, err := m.Readdir(vh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != workers*10 {
+		t.Fatalf("listing has %d entries, want %d", len(ents), workers*10)
+	}
+	for _, e := range ents {
+		data, _, err := m.ReadFile("/shared/" + e.Name)
+		if err != nil || string(data) != "/shared/"+e.Name {
+			t.Fatalf("content of %s: %q err=%v", e.Name, data, err)
+		}
+	}
+}
+
+// TestConcurrentReadersDuringFailure checks that parallel readers all fail
+// over cleanly when the primary dies mid-stream.
+func TestConcurrentReadersDuringFailure(t *testing.T) {
+	c, err := New(Options{Nodes: 6, Seed: 903, Config: core.Config{Replicas: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := c.Mount(0)
+	if _, err := m0.WriteFile("/hot/data", bytes.Repeat([]byte{7}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	pl, _, err := c.Nodes[0].ResolvePath("/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for i, nd := range c.Nodes {
+		if nd.Addr() == pl.Node {
+			victim = i
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx := w % len(c.Nodes)
+			if idx == victim {
+				idx = (idx + 1) % len(c.Nodes)
+			}
+			m := c.Mount(idx)
+			<-start
+			for i := 0; i < 10; i++ {
+				data, _, err := m.ReadFile("/hot/data")
+				if err != nil {
+					errs <- fmt.Errorf("reader %d iter %d: %w", w, i, err)
+					return
+				}
+				if len(data) != 4096 {
+					errs <- fmt.Errorf("reader %d: short read %d", w, len(data))
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	c.Fail(victim)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

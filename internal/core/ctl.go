@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// CtlService is the administrative service every koshad exposes: path-based
+// file operations executed through the node's own mount, so external tools
+// (cmd/koshactl) can drive the virtual file system without joining the
+// overlay themselves.
+const CtlService = "koshactl"
+
+// ctl procedure numbers.
+const (
+	ctlRead = iota + 1
+	ctlWrite
+	ctlList
+	ctlMkdirAll
+	ctlRemoveAll
+	ctlStat
+	ctlStatfs
+	ctlPeers
+)
+
+// ctlOnce lazily attaches the ctl handler's mount.
+type ctlState struct {
+	once  sync.Once
+	mount *Mount
+}
+
+var ctlMounts sync.Map // *Node -> *ctlState
+
+func (n *Node) ctlMount() *Mount {
+	v, _ := ctlMounts.LoadOrStore(n, &ctlState{})
+	st := v.(*ctlState)
+	st.once.Do(func() { st.mount = n.NewMount() })
+	return st.mount
+}
+
+// AttachCtl registers the koshactl service on this node.
+func (n *Node) AttachCtl() {
+	n.net.Register(n.addr, CtlService, n.handleCtl)
+}
+
+func (n *Node) handleCtl(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
+	d := wire.NewDecoder(req)
+	proc := d.Uint32()
+	vpath := d.String()
+	if d.Err() != nil {
+		return nil, 0, d.Err()
+	}
+	m := n.ctlMount()
+	e := wire.NewEncoder(256)
+
+	fail := func(err error, cost simnet.Cost) ([]byte, simnet.Cost, error) {
+		e.Reset()
+		e.PutBool(false)
+		e.PutString(err.Error())
+		return cp(e), cost, nil
+	}
+
+	switch proc {
+	case ctlRead:
+		data, cost, err := m.ReadFile(vpath)
+		if err != nil {
+			return fail(err, cost)
+		}
+		e.PutBool(true)
+		e.PutOpaque(data)
+		return cp(e), cost, nil
+
+	case ctlWrite:
+		data := d.Opaque()
+		if d.Err() != nil {
+			return nil, 0, d.Err()
+		}
+		cost, err := m.WriteFile(vpath, data)
+		if err != nil {
+			return fail(err, cost)
+		}
+		e.PutBool(true)
+		return cp(e), cost, nil
+
+	case ctlList:
+		vh, attr, cost, err := m.LookupPath(vpath)
+		if err != nil {
+			return fail(err, cost)
+		}
+		if attr.Type != localfs.TypeDir {
+			return fail(fmt.Errorf("koshactl: %s is not a directory", vpath), cost)
+		}
+		ents, c, err := m.Readdir(vh)
+		cost = simnet.Seq(cost, c)
+		m.forget(vh)
+		if err != nil {
+			return fail(err, cost)
+		}
+		e.PutBool(true)
+		e.PutUint32(uint32(len(ents)))
+		for _, ent := range ents {
+			e.PutString(ent.Name)
+			e.PutUint32(uint32(ent.Type))
+		}
+		return cp(e), cost, nil
+
+	case ctlMkdirAll:
+		vh, cost, err := m.MkdirAll(vpath)
+		if err != nil {
+			return fail(err, cost)
+		}
+		m.forget(vh)
+		e.PutBool(true)
+		return cp(e), cost, nil
+
+	case ctlRemoveAll:
+		cost, err := m.RemoveAllPath(vpath)
+		if err != nil {
+			return fail(err, cost)
+		}
+		e.PutBool(true)
+		return cp(e), cost, nil
+
+	case ctlStat:
+		vh, attr, cost, err := m.LookupPath(vpath)
+		if err != nil {
+			return fail(err, cost)
+		}
+		m.forget(vh)
+		e.PutBool(true)
+		e.PutUint32(uint32(attr.Type))
+		e.PutUint32(attr.Mode)
+		e.PutInt64(attr.Size)
+		e.PutInt64(attr.Mtime.UnixNano())
+		return cp(e), cost, nil
+
+	case ctlPeers:
+		e.PutBool(true)
+		peers := n.overlay.Known()
+		e.PutUint32(uint32(len(peers)))
+		for _, p := range peers {
+			e.PutString(string(p.Addr))
+			e.PutString(p.ID.String())
+		}
+		return cp(e), 0, nil
+
+	case ctlStatfs:
+		st, cost, err := n.store.Statfs()
+		if err != nil {
+			return fail(err, cost)
+		}
+		e.PutBool(true)
+		e.PutInt64(st.TotalBytes)
+		e.PutInt64(st.UsedBytes)
+		e.PutInt64(st.Files)
+		e.PutString(n.overlay.Info().ID.String())
+		e.PutUint32(uint32(len(n.overlay.Leaf())))
+		return cp(e), cost, nil
+
+	default:
+		return nil, 0, fmt.Errorf("koshactl: unknown proc %d", proc)
+	}
+}
+
+// CtlClient drives a remote koshad's ctl service.
+type CtlClient struct {
+	Net  simnet.Caller
+	From simnet.Addr
+	To   simnet.Addr
+}
+
+func (c *CtlClient) call(proc uint32, vpath string, extra func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
+	e := wire.NewEncoder(256)
+	e.PutUint32(proc)
+	e.PutString(vpath)
+	if extra != nil {
+		extra(e)
+	}
+	resp, cost, err := c.Net.Call(c.From, c.To, CtlService, e.Bytes())
+	if err != nil {
+		return nil, cost, err
+	}
+	d := wire.NewDecoder(resp)
+	if ok := d.Bool(); !ok {
+		msg := d.String()
+		if d.Err() != nil {
+			return nil, cost, d.Err()
+		}
+		return nil, cost, fmt.Errorf("koshactl: %s", msg)
+	}
+	return d, cost, nil
+}
+
+// ReadFile fetches a whole file.
+func (c *CtlClient) ReadFile(vpath string) ([]byte, simnet.Cost, error) {
+	d, cost, err := c.call(ctlRead, vpath, nil)
+	if err != nil {
+		return nil, cost, err
+	}
+	return d.Opaque(), cost, d.Err()
+}
+
+// WriteFile stores a whole file, creating ancestors.
+func (c *CtlClient) WriteFile(vpath string, data []byte) (simnet.Cost, error) {
+	_, cost, err := c.call(ctlWrite, vpath, func(e *wire.Encoder) { e.PutOpaque(data) })
+	return cost, err
+}
+
+// List returns a directory listing.
+func (c *CtlClient) List(vpath string) ([]DirEntry, simnet.Cost, error) {
+	d, cost, err := c.call(ctlList, vpath, nil)
+	if err != nil {
+		return nil, cost, err
+	}
+	n := d.ArrayLen()
+	out := make([]DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, DirEntry{Name: d.String(), Type: localfs.FileType(d.Uint32())})
+	}
+	return out, cost, d.Err()
+}
+
+// MkdirAll creates a directory path.
+func (c *CtlClient) MkdirAll(vpath string) (simnet.Cost, error) {
+	_, cost, err := c.call(ctlMkdirAll, vpath, nil)
+	return cost, err
+}
+
+// RemoveAll removes a subtree.
+func (c *CtlClient) RemoveAll(vpath string) (simnet.Cost, error) {
+	_, cost, err := c.call(ctlRemoveAll, vpath, nil)
+	return cost, err
+}
+
+// StatResult carries ctlStat's reply.
+type StatResult struct {
+	Type localfs.FileType
+	Mode uint32
+	Size int64
+}
+
+// Stat fetches entry attributes.
+func (c *CtlClient) Stat(vpath string) (StatResult, simnet.Cost, error) {
+	d, cost, err := c.call(ctlStat, vpath, nil)
+	if err != nil {
+		return StatResult{}, cost, err
+	}
+	var st StatResult
+	st.Type = localfs.FileType(d.Uint32())
+	st.Mode = d.Uint32()
+	st.Size = d.Int64()
+	return st, cost, d.Err()
+}
+
+// NodeStatus carries ctlStatfs's reply.
+type NodeStatus struct {
+	TotalBytes int64
+	UsedBytes  int64
+	Files      int64
+	NodeID     string
+	LeafSize   int
+}
+
+// Peer identifies one overlay member as seen by a node.
+type Peer struct {
+	Addr   simnet.Addr
+	NodeID string
+}
+
+// Peers lists the overlay members the remote node knows about, used by
+// koshactl to crawl the cluster.
+func (c *CtlClient) Peers() ([]Peer, simnet.Cost, error) {
+	d, cost, err := c.call(ctlPeers, "", nil)
+	if err != nil {
+		return nil, cost, err
+	}
+	n := d.ArrayLen()
+	out := make([]Peer, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Peer{Addr: simnet.Addr(d.String()), NodeID: d.String()})
+	}
+	return out, cost, d.Err()
+}
+
+// Status reports the remote node's store occupancy and overlay identity.
+func (c *CtlClient) Status() (NodeStatus, simnet.Cost, error) {
+	d, cost, err := c.call(ctlStatfs, "", nil)
+	if err != nil {
+		return NodeStatus{}, cost, err
+	}
+	var st NodeStatus
+	st.TotalBytes = d.Int64()
+	st.UsedBytes = d.Int64()
+	st.Files = d.Int64()
+	st.NodeID = d.String()
+	st.LeafSize = int(d.Uint32())
+	return st, cost, d.Err()
+}

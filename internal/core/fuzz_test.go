@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPlacementFunctions checks that path/placement helpers never panic and
+// preserve their invariants on arbitrary input.
+func FuzzPlacementFunctions(f *testing.F) {
+	f.Add("/alice/docs/file.txt", 2)
+	f.Add("", 0)
+	f.Add("///a//b/../c", 9)
+	f.Add("name#12345678", 1)
+	f.Fuzz(func(t *testing.T, vpath string, level int) {
+		parts := SplitVirtual(vpath)
+		joined := JoinVirtual(parts)
+		// Re-splitting the join is a fixed point.
+		again := SplitVirtual(joined)
+		if len(again) != len(parts) {
+			t.Fatalf("split/join not stable: %v vs %v", parts, again)
+		}
+		for i := range parts {
+			if parts[i] != again[i] {
+				t.Fatalf("component %d changed", i)
+			}
+		}
+		d := ControllingDepth(len(parts), level)
+		if d < 0 || d > len(parts) {
+			t.Fatalf("depth %d out of range for %d parts", d, len(parts))
+		}
+		if len(parts) > 0 && d == 0 {
+			t.Fatal("non-empty path with zero controlling depth")
+		}
+		// Salting round-trips for any VALID name (names matching the
+		// salted pattern are rejected by ValidName at creation time, so
+		// the ambiguity cannot arise in a live system).
+		if len(parts) > 0 && ValidName(parts[0]) == nil {
+			name := parts[0]
+			for a := 0; a < 3; a++ {
+				pn := Salted(name, a)
+				if BaseName(pn) != name {
+					t.Fatalf("BaseName(Salted(%q,%d)) = %q", name, a, BaseName(pn))
+				}
+			}
+		}
+		// Link targets round-trip unless the name itself embeds the
+		// separator byte (reserved, rejected by ValidName).
+		if !strings.Contains(vpath, "\x03") {
+			pn, store, ok := ParseLinkTarget(MakeLinkTarget(vpath, "/store"))
+			if !ok || pn != vpath || store != "/store" {
+				t.Fatal("link target round trip failed")
+			}
+		}
+		if _, _, ok := ParseLinkTarget(strings.TrimPrefix(vpath, LinkMarker)); ok && !strings.HasPrefix(strings.TrimPrefix(vpath, LinkMarker), LinkMarker) {
+			t.Fatal("unmarked target recognized as special")
+		}
+	})
+}

@@ -1,0 +1,1329 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+
+	"repro/internal/localfs"
+	"repro/internal/nfs"
+	"repro/internal/simnet"
+)
+
+// VH is a virtual file handle: the identifier koshad hands the local NFS
+// client in place of a real handle (Section 4.1.2). The indirection lets
+// koshad transparently rebind a handle to a replica when the primary fails.
+type VH uint64
+
+// RootVH is the virtual handle of the mount root (/kosha).
+const RootVH VH = 1
+
+// ventry is one row of the virtual-handle table: virtual handle → full
+// path, storage node, and real handle (Section 4.1.2 stores exactly this).
+type ventry struct {
+	vpath    string
+	kind     localfs.FileType
+	node     simnet.Addr
+	fh       nfs.Handle
+	physPath string
+	pn       string // controlling placement name
+	root     string // physical subtree root of the replicated hierarchy
+	place    Place  // directories: resolved place for child operations
+}
+
+// DirEntry is one row of a virtual directory listing.
+type DirEntry struct {
+	Name string
+	Type localfs.FileType
+}
+
+// Mount is the client view of the Kosha file system through one node's
+// koshad, corresponding to the virtual mount point /kosha (Figure 1). All
+// operations return the simulated cost including the interposition constant
+// I, overlay lookups, and forwarded NFS RPCs. A Mount is safe for
+// concurrent use by multiple goroutines.
+type Mount struct {
+	n *Node
+
+	mu   sync.Mutex
+	vft  map[VH]*ventry
+	next VH
+
+	rr        uint64                // round-robin cursor for replica reads
+	readsFrom map[simnet.Addr]int64 // per-node read counter (observability)
+}
+
+// NewMount attaches a client to the node's koshad.
+func (n *Node) NewMount() *Mount {
+	m := &Mount{
+		n:         n,
+		vft:       make(map[VH]*ventry),
+		next:      RootVH + 1,
+		readsFrom: make(map[simnet.Addr]int64),
+	}
+	m.vft[RootVH] = &ventry{
+		vpath: "/",
+		kind:  localfs.TypeDir,
+		place: Place{VRoot: true, Store: "/"},
+	}
+	return m
+}
+
+// Root returns the mount's root virtual handle.
+func (m *Mount) Root() VH { return RootVH }
+
+// ErrBadHandle is returned for unknown virtual handles.
+var ErrBadHandle = errors.New("kosha: unknown virtual handle")
+
+func (m *Mount) entry(vh VH) (*ventry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	de, ok := m.vft[vh]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, vh)
+	}
+	return de, nil
+}
+
+func (m *Mount) insert(de *ventry) VH {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vh := m.next
+	m.next++
+	m.vft[vh] = de
+	return vh
+}
+
+func (m *Mount) replace(vh VH, de *ventry) {
+	m.mu.Lock()
+	m.vft[vh] = de
+	m.mu.Unlock()
+}
+
+// forget drops a virtual handle (e.g. after unlink). The root handle is
+// permanent.
+func (m *Mount) forget(vh VH) {
+	if vh == RootVH {
+		return
+	}
+	m.mu.Lock()
+	delete(m.vft, vh)
+	m.mu.Unlock()
+}
+
+// staleStore marks a resolution whose cached storage root no longer exists
+// (the hierarchy was renamed or removed through another node); the caller
+// drops its caches and re-resolves.
+var staleStore = errors.New("kosha: cached storage root dangles")
+
+// retryable reports whether an error warrants transparent failover:
+// transport failures and stale handles re-resolve onto a replica (Section
+// 4.4); ErrNotPrimary re-resolves after an ownership change.
+func retryable(err error) bool {
+	return errors.Is(err, simnet.ErrUnreachable) ||
+		errors.Is(err, ErrNotPrimary) ||
+		nfs.IsStatus(err, nfs.ErrStale)
+}
+
+// materialize builds a ventry for a virtual path by resolving placement and
+// looking the path up on the storage node. It also returns the entry's
+// attributes (LOOKUP carries them, as in NFS).
+func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
+	parts := SplitVirtual(vpath)
+	if len(parts) == 0 {
+		return &ventry{vpath: "/", kind: localfs.TypeDir, place: Place{VRoot: true, Store: "/"}},
+			localfs.Attr{Ino: 1, Type: localfs.TypeDir, Mode: 0o755, Nlink: 2}, 0, nil
+	}
+	var total simnet.Cost
+
+	place, cost, err := m.n.ResolveDir(parts)
+	total = simnet.Seq(total, cost)
+	switch {
+	case err == nil:
+		phys := place.PhysDir()
+		storeComps := pathComponents(place.SubtreeRoot())
+		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(place.Node, phys)
+		total = simnet.Seq(total, c)
+		if nfs.IsStatus(lerr, nfs.ErrNoEnt) {
+			if idx < storeComps {
+				// The resolved storage root itself dangles: a stale cache
+				// entry survived a rename/removal done elsewhere.
+				lerr = staleStore
+			} else {
+				c2, perr := m.n.promote(place.Node, Track{PN: place.PN(), Root: place.SubtreeRoot()})
+				total = simnet.Seq(total, c2)
+				if perr == nil {
+					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(place.Node, phys)
+					total = simnet.Seq(total, c)
+					if nfs.IsStatus(lerr, nfs.ErrNoEnt) && idx < storeComps {
+						lerr = staleStore
+					}
+				}
+			}
+		}
+		if lerr != nil {
+			return nil, localfs.Attr{}, total, lerr
+		}
+		return &ventry{
+			vpath:    JoinVirtual(parts),
+			kind:     attr.Type,
+			node:     place.Node,
+			fh:       fh,
+			physPath: phys,
+			pn:       place.PN(),
+			root:     place.SubtreeRoot(),
+			place:    place,
+		}, attr, total, nil
+
+	case nfs.IsStatus(err, nfs.ErrNotDir):
+		// The final component is a file or plain symlink at a depth the
+		// resolver treated as a directory level; resolve the parent and
+		// look the leaf up there.
+		parent, cost, perr := m.n.ResolveDir(parts[:len(parts)-1])
+		total = simnet.Seq(total, cost)
+		if perr != nil {
+			return nil, localfs.Attr{}, total, perr
+		}
+		name := parts[len(parts)-1]
+		phys := path.Join(parent.PhysDir(), name)
+		storeComps := pathComponents(parent.SubtreeRoot())
+		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(parent.Node, phys)
+		total = simnet.Seq(total, c)
+		if nfs.IsStatus(lerr, nfs.ErrNoEnt) && !parent.VRoot {
+			if idx < storeComps {
+				lerr = staleStore
+			} else {
+				c2, perr := m.n.promote(parent.Node, Track{PN: parent.PN(), Root: parent.SubtreeRoot()})
+				total = simnet.Seq(total, c2)
+				if perr == nil {
+					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(parent.Node, phys)
+					total = simnet.Seq(total, c)
+					if nfs.IsStatus(lerr, nfs.ErrNoEnt) && idx < storeComps {
+						lerr = staleStore
+					}
+				}
+			}
+		}
+		if lerr != nil {
+			return nil, localfs.Attr{}, total, lerr
+		}
+		return &ventry{
+			vpath:    JoinVirtual(parts),
+			kind:     attr.Type,
+			node:     parent.Node,
+			fh:       fh,
+			physPath: phys,
+			pn:       parent.PN(),
+			root:     parent.SubtreeRoot(),
+			place:    parent,
+		}, attr, total, nil
+
+	default:
+		return nil, localfs.Attr{}, total, err
+	}
+}
+
+// materializeRetry is materialize with transparent failover: a retryable
+// failure has already invalidated the caches naming the dead node (noteErr),
+// so re-resolution routes onto a replica holder. One NoEnt retry with
+// dropped caches covers stale resolver entries whose storage root moved
+// (renames relocate storage by design).
+func (m *Mount) materializeRetry(vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
+	var total simnet.Cost
+	staleRetried := false
+	for attempt := 0; ; attempt++ {
+		de, attr, c, err := m.materialize(vpath)
+		total = simnet.Seq(total, c)
+		if err == nil || attempt >= 3 {
+			return de, attr, total, err
+		}
+		if errors.Is(err, staleStore) {
+			if staleRetried {
+				return de, attr, total, &nfs.Error{Proc: nfs.ProcLookup, Status: nfs.ErrNoEnt}
+			}
+			staleRetried = true
+			m.dropCachesUnder(vpath)
+			continue
+		}
+		if !retryable(err) {
+			return de, attr, total, err
+		}
+		m.dropCachesUnder(vpath)
+	}
+}
+
+// withFailover runs fn against a ventry, transparently re-resolving and
+// retrying on node failure, stale handles, or primary changes. The
+// interposition constant I is charged once per operation.
+func (m *Mount) withFailover(vh VH, fn func(de *ventry) (simnet.Cost, error)) (simnet.Cost, error) {
+	total := m.n.cfg.InterposeCost
+	de, err := m.entry(vh)
+	if err != nil {
+		return total, err
+	}
+	for attempt := 0; ; attempt++ {
+		c, err := fn(de)
+		total = simnet.Seq(total, c)
+		if err == nil || !retryable(err) || attempt >= 3 {
+			return total, err
+		}
+		// Drop state naming the failed node and re-resolve the path: the
+		// overlay now routes the key to a node holding a replica. A
+		// NotPrimary answer came from a live node — only the stale
+		// resolution is dropped, not the node.
+		if !errors.Is(err, ErrNotPrimary) {
+			m.n.invalidateNode(de.node)
+		}
+		m.dropCachesUnder(de.vpath)
+		nde, _, c2, rerr := m.materialize(de.vpath)
+		total = simnet.Seq(total, c2)
+		if rerr != nil {
+			return total, rerr
+		}
+		m.replace(vh, nde)
+		de = nde
+	}
+}
+
+// dropCachesUnder invalidates resolver cache entries for a path and its
+// ancestors (any of them may name the failed node).
+func (m *Mount) dropCachesUnder(vpath string) {
+	parts := SplitVirtual(vpath)
+	for i := 1; i <= len(parts); i++ {
+		m.n.cacheDrop(JoinVirtual(parts[:i]))
+	}
+}
+
+// Lookup resolves name within the directory dir, returning a new virtual
+// handle (Section 4.1.3). Below the distribution level the parent's real
+// handle answers with a single forwarded LOOKUP; at distributed levels the
+// resolver (hash + route + special links) locates the child's node.
+func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, error) {
+	de, err := m.entry(dir)
+	if err != nil {
+		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, err
+	}
+	if de.kind != localfs.TypeDir {
+		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, &nfs.Error{Proc: nfs.ProcLookup, Status: nfs.ErrNotDir}
+	}
+	depth := len(SplitVirtual(de.vpath)) + 1
+	if !de.place.VRoot && depth > m.n.cfg.DistributionLevel {
+		var out VH
+		var attr localfs.Attr
+		cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+			fh, a, c, err := m.n.nfsc.Lookup(de.node, de.fh, name)
+			if err != nil {
+				return c, err
+			}
+			attr = a
+			childPlace := de.place
+			childPlace.Rest = append(append([]string(nil), de.place.Rest...), name)
+			out = m.insert(&ventry{
+				vpath:    path.Join(de.vpath, name),
+				kind:     a.Type,
+				node:     de.node,
+				fh:       fh,
+				physPath: path.Join(de.physPath, name),
+				pn:       de.pn,
+				root:     de.root,
+				place:    childPlace,
+			})
+			return c, nil
+		})
+		return out, attr, cost, err
+	}
+
+	total := m.n.cfg.InterposeCost
+	child, attr, cost, err := m.materializeRetry(path.Join(de.vpath, name))
+	total = simnet.Seq(total, cost)
+	if err != nil {
+		return 0, localfs.Attr{}, total, err
+	}
+	return m.insert(child), attr, total, nil
+}
+
+// Getattr fetches attributes for a virtual handle.
+func (m *Mount) Getattr(vh VH) (localfs.Attr, simnet.Cost, error) {
+	if vh == RootVH {
+		return localfs.Attr{Ino: 1, Type: localfs.TypeDir, Mode: 0o755, Nlink: 2}, m.n.cfg.InterposeCost, nil
+	}
+	var attr localfs.Attr
+	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+		a, c, err := m.n.nfsc.Getattr(de.node, de.fh)
+		if err == nil {
+			attr = a
+		}
+		return c, err
+	})
+	return attr, cost, err
+}
+
+// Setattr updates attributes through the primary, which mirrors to replicas.
+func (m *Mount) Setattr(vh VH, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, error) {
+	var attr localfs.Attr
+	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+		a, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+			FSOp{Kind: FSSetattr, Path: de.physPath, SetAttr: sa})
+		if err == nil {
+			attr = a
+		}
+		return c, err
+	})
+	return attr, cost, err
+}
+
+// Read returns up to count bytes of the file at offset. With
+// Config.ReadFromReplicas enabled, reads rotate across the primary and its
+// replica holders (the Section 4.2 optimization); any replica-side failure
+// falls back to the primary path transparently.
+func (m *Mount) Read(vh VH, offset int64, count int) ([]byte, bool, simnet.Cost, error) {
+	var data []byte
+	var eof bool
+	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+		if m.n.cfg.ReadFromReplicas && m.n.cfg.Replicas > 0 && de.kind == localfs.TypeRegular {
+			if d, e, c, ok := m.readViaReplica(de, offset, count); ok {
+				data, eof = d, e
+				return c, nil
+			}
+		}
+		d, e, c, err := m.n.nfsc.Read(de.node, de.fh, offset, count)
+		if err == nil {
+			data, eof = d, e
+			m.countRead(de.node)
+			if de.node == m.n.addr {
+				c = simnet.Seq(c, m.n.cfg.LoopbackXfer(len(d)))
+			}
+		}
+		return c, err
+	})
+	return data, eof, cost, err
+}
+
+// readViaReplica attempts one read against a rotating replica holder;
+// ok=false means the caller should use the primary.
+func (m *Mount) readViaReplica(de *ventry, offset int64, count int) ([]byte, bool, simnet.Cost, bool) {
+	reps, total, err := m.n.replicaSet(de.node, Key(de.pn), de.root)
+	if err != nil || len(reps) == 0 {
+		return nil, false, total, false
+	}
+	m.mu.Lock()
+	idx := m.rr % uint64(len(reps)+1)
+	m.rr++
+	m.mu.Unlock()
+	if idx == 0 {
+		return nil, false, total, false // the primary's turn
+	}
+	rep := reps[idx-1]
+	fh, _, c, err := m.n.remoteLookupPath(rep, RepPath(de.physPath))
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return nil, false, total, false
+	}
+	d, e, c, err := m.n.nfsc.Read(rep, fh, offset, count)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return nil, false, total, false
+	}
+	m.countRead(rep)
+	if rep == m.n.addr {
+		total = simnet.Seq(total, m.n.cfg.LoopbackXfer(len(d)))
+	}
+	return d, e, total, true
+}
+
+func (m *Mount) countRead(addr simnet.Addr) {
+	m.mu.Lock()
+	m.readsFrom[addr]++
+	m.mu.Unlock()
+}
+
+// ReadSpread reports how many reads this mount served from each node,
+// for observability and the replica-read ablation.
+func (m *Mount) ReadSpread() map[simnet.Addr]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[simnet.Addr]int64, len(m.readsFrom))
+	for k, v := range m.readsFrom {
+		out[k] = v
+	}
+	return out
+}
+
+// Write stores data at offset through the primary, which synchronously
+// mirrors the write to the K replicas (Section 4.2).
+func (m *Mount) Write(vh VH, offset int64, data []byte) (int, simnet.Cost, error) {
+	n := 0
+	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+		_, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+			FSOp{Kind: FSWrite, Path: de.physPath, Offset: offset, Data: data})
+		if err == nil {
+			n = len(data)
+			if de.node == m.n.addr {
+				c = simnet.Seq(c, m.n.cfg.LoopbackXfer(len(data)))
+			}
+		}
+		return c, err
+	})
+	return n, cost, err
+}
+
+// Create makes a regular file in dir (Section 4.1.4): the primary for the
+// parent directory creates the primary replica and returns its handle.
+func (m *Mount) Create(dir VH, name string, mode uint32, exclusive bool) (VH, localfs.Attr, simnet.Cost, error) {
+	var out VH
+	var attr localfs.Attr
+	if err := ValidName(name); err != nil {
+		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, err
+	}
+	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+		if de.place.VRoot {
+			return 0, ErrRootOnlyDirs
+		}
+		if de.kind != localfs.TypeDir {
+			return 0, &nfs.Error{Proc: nfs.ProcCreate, Status: nfs.ErrNotDir}
+		}
+		phys := path.Join(de.physPath, name)
+		a, fh, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+			FSOp{Kind: FSCreate, Path: phys, Mode: mode, Excl: exclusive})
+		if err != nil {
+			return c, err
+		}
+		attr = a
+		out = m.insert(&ventry{
+			vpath:    path.Join(de.vpath, name),
+			kind:     localfs.TypeRegular,
+			node:     de.node,
+			fh:       fh,
+			physPath: phys,
+			pn:       de.pn,
+			root:     de.root,
+			place:    de.place,
+		})
+		return c, nil
+	})
+	return out, attr, cost, err
+}
+
+// Symlink creates a user symbolic link in dir. Targets beginning with
+// Kosha's reserved link marker are rejected to keep user symlinks
+// distinguishable from placement links.
+func (m *Mount) Symlink(dir VH, name, target string) (VH, simnet.Cost, error) {
+	if err := ValidName(name); err != nil {
+		return 0, m.n.cfg.InterposeCost, err
+	}
+	if _, _, ok := ParseLinkTarget(target); ok {
+		return 0, m.n.cfg.InterposeCost, fmt.Errorf("kosha: symlink target begins with a reserved marker")
+	}
+	var out VH
+	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+		if de.place.VRoot {
+			return 0, ErrRootOnlyDirs
+		}
+		phys := path.Join(de.physPath, name)
+		_, fh, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+			FSOp{Kind: FSSymlink, Path: phys, Target: target})
+		if err != nil {
+			return c, err
+		}
+		out = m.insert(&ventry{
+			vpath:    path.Join(de.vpath, name),
+			kind:     localfs.TypeSymlink,
+			node:     de.node,
+			fh:       fh,
+			physPath: phys,
+			pn:       de.pn,
+			root:     de.root,
+			place:    de.place,
+		})
+		return c, nil
+	})
+	return out, cost, err
+}
+
+// Readlink reads a user symlink's target.
+func (m *Mount) Readlink(vh VH) (string, simnet.Cost, error) {
+	var target string
+	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+		t, c, err := m.n.nfsc.Readlink(de.node, de.fh)
+		if err == nil {
+			target = t
+		}
+		return c, err
+	})
+	return target, cost, err
+}
+
+// Mkdir creates a directory. Directories within the distribution level are
+// hashed to their own node, with capacity redirection (Sections 3.2-3.3);
+// deeper directories stay on the parent's node.
+func (m *Mount) Mkdir(dir VH, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
+	if err := ValidName(name); err != nil {
+		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, err
+	}
+	var out VH
+	var attr localfs.Attr
+	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+		if de.kind != localfs.TypeDir {
+			return 0, &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrNotDir}
+		}
+		depth := len(SplitVirtual(de.vpath)) + 1
+		if depth <= m.n.cfg.DistributionLevel || de.place.VRoot {
+			vh, a, c, err := m.mkdirDistributed(de, name, mode)
+			if err != nil {
+				return c, err
+			}
+			out, attr = vh, a
+			return c, nil
+		}
+		phys := path.Join(de.physPath, name)
+		a, fh, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+			FSOp{Kind: FSMkdir, Path: phys, Mode: mode})
+		if err != nil {
+			return c, err
+		}
+		attr = a
+		childPlace := de.place
+		childPlace.Rest = append(append([]string(nil), de.place.Rest...), name)
+		out = m.insert(&ventry{
+			vpath:    path.Join(de.vpath, name),
+			kind:     localfs.TypeDir,
+			node:     de.node,
+			fh:       fh,
+			physPath: phys,
+			pn:       de.pn,
+			root:     de.root,
+			place:    childPlace,
+		})
+		return c, nil
+	})
+	return out, attr, cost, err
+}
+
+// mkdirDistributed creates a directory at a distributed level: hash the
+// name, route, redirect with salts while the target is above the
+// utilization limit, create the hierarchy on the chosen node, and place a
+// special link in the parent when needed (Section 3.3).
+func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
+	n := m.n
+	var total simnet.Cost
+
+	// Where resolution will probe for this name (and where a special link
+	// would live): the original hash target for level-1 directories, the
+	// parent's node otherwise.
+	var linkNode simnet.Addr
+	var linkDir string
+	var linkKey = Key(name)
+	var linkTrack Track
+	if parent.place.VRoot {
+		res, c, err := n.route(Key(name))
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return 0, localfs.Attr{}, total, err
+		}
+		linkNode, linkDir = res.Node.Addr, "/"
+		linkTrack = Track{PN: name, Link: path.Join("/", name)}
+	} else {
+		linkNode, linkDir = parent.node, parent.physPath
+		linkKey = Key(parent.pn)
+		linkTrack = Track{PN: parent.pn, Root: parent.root}
+	}
+
+	// Existence check at the probe location.
+	if _, _, c, err := n.remoteLookupPath(linkNode, path.Join(linkDir, name)); err == nil {
+		return 0, localfs.Attr{}, simnet.Seq(total, c), &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrExist}
+	} else {
+		total = simnet.Seq(total, c)
+		if !nfs.IsStatus(err, nfs.ErrNoEnt) {
+			return 0, localfs.Attr{}, total, err
+		}
+	}
+
+	// Choose the placement name and node, redirecting on full targets:
+	// "the redirection process repeats till a node with enough disk space
+	// is found, or a pre-specified number of retries is exhausted".
+	var pn string
+	var target simnet.Addr
+	chosen := false
+	for attempt := 0; attempt <= n.cfg.RedirectAttempts; attempt++ {
+		pn = Salted(name, attempt)
+		res, c, err := n.route(Key(pn))
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return 0, localfs.Attr{}, total, err
+		}
+		target = res.Node.Addr
+		rootH, c, err := n.rootHandle(target)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			continue
+		}
+		st, c, err := n.nfsc.FSStat(target, rootH)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			continue
+		}
+		if st.TotalBytes == 0 || float64(st.UsedBytes)/float64(st.TotalBytes) < n.cfg.UtilizationLimit {
+			chosen = true
+			break
+		}
+	}
+	if !chosen {
+		return 0, localfs.Attr{}, total, &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrNoSpc}
+	}
+
+	// An unsalted level-1 home sits at its own hash target under its plain
+	// name and needs no link; every other distributed directory gets a
+	// fresh, unique storage root behind a special link, so a later rename
+	// or re-creation can never alias its storage (see MakeLinkTarget).
+	needLink := !(parent.place.VRoot && pn == name)
+	var subRoot string
+	if needLink {
+		subRoot = n.newStoreRoot(pn)
+	} else {
+		subRoot = "/" + pn
+	}
+
+	// Create the subtree root on the chosen node.
+	attr, fh, c, err := n.apply(target, Key(pn), Track{PN: pn, Root: subRoot},
+		FSOp{Kind: FSMkdirAll, Path: subRoot, Mode: mode})
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return 0, localfs.Attr{}, total, err
+	}
+
+	if needLink {
+		_, _, c, err := n.apply(linkNode, linkKey, linkTrack,
+			FSOp{Kind: FSSymlink, Path: path.Join(linkDir, name), Target: MakeLinkTarget(pn, subRoot)})
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return 0, localfs.Attr{}, total, err
+		}
+	}
+
+	place := Place{Node: target, Name: pn, Store: subRoot}
+	vpath := path.Join(parent.vpath, name)
+	n.cachePut(vpath, place)
+	vh := m.insert(&ventry{
+		vpath:    vpath,
+		kind:     localfs.TypeDir,
+		node:     target,
+		fh:       fh,
+		physPath: subRoot,
+		pn:       pn,
+		root:     subRoot,
+		place:    place,
+	})
+	return vh, attr, total, nil
+}
+
+// Readdir lists a virtual directory: physical entries minus Kosha-internal
+// names, with special links reported as the directories they stand for
+// (Section 3.3: the link's name "helps Kosha list the directory contents of
+// the parent directory").
+func (m *Mount) Readdir(dir VH) ([]DirEntry, simnet.Cost, error) {
+	de, err := m.entry(dir)
+	if err != nil {
+		return nil, m.n.cfg.InterposeCost, err
+	}
+	if de.place.VRoot {
+		return m.readdirRoot()
+	}
+	var out []DirEntry
+	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+		ents, c, err := m.n.nfsc.ReaddirAll(de.node, de.fh, 256)
+		if err != nil {
+			return c, err
+		}
+		out = out[:0]
+		for _, e := range ents {
+			entry, ok, c2 := m.virtualizeEntry(de, e)
+			c = simnet.Seq(c, c2)
+			if ok {
+				out = append(out, entry)
+			}
+		}
+		return c, nil
+	})
+	return out, cost, err
+}
+
+// virtualizeEntry maps a physical directory entry to its virtual form.
+func (m *Mount) virtualizeEntry(de *ventry, e nfs.DirEntry) (DirEntry, bool, simnet.Cost) {
+	if Hidden(e.Name) {
+		return DirEntry{}, false, 0
+	}
+	if e.Type == localfs.TypeSymlink {
+		target, c, err := m.n.readLink(de.node, path.Join(de.physPath, e.Name))
+		if err == nil {
+			if _, _, ok := ParseLinkTarget(target); ok {
+				return DirEntry{Name: e.Name, Type: localfs.TypeDir}, true, c
+			}
+		}
+		return DirEntry{Name: e.Name, Type: localfs.TypeSymlink}, true, c
+	}
+	return DirEntry{Name: e.Name, Type: e.Type}, true, 0
+}
+
+// readdirRoot lists the virtual root: "the /kosha/$USER directory actually
+// corresponds to the union of the /kosha_store/$USER directories on all
+// nodes" (Section 3) — the root listing is the union of store roots.
+func (m *Mount) readdirRoot() ([]DirEntry, simnet.Cost, error) {
+	total := m.n.cfg.InterposeCost
+	seen := make(map[string]localfs.FileType)
+	nodes := []simnet.Addr{m.n.addr}
+	for _, p := range m.n.overlay.Known() {
+		nodes = append(nodes, p.Addr)
+	}
+	for _, addr := range nodes {
+		rootH, c, err := m.n.rootHandle(addr)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			continue
+		}
+		ents, c, err := m.n.nfsc.ReaddirAll(addr, rootH, 256)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if Hidden(e.Name) {
+				continue
+			}
+			if _, dup := seen[e.Name]; dup {
+				continue
+			}
+			// Root entries are directories (real or via special link).
+			seen[e.Name] = localfs.TypeDir
+		}
+	}
+	// The union is advisory: a node that fell out of a key's replica set
+	// can still hold a stale copy of a deleted directory, so each name is
+	// validated against authoritative resolution before it is listed.
+	out := make([]DirEntry, 0, len(seen))
+	for name, typ := range seen {
+		if _, _, c, err := m.materialize("/" + name); err != nil {
+			total = simnet.Seq(total, c)
+			continue
+		} else {
+			total = simnet.Seq(total, c)
+		}
+		out = append(out, DirEntry{Name: name, Type: typ})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, total, nil
+}
+
+// Remove unlinks a file or user symlink (Section 4.1.5): the RPC is
+// forwarded to the primary, which removes all replica instances.
+func (m *Mount) Remove(dir VH, name string) (simnet.Cost, error) {
+	return m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+		if de.place.VRoot {
+			return 0, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
+		}
+		phys := path.Join(de.physPath, name)
+		_, attr, c, err := m.n.remoteLookupPath(de.node, phys)
+		if err != nil {
+			return c, err
+		}
+		if attr.Type == localfs.TypeDir {
+			return c, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
+		}
+		if attr.Type == localfs.TypeSymlink {
+			target, c2, err := m.n.readLink(de.node, phys)
+			c = simnet.Seq(c, c2)
+			if err == nil {
+				if _, _, ok := ParseLinkTarget(target); ok {
+					return c, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
+				}
+			}
+		}
+		_, _, c2, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+			FSOp{Kind: FSRemove, Path: phys})
+		return simnet.Seq(c, c2), err
+	})
+}
+
+// Rmdir removes an empty directory, pruning scaffolding and special links
+// for distributed directories (Section 4.1.5).
+func (m *Mount) Rmdir(dir VH, name string) (simnet.Cost, error) {
+	return m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+		depth := len(SplitVirtual(de.vpath)) + 1
+		if depth <= m.n.cfg.DistributionLevel || de.place.VRoot {
+			return m.rmdirDistributed(de, name)
+		}
+		phys := path.Join(de.physPath, name)
+		_, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+			FSOp{Kind: FSRmdir, Path: phys})
+		return c, err
+	})
+}
+
+func (m *Mount) rmdirDistributed(parent *ventry, name string) (simnet.Cost, error) {
+	n := m.n
+	var total simnet.Cost
+	vpath := path.Join(parent.vpath, name)
+
+	// Locate the child and verify virtual emptiness.
+	child, _, c, err := m.materialize(vpath)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	if child.kind != localfs.TypeDir {
+		return total, &nfs.Error{Proc: nfs.ProcRmdir, Status: nfs.ErrNotDir}
+	}
+	ents, c, err := n.nfsc.ReaddirAll(child.node, child.fh, 256)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	for _, e := range ents {
+		if !Hidden(e.Name) {
+			return total, &nfs.Error{Proc: nfs.ProcRmdir, Status: nfs.ErrNotEmpty}
+		}
+	}
+
+	// Remove the hierarchy on its node (and replicas), pruning empty
+	// scaffolding above it.
+	_, _, c, err = n.apply(child.node, Key(child.pn), Track{PN: child.pn, Root: child.root},
+		FSOp{Kind: FSRemoveAll, Path: child.root, Prune: true})
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+
+	// Remove the special link from the parent, if one exists.
+	var linkNode simnet.Addr
+	var linkDir string
+	linkKey := Key(name)
+	var linkTrack Track
+	if parent.place.VRoot {
+		res, c, rerr := n.route(Key(name))
+		total = simnet.Seq(total, c)
+		if rerr != nil {
+			return total, rerr
+		}
+		linkNode, linkDir = res.Node.Addr, "/"
+		linkTrack = Track{PN: name, Link: path.Join("/", name)}
+	} else {
+		linkNode, linkDir = parent.node, parent.physPath
+		linkKey = Key(parent.pn)
+		linkTrack = Track{PN: parent.pn, Root: parent.root}
+	}
+	if !(parent.place.VRoot && child.root == "/"+name) {
+		linkPath := path.Join(linkDir, name)
+		if _, attr, c, lerr := n.remoteLookupPath(linkNode, linkPath); lerr == nil && attr.Type == localfs.TypeSymlink {
+			total = simnet.Seq(total, c)
+			_, _, c2, derr := n.apply(linkNode, linkKey, linkTrack, FSOp{Kind: FSRemove, Path: linkPath})
+			total = simnet.Seq(total, c2)
+			if derr != nil {
+				return total, derr
+			}
+		} else {
+			total = simnet.Seq(total, c)
+		}
+	}
+	n.cacheDrop(vpath)
+	return total, nil
+}
+
+// Rename renames an entry (Section 4.1.4). Renames within one stored
+// hierarchy are a single forwarded NFS rename (mirrored to replicas).
+// Renaming a distributed directory, or across hierarchies, is "equivalent
+// to a copy to a new location followed by a delete of the old location".
+func (m *Mount) Rename(srcDir VH, srcName string, dstDir VH, dstName string) (simnet.Cost, error) {
+	total := m.n.cfg.InterposeCost
+	if err := ValidName(dstName); err != nil {
+		return total, err
+	}
+	sde, err := m.entry(srcDir)
+	if err != nil {
+		return total, err
+	}
+	dde, err := m.entry(dstDir)
+	if err != nil {
+		return total, err
+	}
+	srcDepth := len(SplitVirtual(sde.vpath)) + 1
+	srcDistributed := srcDepth <= m.n.cfg.DistributionLevel
+
+	if !srcDistributed && sde.node == dde.node && sde.root == dde.root {
+		c, err := m.withFailover(srcDir, func(de *ventry) (simnet.Cost, error) {
+			_, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+				FSOp{
+					Kind:  FSRename,
+					Path:  path.Join(sde.physPath, srcName),
+					Path2: path.Join(dde.physPath, dstName),
+				})
+			return c, err
+		})
+		m.dropCachesUnder(path.Join(sde.vpath, srcName))
+		return simnet.Seq(total, c), err
+	}
+
+	// Cheap rename of a distributed directory within the same parent
+	// (Section 4.1.4): "the rename is achieved by renaming the link ...
+	// The target of the link needs not be changed" — the subtree stays
+	// where its placement name hashes; only the name users see moves.
+	if srcDistributed && sde.vpath == dde.vpath {
+		c, ok, err := m.renameDistributedLink(sde, srcName, dstName)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return total, err
+		}
+		if ok {
+			m.dropCachesUnder(path.Join(sde.vpath, srcName))
+			m.dropCachesUnder(path.Join(sde.vpath, dstName))
+			return total, nil
+		}
+	}
+
+	// Copy-then-delete across hierarchies or for unredirected level-1
+	// directories, whose placement is their visible name ("renaming of
+	// distributed subdirectories ... is equivalent to a copy ... followed
+	// by a delete").
+	c, err := m.copyTree(srcDir, srcName, dstDir, dstName)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	srcVH, _, c, err := m.Lookup(srcDir, srcName)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	sattr, c, err := m.Getattr(srcVH)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	if sattr.Type == localfs.TypeDir {
+		c, err = m.RemoveAllPath(path.Join(sde.vpath, srcName))
+	} else {
+		c, err = m.Remove(srcDir, srcName)
+	}
+	total = simnet.Seq(total, c)
+	m.forget(srcVH)
+	return total, err
+}
+
+// renameDistributedLink renames a distributed directory cheaply (Section
+// 4.1.4): its storage relocates LOCALLY on its node to a fresh root (the
+// placement name — and hence the node — is unchanged, so no data crosses
+// the network) and the special link is rewritten under the new name.
+// ok=false means the cheap path does not apply (an unredirected level-1
+// home, whose placement IS its name) and the caller must copy-and-delete.
+func (m *Mount) renameDistributedLink(parent *ventry, srcName, dstName string) (simnet.Cost, bool, error) {
+	n := m.n
+	var total simnet.Cost
+	child, _, c, err := m.materialize(path.Join(parent.vpath, srcName))
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, false, err
+	}
+	if child.kind != localfs.TypeDir {
+		return total, false, nil
+	}
+	// Destination must not exist.
+	if _, _, c, err := m.materialize(path.Join(parent.vpath, dstName)); err == nil {
+		return simnet.Seq(total, c), false, &nfs.Error{Proc: nfs.ProcRename, Status: nfs.ErrExist}
+	} else {
+		total = simnet.Seq(total, c)
+		if !nfs.IsStatus(err, nfs.ErrNoEnt) && !nfs.IsStatus(err, nfs.ErrNotDir) {
+			return total, false, err
+		}
+	}
+
+	if parent.place.VRoot && child.root == "/"+srcName {
+		// Unredirected level-1 home: no link exists; placement is the
+		// visible name, so a rename must move the data (copy + delete).
+		return total, false, nil
+	}
+
+	// 1. Relocate the hierarchy to a fresh storage root on its own node —
+	// a local rename, no data crosses the network. Stale resolver caches
+	// for the old virtual name now dangle instead of aliasing the
+	// renamed directory.
+	newRoot := n.newStoreRoot(child.pn)
+	_, _, c, err = n.apply(child.node, Key(child.pn),
+		Track{PN: child.pn, Root: newRoot},
+		FSOp{Kind: FSRename, Path: child.root, Path2: newRoot})
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, false, err
+	}
+	target := MakeLinkTarget(child.pn, newRoot)
+
+	// 2. Replace the link: remove the old name, create the new one.
+	if !parent.place.VRoot {
+		pt := Track{PN: parent.pn, Root: parent.root}
+		if _, _, c, err := n.apply(parent.node, Key(parent.pn), pt,
+			FSOp{Kind: FSRemove, Path: path.Join(parent.physPath, srcName)}); err != nil {
+			return simnet.Seq(total, c), false, err
+		} else {
+			total = simnet.Seq(total, c)
+		}
+		_, _, c, err := n.apply(parent.node, Key(parent.pn), pt,
+			FSOp{Kind: FSSymlink, Path: path.Join(parent.physPath, dstName), Target: target})
+		total = simnet.Seq(total, c)
+		return total, err == nil, err
+	}
+
+	// Level 1: the link moves between the old and new names' hash targets.
+	newRes, c, err := n.route(Key(dstName))
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, false, err
+	}
+	_, _, c, err = n.apply(newRes.Node.Addr, Key(dstName),
+		Track{PN: dstName, Link: path.Join("/", dstName)},
+		FSOp{Kind: FSSymlink, Path: path.Join("/", dstName), Target: target})
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, false, err
+	}
+	oldRes, c, err := n.route(Key(srcName))
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, false, err
+	}
+	_, _, c, err = n.apply(oldRes.Node.Addr, Key(srcName),
+		Track{PN: srcName, Link: path.Join("/", srcName)},
+		FSOp{Kind: FSRemove, Path: path.Join("/", srcName)})
+	total = simnet.Seq(total, c)
+	return total, err == nil, err
+}
+
+// copyTree recursively copies srcDir/srcName to dstDir/dstName via client
+// operations.
+func (m *Mount) copyTree(srcDir VH, srcName string, dstDir VH, dstName string) (simnet.Cost, error) {
+	var total simnet.Cost
+	srcVH, sattr, c, err := m.Lookup(srcDir, srcName)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	defer m.forget(srcVH)
+	switch sattr.Type {
+	case localfs.TypeRegular:
+		dstVH, _, c, err := m.Create(dstDir, dstName, sattr.Mode, false)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return total, err
+		}
+		defer m.forget(dstVH)
+		const chunk = 1 << 20
+		for off := int64(0); ; {
+			data, eof, c, err := m.Read(srcVH, off, chunk)
+			total = simnet.Seq(total, c)
+			if err != nil {
+				return total, err
+			}
+			if len(data) > 0 {
+				_, c, err = m.Write(dstVH, off, data)
+				total = simnet.Seq(total, c)
+				if err != nil {
+					return total, err
+				}
+				off += int64(len(data))
+			}
+			if eof {
+				return total, nil
+			}
+		}
+	case localfs.TypeSymlink:
+		target, c, err := m.Readlink(srcVH)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return total, err
+		}
+		vh, c, err := m.Symlink(dstDir, dstName, target)
+		total = simnet.Seq(total, c)
+		m.forget(vh)
+		return total, err
+	case localfs.TypeDir:
+		dstVH, _, c, err := m.Mkdir(dstDir, dstName, sattr.Mode)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return total, err
+		}
+		defer m.forget(dstVH)
+		ents, c, err := m.Readdir(srcVH)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return total, err
+		}
+		for _, e := range ents {
+			c, err := m.copyTree(srcVH, e.Name, dstVH, e.Name)
+			total = simnet.Seq(total, c)
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	default:
+		return total, &nfs.Error{Proc: nfs.ProcRename, Status: nfs.ErrInval}
+	}
+}
+
+// --- path-level conveniences for applications and experiments ---
+
+// LookupPath resolves a whole virtual path to a handle.
+func (m *Mount) LookupPath(vpath string) (VH, localfs.Attr, simnet.Cost, error) {
+	total := m.n.cfg.InterposeCost
+	de, attr, cost, err := m.materializeRetry(vpath)
+	total = simnet.Seq(total, cost)
+	if err != nil {
+		return 0, localfs.Attr{}, total, err
+	}
+	if de.place.VRoot {
+		return RootVH, attr, total, nil
+	}
+	return m.insert(de), attr, total, nil
+}
+
+// MkdirAll creates a directory path and any missing ancestors.
+func (m *Mount) MkdirAll(vpath string) (VH, simnet.Cost, error) {
+	parts := SplitVirtual(vpath)
+	var total simnet.Cost
+	cur := m.Root()
+	for i, name := range parts {
+		next, _, c, err := m.Lookup(cur, name)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			if !nfs.IsStatus(err, nfs.ErrNoEnt) {
+				return 0, total, err
+			}
+			next, _, c, err = m.Mkdir(cur, name, 0o755)
+			total = simnet.Seq(total, c)
+			if err != nil {
+				return 0, total, err
+			}
+		}
+		if i > 0 && cur != m.Root() {
+			m.forget(cur)
+		}
+		cur = next
+	}
+	return cur, total, nil
+}
+
+// WriteFile creates (or truncates) a file at a virtual path and writes data.
+func (m *Mount) WriteFile(vpath string, data []byte) (simnet.Cost, error) {
+	dir, base := path.Split(path.Clean("/" + vpath))
+	dirVH, total, err := m.MkdirAll(dir)
+	if err != nil {
+		return total, err
+	}
+	fvh, _, c, err := m.Create(dirVH, base, 0o644, false)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	defer m.forget(fvh)
+	_, c, err = m.Write(fvh, 0, data)
+	return simnet.Seq(total, c), err
+}
+
+// ReadFile reads a whole file at a virtual path.
+func (m *Mount) ReadFile(vpath string) ([]byte, simnet.Cost, error) {
+	vh, attr, total, err := m.LookupPath(vpath)
+	if err != nil {
+		return nil, total, err
+	}
+	defer m.forget(vh)
+	data, _, c, err := m.Read(vh, 0, int(attr.Size))
+	return data, simnet.Seq(total, c), err
+}
+
+// RemoveAllPath recursively removes a virtual subtree.
+func (m *Mount) RemoveAllPath(vpath string) (simnet.Cost, error) {
+	parts := SplitVirtual(vpath)
+	if len(parts) == 0 {
+		return 0, &nfs.Error{Proc: nfs.ProcRmdir, Status: nfs.ErrInval}
+	}
+	parentVH, _, total, err := m.LookupPath(JoinVirtual(parts[:len(parts)-1]))
+	if err != nil {
+		return total, err
+	}
+	defer m.forget(parentVH)
+	c, err := m.removeAllIn(parentVH, parts[len(parts)-1])
+	return simnet.Seq(total, c), err
+}
+
+func (m *Mount) removeAllIn(dir VH, name string) (simnet.Cost, error) {
+	vh, attr, total, err := m.Lookup(dir, name)
+	if err != nil {
+		if nfs.IsStatus(err, nfs.ErrNoEnt) {
+			return total, nil
+		}
+		return total, err
+	}
+	if attr.Type != localfs.TypeDir {
+		m.forget(vh)
+		c, err := m.Remove(dir, name)
+		return simnet.Seq(total, c), err
+	}
+	ents, c, err := m.Readdir(vh)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		m.forget(vh)
+		return total, err
+	}
+	for _, e := range ents {
+		c, err := m.removeAllIn(vh, e.Name)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			m.forget(vh)
+			return total, err
+		}
+	}
+	m.forget(vh)
+	c, err = m.Rmdir(dir, name)
+	return simnet.Seq(total, c), err
+}
+
+// ClusterStat aggregates contributed-space accounting across every node
+// this mount's koshad knows about — the "single large storage" view the
+// paper's introduction promises (unused desktop space harvested into one
+// shared file system).
+type ClusterStat struct {
+	Nodes      int
+	TotalBytes int64 // sum of contributed capacities (0 entries = unlimited)
+	UsedBytes  int64
+	Files      int64 // file copies stored, replicas included
+	Unlimited  int   // nodes contributing without a cap
+}
+
+// Statfs sums FSSTAT over the local node and every known peer.
+func (m *Mount) Statfs() (ClusterStat, simnet.Cost, error) {
+	total := m.n.cfg.InterposeCost
+	var out ClusterStat
+	nodes := []simnet.Addr{m.n.addr}
+	for _, p := range m.n.overlay.Known() {
+		nodes = append(nodes, p.Addr)
+	}
+	for _, addr := range nodes {
+		rootH, c, err := m.n.rootHandle(addr)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			continue
+		}
+		st, c, err := m.n.nfsc.FSStat(addr, rootH)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			continue
+		}
+		out.Nodes++
+		out.UsedBytes += st.UsedBytes
+		out.Files += st.Files
+		if st.TotalBytes == 0 {
+			out.Unlimited++
+		} else {
+			out.TotalBytes += st.TotalBytes
+		}
+	}
+	return out, total, nil
+}

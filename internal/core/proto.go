@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/localfs"
+	"repro/internal/nfs"
+	"repro/internal/wire"
+)
+
+// KoshaService is the simnet service name for koshad-to-koshad RPCs: the
+// interposed mutation path (apply-at-primary with replica fan-out, Section
+// 4.2) and the replica-maintenance traffic (Section 4.3).
+const KoshaService = "kosha"
+
+// kosha service procedure numbers.
+const (
+	kApply    = 1 // execute an FS op at the primary; primary fans out
+	kMirror   = 2 // execute an FS op at a replica; no fan-out
+	kStatTree = 3 // summarize a subtree (existence, files, bytes, flag)
+	kUntrack  = 4 // drop root-tracking metadata for a removed subtree
+	kPromote  = 5 // move a replica-area copy to the primary path
+	kReplicas = 6 // report the primary's current replica holders for a key
+)
+
+// kosha reply codes beyond NFS statuses.
+const (
+	codeOK         = 0
+	codeNotPrimary = 1 // receiver no longer owns the key; caller re-resolves
+	codeNFSBase    = 100
+)
+
+// ErrNotPrimary signals that the contacted node is not the current primary
+// replica for the key; the caller must re-resolve through the overlay.
+var ErrNotPrimary = errors.New("kosha: node is not the primary replica for key")
+
+// procKosha is the pseudo-procedure used when a kosha-service reply carries
+// an NFS status (the mutation executed through the store rather than an NFS
+// RPC proper).
+const procKosha = nfs.Proc(200)
+
+// FSOpKind enumerates the path-based store mutations replicated to mirrors.
+type FSOpKind uint32
+
+const (
+	FSMkdirAll FSOpKind = iota + 1
+	FSMkdir             // strict: fails if the directory exists
+	FSCreate
+	FSWrite
+	FSSetattr
+	FSRemove
+	FSRmdir
+	FSRemoveAll // recursive removal (migration resync, forced deletes)
+	FSRename
+	FSSymlink
+	FSWriteFile // create-or-truncate plus full contents, used by migration
+)
+
+func (k FSOpKind) String() string {
+	switch k {
+	case FSMkdirAll:
+		return "mkdirall"
+	case FSCreate:
+		return "create"
+	case FSWrite:
+		return "write"
+	case FSSetattr:
+		return "setattr"
+	case FSRemove:
+		return "remove"
+	case FSRmdir:
+		return "rmdir"
+	case FSMkdir:
+		return "mkdir"
+	case FSRemoveAll:
+		return "removeall"
+	case FSRename:
+		return "rename"
+	case FSSymlink:
+		return "symlink"
+	case FSWriteFile:
+		return "writefile"
+	default:
+		return fmt.Sprintf("fsop(%d)", uint32(k))
+	}
+}
+
+// FSOp is one path-based store mutation. Path/Path2 are physical store
+// paths. The same structure is executed at the primary (Apply) and shipped
+// verbatim to replicas (Mirror), which keeps replica stores byte-identical
+// mirrors of the primary's hierarchy (Section 4.2).
+type FSOp struct {
+	Kind    FSOpKind
+	Path    string
+	Path2   string // rename destination
+	Data    []byte // write / writefile payload
+	Offset  int64
+	Mode    uint32
+	Excl    bool
+	Target  string // symlink target
+	SetAttr localfs.SetAttr
+	Prune   bool // rmdir/remove: prune empty scaffolding above
+}
+
+func putFSOp(e *wire.Encoder, op FSOp) {
+	e.PutUint32(uint32(op.Kind))
+	e.PutString(op.Path)
+	e.PutString(op.Path2)
+	e.PutOpaque(op.Data)
+	e.PutInt64(op.Offset)
+	e.PutUint32(op.Mode)
+	e.PutBool(op.Excl)
+	e.PutString(op.Target)
+	putSetAttr(e, op.SetAttr)
+	e.PutBool(op.Prune)
+}
+
+func getFSOp(d *wire.Decoder) FSOp {
+	var op FSOp
+	op.Kind = FSOpKind(d.Uint32())
+	op.Path = d.String()
+	op.Path2 = d.String()
+	op.Data = d.Opaque()
+	op.Offset = d.Int64()
+	op.Mode = d.Uint32()
+	op.Excl = d.Bool()
+	op.Target = d.String()
+	op.SetAttr = getSetAttr(d)
+	op.Prune = d.Bool()
+	return op
+}
+
+// setattr encoding mirrors internal/nfs's field-presence mask.
+const (
+	saMode = 1 << iota
+	saUID
+	saGID
+	saSize
+	saMtime
+	saAtime
+)
+
+func putSetAttr(e *wire.Encoder, sa localfs.SetAttr) {
+	var mask uint32
+	if sa.Mode != nil {
+		mask |= saMode
+	}
+	if sa.UID != nil {
+		mask |= saUID
+	}
+	if sa.GID != nil {
+		mask |= saGID
+	}
+	if sa.Size != nil {
+		mask |= saSize
+	}
+	if sa.Mtime != nil {
+		mask |= saMtime
+	}
+	if sa.Atime != nil {
+		mask |= saAtime
+	}
+	e.PutUint32(mask)
+	if sa.Mode != nil {
+		e.PutUint32(*sa.Mode)
+	}
+	if sa.UID != nil {
+		e.PutUint32(*sa.UID)
+	}
+	if sa.GID != nil {
+		e.PutUint32(*sa.GID)
+	}
+	if sa.Size != nil {
+		e.PutInt64(*sa.Size)
+	}
+	if sa.Mtime != nil {
+		e.PutInt64(sa.Mtime.UnixNano())
+	}
+	if sa.Atime != nil {
+		e.PutInt64(sa.Atime.UnixNano())
+	}
+}
+
+func getSetAttr(d *wire.Decoder) localfs.SetAttr {
+	var sa localfs.SetAttr
+	mask := d.Uint32()
+	if mask&saMode != 0 {
+		v := d.Uint32()
+		sa.Mode = &v
+	}
+	if mask&saUID != 0 {
+		v := d.Uint32()
+		sa.UID = &v
+	}
+	if mask&saGID != 0 {
+		v := d.Uint32()
+		sa.GID = &v
+	}
+	if mask&saSize != 0 {
+		v := d.Int64()
+		sa.Size = &v
+	}
+	if mask&saMtime != 0 {
+		v := time.Unix(0, d.Int64())
+		sa.Mtime = &v
+	}
+	if mask&saAtime != 0 {
+		v := time.Unix(0, d.Int64())
+		sa.Atime = &v
+	}
+	return sa
+}
+
+// Track carries subtree-ownership metadata alongside mutations so replicas
+// know which hierarchies they hold and for which keys, enabling them to act
+// when they are promoted to primary (Section 4.4). Ver is the subtree's
+// mutation counter: the primary bumps it on every apply, replicas record
+// the value shipped with each mirror, and replica maintenance uses it to
+// tell a fresh copy from one left behind by an old membership — higher
+// version wins.
+type Track struct {
+	PN   string // controlling placement name; Key(PN) is the DHT key
+	Root string // physical path of the replicated hierarchy root
+	Link string // for level-1 special links: the link's name ("" if none)
+	Ver  uint64 // subtree mutation counter
+	Dead bool   // tombstone: the hierarchy was deleted at this version
+}
+
+func putTrack(e *wire.Encoder, t Track) {
+	e.PutString(t.PN)
+	e.PutString(t.Root)
+	e.PutString(t.Link)
+	e.PutUint64(t.Ver)
+	e.PutBool(t.Dead)
+}
+
+func getTrack(d *wire.Decoder) Track {
+	return Track{PN: d.String(), Root: d.String(), Link: d.String(), Ver: d.Uint64(), Dead: d.Bool()}
+}
+
+// applyReq is the body of kApply and kMirror. Primary marks a mirror that
+// must land in the receiver's primary namespace rather than the replica
+// area: migration pushes to a key's new owner, whose copy must be directly
+// servable (Section 4.3.1).
+type applyReq struct {
+	Key     id.ID // DHT key the primary must own (kApply only)
+	Track   Track
+	Op      FSOp
+	Primary bool
+}
+
+func (r *applyReq) encode(e *wire.Encoder) {
+	e.PutFixedOpaque(r.Key[:])
+	putTrack(e, r.Track)
+	putFSOp(e, r.Op)
+	e.PutBool(r.Primary)
+}
+
+func decodeApplyReq(d *wire.Decoder) applyReq {
+	var r applyReq
+	d.FixedOpaque(r.Key[:])
+	r.Track = getTrack(d)
+	r.Op = getFSOp(d)
+	r.Primary = d.Bool()
+	return r
+}
+
+// applyReply carries the result of an Apply/Mirror.
+type applyReply struct {
+	Code uint32
+	Attr localfs.Attr
+	FH   nfs.Handle
+}
+
+// TreeStat summarizes a replicated hierarchy for cheap divergence checks
+// during replica maintenance.
+type TreeStat struct {
+	Exists bool
+	Files  int64
+	Dirs   int64
+	Bytes  int64
+	Flag   bool   // MIGRATION_NOT_COMPLETE present
+	Ver    uint64 // the holder's recorded mutation counter for the root
+}
+
+// Same reports whether two summaries describe equivalent, settled trees.
+func (t TreeStat) Same(o TreeStat) bool {
+	return t.Exists == o.Exists && !t.Flag && !o.Flag &&
+		t.Files == o.Files && t.Dirs == o.Dirs && t.Bytes == o.Bytes
+}
+
+func codeToError(code uint32) error {
+	switch code {
+	case codeOK:
+		return nil
+	case codeNotPrimary:
+		return ErrNotPrimary
+	default:
+		return &nfs.Error{Proc: procKosha, Status: nfs.Status(code - codeNFSBase)}
+	}
+}

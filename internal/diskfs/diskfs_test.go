@@ -1,0 +1,88 @@
+package diskfs
+
+import (
+	"testing"
+
+	"repro/internal/fstest"
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+)
+
+func factory(t *testing.T, capacity int64) localfs.FileSystem {
+	t.Helper()
+	f, err := Open(t.TempDir(), capacity, simnet.Disk7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConformance(t *testing.T) {
+	fstest.Run(t, factory)
+}
+
+// TestReopenPreservesState is what the on-disk backend exists for: a
+// koshad restart finds its contributed data (and accounting) intact.
+func TestReopenPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	f1, err := Open(dir, 1<<20, simnet.Disk7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.WriteFile("/alice/notes.txt", []byte("persist me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.WriteFile("/alice/deep/tree/f", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f1.Symlink(localfs.RootIno, "lnk", "alice#deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := Open(dir, 1<<20, simnet.Disk7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f2.ReadFile("/alice/notes.txt")
+	if err != nil || string(data) != "persist me" {
+		t.Fatalf("reopen read: %q err=%v", data, err)
+	}
+	if f2.NumFiles() != 2 {
+		t.Fatalf("reopen files = %d", f2.NumFiles())
+	}
+	want := int64(len("persist me") + 5 + len("alice#deadbeef"))
+	if f2.Used() != want {
+		t.Fatalf("reopen used = %d, want %d", f2.Used(), want)
+	}
+	a, err := f2.LookupPath("/lnk")
+	if err != nil || a.Type != localfs.TypeSymlink {
+		t.Fatalf("reopen symlink: %+v err=%v", a, err)
+	}
+	target, _, err := f2.Readlink(a.Ino)
+	if err != nil || target != "alice#deadbeef" {
+		t.Fatalf("reopen readlink = %q err=%v", target, err)
+	}
+}
+
+// TestKoshaNodeOnDisk runs a Kosha store operation mix against the on-disk
+// backend through the NFS server, as koshad -datadir would.
+func TestDiskBackedNFSServer(t *testing.T) {
+	f := factory(t, 0)
+	// Exercise handle-based flows that koshad uses.
+	root := localfs.RootIno
+	d, _, err := f.Mkdir(root, "store", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := f.Create(d.Ino, "obj", 0o644, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Write(a.Ino, 0, make([]byte, 100_000)); err != nil {
+		t.Fatal(err)
+	}
+	data, eof, _, err := f.Read(a.Ino, 99_000, 2000)
+	if err != nil || !eof || len(data) != 1000 {
+		t.Fatalf("tail read: %d bytes eof=%v err=%v", len(data), eof, err)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/mab"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// ScaleOptions parameterizes the overlay-size sweep, an extension beyond
+// the paper's Table 1: the paper measures 1..8 nodes and *argues* that the
+// overhead saturates ("For larger number of nodes, the additional overhead
+// increases slowly", §6.1.2's (N-1)/N analysis plus log-base-16 hops);
+// this experiment measures it.
+type ScaleOptions struct {
+	NodeCounts []int
+	Runs       int
+	Workload   mab.Config
+	Seed       uint64
+}
+
+// DefaultScaleOptions extends Table 1 to 64 nodes.
+func DefaultScaleOptions() ScaleOptions {
+	return ScaleOptions{
+		NodeCounts: []int{1, 2, 4, 8, 16, 32, 64},
+		Runs:       5,
+		Workload:   mab.Paper51MB(),
+		Seed:       9,
+	}
+}
+
+// ScaleRow is one overlay size's result.
+type ScaleRow struct {
+	Nodes    int
+	Seconds  float64
+	Overhead float64 // percent vs the NFS baseline
+}
+
+// ScaleResult carries the sweep.
+type ScaleResult struct {
+	NFSTotal float64
+	Rows     []ScaleRow
+}
+
+// RunScale executes the sweep.
+func RunScale(opts ScaleOptions) (*ScaleResult, error) {
+	w := mab.Generate(opts.Workload, opts.Seed)
+	base, err := mab.Run(mab.NewBaseline(simnet.LAN100, simnet.Disk7200), w)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScaleResult{NFSTotal: base.Total().Seconds()}
+	for _, n := range opts.NodeCounts {
+		var acc stats.Accum
+		for run := 0; run < opts.Runs; run++ {
+			c, err := cluster.New(cluster.Options{
+				Nodes:  n,
+				Seed:   opts.Seed + uint64(run)*65537,
+				Config: koshaCfg(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scale n=%d: %w", n, err)
+			}
+			r, err := mab.Run(mab.NewKoshaFS(c.Mount(0)), mab.Generate(opts.Workload, opts.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("scale n=%d run=%d: %w", n, run, err)
+			}
+			acc.Add(r.Total().Seconds())
+		}
+		res.Rows = append(res.Rows, ScaleRow{
+			Nodes:    n,
+			Seconds:  acc.Mean(),
+			Overhead: (acc.Mean()/res.NFSTotal - 1) * 100,
+		})
+	}
+	return res, nil
+}
+
+// Fprint renders the sweep.
+func (r *ScaleResult) Fprint(w io.Writer, opts ScaleOptions) {
+	fmt.Fprintf(w, "Scale sweep: MAB total vs overlay size (NFS baseline %.2fs, %d runs)\n",
+		r.NFSTotal, opts.Runs)
+	fmt.Fprintf(w, "%-8s %12s %10s\n", "nodes", "seconds", "overhead")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %12.2f %9.1f%%\n", row.Nodes, row.Seconds, row.Overhead)
+	}
+}
+
+// FprintCSV renders the sweep as nodes,seconds,overhead_pct rows.
+func (r *ScaleResult) FprintCSV(w io.Writer, opts ScaleOptions) {
+	fmt.Fprintln(w, "nodes,seconds,overhead_pct")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d,%.4f,%.2f\n", row.Nodes, row.Seconds, row.Overhead)
+	}
+}

@@ -1,0 +1,358 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashKeyDeterministic(t *testing.T) {
+	a, b := HashKey("beta"), HashKey("beta")
+	if a != b {
+		t.Fatalf("HashKey not deterministic: %v vs %v", a, b)
+	}
+	if HashKey("beta") == HashKey("gamma") {
+		t.Fatalf("distinct names hashed to the same key")
+	}
+}
+
+func TestHashKeyKnownVector(t *testing.T) {
+	// SHA-1("abc") = a9993e364706816aba3e25717850c26c9cd0d89d; key keeps 128 bits.
+	want := MustHex("a9993e364706816aba3e25717850c26c")
+	if got := HashKey("abc"); got != want {
+		t.Fatalf("HashKey(abc) = %v, want %v", got, want)
+	}
+}
+
+func TestFromHexRoundTrip(t *testing.T) {
+	cases := []string{
+		"00000000000000000000000000000000",
+		"ffffffffffffffffffffffffffffffff",
+		"0123456789abcdef0123456789abcdef",
+	}
+	for _, c := range cases {
+		v, err := FromHex(c)
+		if err != nil {
+			t.Fatalf("FromHex(%q): %v", c, err)
+		}
+		if v.String() != c {
+			t.Errorf("round trip %q -> %q", c, v.String())
+		}
+	}
+}
+
+func TestFromHexShortPadsLeft(t *testing.T) {
+	v, err := FromHex("ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != FromUint64(0xff) {
+		t.Fatalf("FromHex(ff) = %v", v)
+	}
+}
+
+func TestFromHexErrors(t *testing.T) {
+	if _, err := FromHex("zz"); err == nil {
+		t.Error("FromHex(zz) should fail")
+	}
+	if _, err := FromHex("000000000000000000000000000000000"); err == nil {
+		t.Error("FromHex of 33 digits should fail")
+	}
+}
+
+func TestAddSubIdentities(t *testing.T) {
+	a := MustHex("0123456789abcdef0123456789abcdef")
+	b := MustHex("fedcba9876543210fedcba9876543210")
+	if got := a.Add(Zero); got != a {
+		t.Errorf("a+0 = %v", got)
+	}
+	if got := a.Sub(a); got != Zero {
+		t.Errorf("a-a = %v", got)
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("(a+b)-b = %v, want %v", got, a)
+	}
+	// Wraparound: max + 1 == 0.
+	if got := MaxID.Add(FromUint64(1)); got != Zero {
+		t.Errorf("max+1 = %v, want 0", got)
+	}
+	// 0 - 1 == max.
+	if got := Zero.Sub(FromUint64(1)); got != MaxID {
+		t.Errorf("0-1 = %v, want max", got)
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	small := FromUint64(5)
+	big := FromUint64(7)
+	if small.Cmp(big) != -1 || big.Cmp(small) != 1 || small.Cmp(small) != 0 {
+		t.Fatalf("Cmp misordered")
+	}
+	if !small.Less(big) || big.Less(small) {
+		t.Fatalf("Less misordered")
+	}
+}
+
+func TestDistanceSymmetricAndMinimal(t *testing.T) {
+	a := FromUint64(10)
+	b := MaxID // distance should wrap: |a - b| circularly = 11
+	d := a.Distance(b)
+	if d != FromUint64(11) {
+		t.Fatalf("wrap distance = %v, want 11", d)
+	}
+	if a.Distance(b) != b.Distance(a) {
+		t.Fatalf("distance not symmetric")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	a, b := FromUint64(10), FromUint64(20)
+	if !Between(FromUint64(15), a, b) {
+		t.Error("15 should be in (10,20]")
+	}
+	if !Between(b, a, b) {
+		t.Error("20 should be in (10,20]")
+	}
+	if Between(a, a, b) {
+		t.Error("10 should not be in (10,20]")
+	}
+	if Between(FromUint64(25), a, b) {
+		t.Error("25 should not be in (10,20]")
+	}
+	// Wrapping arc (20, 10].
+	if !Between(FromUint64(5), b, a) {
+		t.Error("5 should be in wrapping (20,10]")
+	}
+	if !Between(MaxID, b, a) {
+		t.Error("max should be in wrapping (20,10]")
+	}
+	if Between(FromUint64(15), b, a) {
+		t.Error("15 should not be in wrapping (20,10]")
+	}
+	// Degenerate full arc.
+	if !Between(FromUint64(99), a, a) || Between(a, a, a) {
+		t.Error("full-arc convention violated")
+	}
+}
+
+func TestDigitExtraction(t *testing.T) {
+	v := MustHex("0123456789abcdef0123456789abcdef")
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf}
+	for i := 0; i < 16; i++ {
+		if got := v.Digit(i); got != want[i] {
+			t.Errorf("digit %d = %x, want %x", i, got, want[i])
+		}
+		if got := v.Digit(i + 16); got != want[i] {
+			t.Errorf("digit %d = %x, want %x", i+16, got, want[i])
+		}
+	}
+}
+
+func TestDigitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Zero.Digit(Digits)
+}
+
+func TestWithDigit(t *testing.T) {
+	v := Zero
+	for i := 0; i < Digits; i++ {
+		v = v.WithDigit(i, 0xf)
+	}
+	if v != MaxID {
+		t.Fatalf("setting all digits to f gave %v", v)
+	}
+	u := MaxID.WithDigit(0, 0)
+	if u.Digit(0) != 0 || u.Digit(1) != 0xf {
+		t.Fatalf("WithDigit(0,0) gave %v", u)
+	}
+}
+
+func TestSharedPrefixLen(t *testing.T) {
+	a := MustHex("abcd0000000000000000000000000000")
+	b := MustHex("abce0000000000000000000000000000")
+	if got := SharedPrefixLen(a, b); got != 3 {
+		t.Fatalf("SharedPrefixLen = %d, want 3", got)
+	}
+	if got := SharedPrefixLen(a, a); got != Digits {
+		t.Fatalf("self prefix = %d, want %d", got, Digits)
+	}
+	c := MustHex("1bcd0000000000000000000000000000")
+	if got := SharedPrefixLen(a, c); got != 0 {
+		t.Fatalf("prefix = %d, want 0", got)
+	}
+}
+
+func TestClosest(t *testing.T) {
+	key := FromUint64(100)
+	cands := []ID{FromUint64(90), FromUint64(105), FromUint64(200)}
+	best, ok := Closest(key, cands)
+	if !ok || best != FromUint64(105) {
+		t.Fatalf("Closest = %v ok=%v, want 105", best, ok)
+	}
+	// Tie: 95 and 105 are both 5 away; smaller id wins.
+	best, _ = Closest(key, []ID{FromUint64(105), FromUint64(95)})
+	if best != FromUint64(95) {
+		t.Fatalf("tie break = %v, want 95", best)
+	}
+	if _, ok := Closest(key, nil); ok {
+		t.Fatal("Closest of empty set should report !ok")
+	}
+}
+
+func TestRand128Deterministic(t *testing.T) {
+	s1, s2 := uint64(42), uint64(42)
+	for i := 0; i < 10; i++ {
+		if Rand128(&s1) != Rand128(&s2) {
+			t.Fatal("Rand128 not reproducible per seed")
+		}
+	}
+	s3 := uint64(43)
+	if a, b := Rand128(&s1), Rand128(&s3); a == b {
+		t.Fatal("different seeds produced equal streams")
+	}
+}
+
+func TestShortAndString(t *testing.T) {
+	v := MustHex("0123456789abcdef0123456789abcdef")
+	if v.Short() != "01234567" {
+		t.Fatalf("Short = %q", v.Short())
+	}
+	if len(v.String()) != 32 {
+		t.Fatalf("String len = %d", len(v.String()))
+	}
+}
+
+// --- property-based tests ---
+
+func randID(r *rand.Rand) ID {
+	var v ID
+	r.Read(v[:])
+	return v
+}
+
+func TestPropAddSubInverse(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		return x.Add(y).Sub(y) == x && x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		return x.Add(y) == y.Add(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDistanceBounds(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		d := x.Distance(y)
+		// Symmetric, zero iff equal, and never exceeds half the ring.
+		if d != y.Distance(x) {
+			return false
+		}
+		if (d == Zero) != (x == y) {
+			return false
+		}
+		return !Half.Less(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDigitsRoundTrip(t *testing.T) {
+	f := func(a [16]byte) bool {
+		x := ID(a)
+		v := Zero
+		for i := 0; i < Digits; i++ {
+			v = v.WithDigit(i, x.Digit(i))
+		}
+		return v == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSharedPrefixConsistent(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		n := SharedPrefixLen(x, y)
+		for i := 0; i < n; i++ {
+			if x.Digit(i) != y.Digit(i) {
+				return false
+			}
+		}
+		if n < Digits && x.Digit(n) == y.Digit(n) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBetweenPartition(t *testing.T) {
+	// For distinct a != b, every x != a, x != b lies in exactly one of
+	// (a, b] and (b, a].
+	f := func(xa, aa, ba [16]byte) bool {
+		x, a, b := ID(xa), ID(aa), ID(ba)
+		if a == b || x == a || x == b {
+			return true
+		}
+		in1, in2 := Between(x, a, b), Between(x, b, a)
+		return in1 != in2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropClosestIsMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		key := randID(r)
+		n := 1 + r.Intn(20)
+		cands := make([]ID, n)
+		for i := range cands {
+			cands[i] = randID(r)
+		}
+		best, ok := Closest(key, cands)
+		if !ok {
+			t.Fatal("no winner for non-empty candidates")
+		}
+		bd := key.Distance(best)
+		for _, c := range cands {
+			if key.Distance(c).Less(bd) {
+				t.Fatalf("candidate %v closer to %v than winner %v", c, key, best)
+			}
+		}
+	}
+}
+
+func BenchmarkHashKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HashKey("some/directory/name")
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	x := HashKey("a")
+	y := HashKey("b")
+	for i := 0; i < b.N; i++ {
+		x.Distance(y)
+	}
+}

@@ -1,0 +1,16 @@
+package localfs_test
+
+import (
+	"testing"
+
+	"repro/internal/fstest"
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+)
+
+// The in-memory store must pass the same battery as the on-disk one.
+func TestConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T, capacity int64) localfs.FileSystem {
+		return localfs.New(capacity, simnet.Disk7200)
+	})
+}

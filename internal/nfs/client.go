@@ -1,0 +1,332 @@
+package nfs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Client issues NFS RPCs from one node to another over the transport.
+// koshad uses it both to serve lookups "as if it is an NFS client of R"
+// (Section 4.1.3) and to forward interposed RPCs to remote stores.
+type Client struct {
+	Net  simnet.Caller
+	From simnet.Addr
+}
+
+// NewClient returns a client that originates calls from addr.
+func NewClient(net simnet.Caller, from simnet.Addr) *Client {
+	return &Client{Net: net, From: from}
+}
+
+// call performs one RPC and strips the status word.
+func (c *Client) call(to simnet.Addr, proc Proc, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
+	e := wire.NewEncoder(256)
+	e.PutUint32(uint32(proc))
+	if build != nil {
+		build(e)
+	}
+	resp, cost, err := c.Net.Call(c.From, to, Service, e.Bytes())
+	if err != nil {
+		return nil, cost, fmt.Errorf("nfs %s to %s: %w", proc, to, err)
+	}
+	d := wire.NewDecoder(resp)
+	st := Status(d.Uint32())
+	if d.Err() != nil {
+		return nil, cost, fmt.Errorf("nfs %s to %s: bad reply: %w", proc, to, d.Err())
+	}
+	if st != OK {
+		return nil, cost, &Error{Proc: proc, Status: st}
+	}
+	return d, cost, nil
+}
+
+// Null pings the server.
+func (c *Client) Null(to simnet.Addr) (simnet.Cost, error) {
+	_, cost, err := c.call(to, ProcNull, nil)
+	return cost, err
+}
+
+// MountRoot fetches the export's root handle (the MOUNT protocol's MNT).
+func (c *Client) MountRoot(to simnet.Addr) (Handle, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcMountRoot, nil)
+	if err != nil {
+		return Handle{}, cost, err
+	}
+	return getHandle(d), cost, nil
+}
+
+// Getattr fetches attributes for h.
+func (c *Client) Getattr(to simnet.Addr, h Handle) (localfs.Attr, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcGetattr, func(e *wire.Encoder) { putHandle(e, h) })
+	if err != nil {
+		return localfs.Attr{}, cost, err
+	}
+	return getAttr(d), cost, nil
+}
+
+// Setattr updates attributes on h.
+func (c *Client) Setattr(to simnet.Addr, h Handle, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcSetattr, func(e *wire.Encoder) {
+		putHandle(e, h)
+		putSetAttr(e, sa)
+	})
+	if err != nil {
+		return localfs.Attr{}, cost, err
+	}
+	return getAttr(d), cost, nil
+}
+
+// Lookup resolves name within directory dir.
+func (c *Client) Lookup(to simnet.Addr, dir Handle, name string) (Handle, localfs.Attr, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcLookup, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutString(name)
+	})
+	if err != nil {
+		return Handle{}, localfs.Attr{}, cost, err
+	}
+	h := getHandle(d)
+	return h, getAttr(d), cost, nil
+}
+
+// LookupPath resolves a slash-separated path relative to root with one
+// LOOKUP RPC per component, as an NFSv3 client must (the protocol has no
+// full-path lookup, Section 4.1.3). Intermediate symlinks are not followed.
+func (c *Client) LookupPath(to simnet.Addr, root Handle, p string) (Handle, localfs.Attr, simnet.Cost, error) {
+	h, attr, _, cost, err := c.LookupPathIdx(to, root, p)
+	return h, attr, cost, err
+}
+
+// LookupPathIdx is LookupPath reporting how many components resolved before
+// a failure (== the component count on success). Callers holding cached
+// location state use it to tell a genuinely missing leaf from a dangling
+// intermediate directory.
+func (c *Client) LookupPathIdx(to simnet.Addr, root Handle, p string) (Handle, localfs.Attr, int, simnet.Cost, error) {
+	cur := root
+	var attr localfs.Attr
+	var total simnet.Cost
+	attr, cost, err := c.Getattr(to, root)
+	total = simnet.Seq(total, cost)
+	if err != nil {
+		return Handle{}, localfs.Attr{}, 0, total, err
+	}
+	resolved := 0
+	for _, part := range splitPath(p) {
+		var h Handle
+		h, attr, cost, err = c.Lookup(to, cur, part)
+		total = simnet.Seq(total, cost)
+		if err != nil {
+			return Handle{}, localfs.Attr{}, resolved, total, err
+		}
+		resolved++
+		cur = h
+	}
+	return cur, attr, resolved, total, nil
+}
+
+func splitPath(p string) []string {
+	var out []string
+	for _, part := range strings.Split(p, "/") {
+		if part != "" && part != "." {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Access checks the caller's permissions on h, returning the granted
+// subset of the requested mask.
+func (c *Client) Access(to simnet.Addr, h Handle, want uint32) (uint32, localfs.Attr, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcAccess, func(e *wire.Encoder) {
+		putHandle(e, h)
+		e.PutUint32(want)
+	})
+	if err != nil {
+		return 0, localfs.Attr{}, cost, err
+	}
+	attr := getAttr(d)
+	return d.Uint32(), attr, cost, nil
+}
+
+// FSInfo fetches the server's static limits.
+func (c *Client) FSInfo(to simnet.Addr, root Handle) (FSInfo, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcFSInfo, func(e *wire.Encoder) { putHandle(e, root) })
+	if err != nil {
+		return FSInfo{}, cost, err
+	}
+	return FSInfo{
+		RTMax:   d.Uint32(),
+		WTMax:   d.Uint32(),
+		RTPref:  d.Uint32(),
+		WTPref:  d.Uint32(),
+		MaxFile: d.Int64(),
+	}, cost, nil
+}
+
+// Readlink returns the target of symlink h.
+func (c *Client) Readlink(to simnet.Addr, h Handle) (string, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcReadlink, func(e *wire.Encoder) { putHandle(e, h) })
+	if err != nil {
+		return "", cost, err
+	}
+	return d.String(), cost, nil
+}
+
+// Read returns up to count bytes of h at offset.
+func (c *Client) Read(to simnet.Addr, h Handle, offset int64, count int) ([]byte, bool, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcRead, func(e *wire.Encoder) {
+		putHandle(e, h)
+		e.PutInt64(offset)
+		e.PutUint32(uint32(count))
+	})
+	if err != nil {
+		return nil, false, cost, err
+	}
+	eof := d.Bool()
+	return d.Opaque(), eof, cost, nil
+}
+
+// Write stores data into h at offset.
+func (c *Client) Write(to simnet.Addr, h Handle, offset int64, data []byte) (int, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcWrite, func(e *wire.Encoder) {
+		putHandle(e, h)
+		e.PutInt64(offset)
+		e.PutOpaque(data)
+	})
+	if err != nil {
+		return 0, cost, err
+	}
+	return int(d.Uint32()), cost, nil
+}
+
+// Create makes a regular file in dir.
+func (c *Client) Create(to simnet.Addr, dir Handle, name string, mode uint32, exclusive bool) (Handle, localfs.Attr, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcCreate, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutString(name)
+		e.PutUint32(mode)
+		e.PutBool(exclusive)
+	})
+	if err != nil {
+		return Handle{}, localfs.Attr{}, cost, err
+	}
+	h := getHandle(d)
+	return h, getAttr(d), cost, nil
+}
+
+// Mkdir makes a directory in dir.
+func (c *Client) Mkdir(to simnet.Addr, dir Handle, name string, mode uint32) (Handle, localfs.Attr, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcMkdir, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutString(name)
+		e.PutUint32(mode)
+	})
+	if err != nil {
+		return Handle{}, localfs.Attr{}, cost, err
+	}
+	h := getHandle(d)
+	return h, getAttr(d), cost, nil
+}
+
+// Symlink makes a symbolic link in dir.
+func (c *Client) Symlink(to simnet.Addr, dir Handle, name, target string) (Handle, localfs.Attr, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcSymlink, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutString(name)
+		e.PutString(target)
+	})
+	if err != nil {
+		return Handle{}, localfs.Attr{}, cost, err
+	}
+	h := getHandle(d)
+	return h, getAttr(d), cost, nil
+}
+
+// Remove unlinks a file or symlink.
+func (c *Client) Remove(to simnet.Addr, dir Handle, name string) (simnet.Cost, error) {
+	_, cost, err := c.call(to, ProcRemove, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutString(name)
+	})
+	return cost, err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(to simnet.Addr, dir Handle, name string) (simnet.Cost, error) {
+	_, cost, err := c.call(to, ProcRmdir, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutString(name)
+	})
+	return cost, err
+}
+
+// Rename moves fromName in fromDir to toName in toDir on the same server.
+func (c *Client) Rename(to simnet.Addr, fromDir Handle, fromName string, toDir Handle, toName string) (simnet.Cost, error) {
+	_, cost, err := c.call(to, ProcRename, func(e *wire.Encoder) {
+		putHandle(e, fromDir)
+		e.PutString(fromName)
+		putHandle(e, toDir)
+		e.PutString(toName)
+	})
+	return cost, err
+}
+
+// Readdir reads one page of directory entries starting at cookie; count 0
+// means "all remaining".
+func (c *Client) Readdir(to simnet.Addr, dir Handle, cookie uint64, count int) ([]DirEntry, bool, uint64, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcReaddir, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutUint64(cookie)
+		e.PutUint32(uint32(count))
+	})
+	if err != nil {
+		return nil, false, 0, cost, err
+	}
+	eof := d.Bool()
+	next := d.Uint64()
+	n := d.ArrayLen()
+	ents := make([]DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		ents = append(ents, DirEntry{
+			Name: d.String(),
+			Ino:  d.Uint64(),
+			Type: localfs.FileType(d.Uint32()),
+		})
+	}
+	if d.Err() != nil {
+		return nil, false, 0, cost, fmt.Errorf("nfs READDIR: bad reply: %w", d.Err())
+	}
+	return ents, eof, next, cost, nil
+}
+
+// ReaddirAll drains a directory, issuing pages of pageSize entries.
+func (c *Client) ReaddirAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntry, simnet.Cost, error) {
+	var all []DirEntry
+	var total simnet.Cost
+	var cookie uint64
+	for {
+		ents, eof, next, cost, err := c.Readdir(to, dir, cookie, pageSize)
+		total = simnet.Seq(total, cost)
+		if err != nil {
+			return nil, total, err
+		}
+		all = append(all, ents...)
+		if eof {
+			return all, total, nil
+		}
+		cookie = next
+	}
+}
+
+// FSStat fetches capacity accounting from the server exporting root.
+func (c *Client) FSStat(to simnet.Addr, root Handle) (FSStat, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcFSStat, func(e *wire.Encoder) { putHandle(e, root) })
+	if err != nil {
+		return FSStat{}, cost, err
+	}
+	return FSStat{TotalBytes: d.Int64(), UsedBytes: d.Int64(), Files: d.Int64()}, cost, nil
+}

@@ -1,0 +1,515 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+)
+
+// rig wires one NFS server ("srv") and a client node ("cli") together.
+func rig(t *testing.T, capacity int64) (*simnet.Network, *Server, *Client) {
+	t.Helper()
+	net := simnet.New(simnet.LAN100)
+	fs := localfs.New(capacity, simnet.Disk7200)
+	srv := NewServer(fs, 1)
+	srv.Attach(net, "srv")
+	net.AddNode("cli")
+	return net, srv, NewClient(net, "cli")
+}
+
+func TestNullPing(t *testing.T) {
+	_, _, c := rig(t, 0)
+	cost, err := c.Null("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatalf("cost = %v", cost)
+	}
+}
+
+func TestCreateWriteReadOverRPC(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	root := srv.Root()
+
+	dirH, dirA, _, err := c.Mkdir("srv", root, "docs", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirA.Type != localfs.TypeDir {
+		t.Fatalf("mkdir attr = %+v", dirA)
+	}
+	fh, _, _, err := c.Create("srv", dirH, "report.txt", 0o644, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("kosha "), 100)
+	n, _, err := c.Write("srv", fh, 0, payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write n=%d err=%v", n, err)
+	}
+	data, eof, _, err := c.Read("srv", fh, 0, len(payload)+10)
+	if err != nil || !eof || !bytes.Equal(data, payload) {
+		t.Fatalf("read len=%d eof=%v err=%v", len(data), eof, err)
+	}
+	// Attributes round trip.
+	attr, _, err := c.Getattr("srv", fh)
+	if err != nil || attr.Size != int64(len(payload)) {
+		t.Fatalf("getattr %+v err=%v", attr, err)
+	}
+}
+
+func TestLookupAndLookupPath(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	srv.FS().WriteFile("/a/b/c.txt", []byte("deep"))
+
+	root := srv.Root()
+	h, attr, _, err := c.Lookup("srv", root, "a")
+	if err != nil || attr.Type != localfs.TypeDir {
+		t.Fatalf("lookup a: %+v err=%v", attr, err)
+	}
+	_, _, _, err = c.Lookup("srv", h, "missing")
+	if !IsStatus(err, ErrNoEnt) {
+		t.Fatalf("lookup missing err = %v", err)
+	}
+	fh, fattr, cost, err := c.LookupPath("srv", root, "/a/b/c.txt")
+	if err != nil || fattr.Size != 4 {
+		t.Fatalf("lookupPath: %+v err=%v", fattr, err)
+	}
+	// Path lookup must cost more than a single RPC (one per component).
+	_, single, _ := c.Getattr("srv", root)
+	if cost < 3*single {
+		t.Fatalf("LookupPath cost %v suspiciously low vs single %v", cost, single)
+	}
+	data, _, _, err := c.Read("srv", fh, 0, 10)
+	if err != nil || string(data) != "deep" {
+		t.Fatalf("read after path lookup: %q err=%v", data, err)
+	}
+}
+
+func TestSetattrTruncate(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	srv.FS().WriteFile("/f", []byte("0123456789"))
+	root := srv.Root()
+	fh, _, _, _ := c.Lookup("srv", root, "f")
+	sz := int64(3)
+	attr, _, err := c.Setattr("srv", fh, localfs.SetAttr{Size: &sz})
+	if err != nil || attr.Size != 3 {
+		t.Fatalf("setattr: %+v err=%v", attr, err)
+	}
+	mode := uint32(0o600)
+	attr, _, err = c.Setattr("srv", fh, localfs.SetAttr{Mode: &mode})
+	if err != nil || attr.Mode != 0o600 || attr.Size != 3 {
+		t.Fatalf("setattr mode: %+v err=%v", attr, err)
+	}
+}
+
+func TestSymlinkReadlinkOverRPC(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	root := srv.Root()
+	lh, lattr, _, err := c.Symlink("srv", root, "sdirm", "sdirm#1a2b")
+	if err != nil || lattr.Type != localfs.TypeSymlink {
+		t.Fatalf("symlink: %+v err=%v", lattr, err)
+	}
+	target, _, err := c.Readlink("srv", lh)
+	if err != nil || target != "sdirm#1a2b" {
+		t.Fatalf("readlink = %q err=%v", target, err)
+	}
+}
+
+func TestRemoveRmdirRename(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	fs := srv.FS()
+	fs.WriteFile("/d/f1", []byte("x"))
+	fs.MkdirAll("/d/sub")
+	root := srv.Root()
+	dh, _, _, _ := c.Lookup("srv", root, "d")
+
+	if _, err := c.Rmdir("srv", root, "d"); !IsStatus(err, ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty err = %v", err)
+	}
+	if _, err := c.Rename("srv", dh, "f1", dh, "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Remove("srv", dh, "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rmdir("srv", dh, "sub"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rmdir("srv", root, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Lookup("srv", root, "d"); !IsStatus(err, ErrNoEnt) {
+		t.Fatalf("post-delete lookup err = %v", err)
+	}
+}
+
+func TestReaddirPaging(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	for i := 0; i < 25; i++ {
+		srv.FS().WriteFile(fmt.Sprintf("/f%02d", i), []byte("x"))
+	}
+	root := srv.Root()
+
+	// Page through with size 10: 10 + 10 + 5.
+	var names []string
+	var cookie uint64
+	pages := 0
+	for {
+		ents, eof, next, _, err := c.Readdir("srv", root, cookie, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		for _, e := range ents {
+			names = append(names, e.Name)
+		}
+		if eof {
+			break
+		}
+		cookie = next
+	}
+	if pages != 3 || len(names) != 25 {
+		t.Fatalf("pages=%d names=%d", pages, len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	// ReaddirAll agrees.
+	all, _, err := c.ReaddirAll("srv", root, 7)
+	if err != nil || len(all) != 25 {
+		t.Fatalf("ReaddirAll n=%d err=%v", len(all), err)
+	}
+}
+
+func TestFSStatAndQuota(t *testing.T) {
+	_, srv, c := rig(t, 1000)
+	root := srv.Root()
+	fh, _, _, err := c.Create("srv", root, "f", 0o644, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Write("srv", fh, 0, make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := c.FSStat("srv", root)
+	if err != nil || st.TotalBytes != 1000 || st.UsedBytes != 600 || st.Files != 1 {
+		t.Fatalf("fsstat = %+v err=%v", st, err)
+	}
+	if _, _, err := c.Write("srv", fh, 600, make([]byte, 600)); !IsStatus(err, ErrNoSpc) {
+		t.Fatalf("quota write err = %v", err)
+	}
+}
+
+func TestStaleHandleAfterBump(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	root := srv.Root()
+	fh, _, _, err := c.Create("srv", root, "f", 0o644, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Bump() // server re-incarnated: all handles stale
+	if _, _, err := c.Getattr("srv", fh); !IsStatus(err, ErrStale) {
+		t.Fatalf("stale getattr err = %v", err)
+	}
+	if _, _, err := c.Getattr("srv", root); !IsStatus(err, ErrStale) {
+		t.Fatalf("stale root err = %v", err)
+	}
+	// Fresh root works again.
+	if _, _, err := c.Getattr("srv", srv.Root()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveCreateStatus(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	root := srv.Root()
+	if _, _, _, err := c.Create("srv", root, "f", 0o644, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Create("srv", root, "f", 0o644, true); !IsStatus(err, ErrExist) {
+		t.Fatalf("exclusive dup err = %v", err)
+	}
+}
+
+func TestTransportFailureDistinctFromStatus(t *testing.T) {
+	net, srv, c := rig(t, 0)
+	root := srv.Root()
+	net.SetDown("srv", true)
+	_, _, err := c.Getattr("srv", root)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := StatusOf(err); ok {
+		t.Fatalf("transport failure misreported as NFS status: %v", err)
+	}
+	if !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMalformedRequestRejected(t *testing.T) {
+	net, _, _ := rig(t, 0)
+	// Hand-craft garbage requests straight at the service.
+	resp, _, err := net.Call("cli", "srv", Service, []byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Status(uint32(resp[0])<<24|uint32(resp[1])<<16|uint32(resp[2])<<8|uint32(resp[3])) != ErrInval {
+		t.Fatalf("empty request resp = %v", resp)
+	}
+	// Truncated LOOKUP (proc only, no handle).
+	resp, _, err = net.Call("cli", "srv", Service, []byte{0, 0, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[3] == 0 {
+		t.Fatalf("truncated lookup accepted: %v", resp)
+	}
+}
+
+func TestRPCCostExceedsLocalDiskCost(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	root := srv.Root()
+	fh, _, _, _ := c.Create("srv", root, "f", 0o644, false)
+	payload := make([]byte, 64<<10)
+	_, rpcCost, err := c.Write("srv", fh, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskOnly := simnet.Disk7200.OpCost(len(payload))
+	if rpcCost <= diskOnly {
+		t.Fatalf("rpc cost %v should exceed disk-only %v", rpcCost, diskOnly)
+	}
+}
+
+func TestErrorTypeHelpers(t *testing.T) {
+	err := &Error{Proc: ProcLookup, Status: ErrNoEnt}
+	if !IsStatus(err, ErrNoEnt) || IsStatus(err, ErrExist) {
+		t.Fatal("IsStatus misbehaves")
+	}
+	st, ok := StatusOf(fmt.Errorf("wrapped: %w", err))
+	if !ok || st != ErrNoEnt {
+		t.Fatalf("StatusOf = %v %v", st, ok)
+	}
+	if got := err.Error(); got != "nfs: LOOKUP failed: NFS3ERR_NOENT" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestProcAndStatusStrings(t *testing.T) {
+	if ProcWrite.String() != "WRITE" || Proc(99).String() != "PROC(99)" {
+		t.Fatal("Proc.String broken")
+	}
+	if ErrNoSpc.String() != "NFS3ERR_NOSPC" || Status(999).String() != "NFS3ERR(999)" {
+		t.Fatal("Status.String broken")
+	}
+}
+
+func BenchmarkRPCWrite4K(b *testing.B) {
+	net := simnet.New(simnet.LAN100)
+	fs := localfs.New(0, simnet.Disk7200)
+	srv := NewServer(fs, 1)
+	srv.Attach(net, "srv")
+	net.AddNode("cli")
+	c := NewClient(net, "cli")
+	fh, _, _, _ := c.Create("srv", srv.Root(), "bench", 0o644, false)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Write("srv", fh, int64(i%128)*4096, buf)
+	}
+}
+
+func BenchmarkRPCLookup(b *testing.B) {
+	net := simnet.New(simnet.LAN100)
+	fs := localfs.New(0, simnet.Disk7200)
+	fs.WriteFile("/dir/file", []byte("x"))
+	srv := NewServer(fs, 1)
+	srv.Attach(net, "srv")
+	net.AddNode("cli")
+	c := NewClient(net, "cli")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.LookupPath("srv", srv.Root(), "/dir/file")
+	}
+}
+
+func TestAccessMask(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	fs := srv.FS()
+	fs.WriteFile("/rw.txt", []byte("x"))
+	fs.MkdirAll("/dir")
+	root := srv.Root()
+
+	fh, _, _, _ := c.Lookup("srv", root, "rw.txt")
+	got, attr, _, err := c.Access("srv", fh, AccessRead|AccessModify|AccessExecute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != localfs.TypeRegular {
+		t.Fatalf("attr = %+v", attr)
+	}
+	// 0644 file: read+modify granted, execute not.
+	if got&AccessRead == 0 || got&AccessModify == 0 || got&AccessExecute != 0 {
+		t.Fatalf("grant = %x", got)
+	}
+	// Read-only file refuses modify.
+	mode := uint32(0o444)
+	c.Setattr("srv", fh, localfs.SetAttr{Mode: &mode})
+	got, _, _, err = c.Access("srv", fh, AccessRead|AccessModify)
+	if err != nil || got != AccessRead {
+		t.Fatalf("read-only grant = %x err=%v", got, err)
+	}
+	// Directory gets lookup.
+	dh, _, _, _ := c.Lookup("srv", root, "dir")
+	got, _, _, err = c.Access("srv", dh, AccessLookup|AccessRead)
+	if err != nil || got&AccessLookup == 0 {
+		t.Fatalf("dir grant = %x err=%v", got, err)
+	}
+}
+
+func TestFSInfoLimits(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	fi, _, err := c.FSInfo("srv", srv.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.RTMax < fi.RTPref || fi.WTMax < fi.WTPref {
+		t.Fatalf("incoherent limits: %+v", fi)
+	}
+	if fi.MaxFile != localfs.MaxFileSize {
+		t.Fatalf("maxfile = %d", fi.MaxFile)
+	}
+	// Stale root rejected.
+	srv.Bump()
+	if _, _, err := c.FSInfo("srv", Handle{Gen: 1, Ino: 1}); !IsStatus(err, ErrStale) {
+		t.Fatalf("stale fsinfo err = %v", err)
+	}
+}
+
+// TestProtocolOracle drives a random operation sequence through the RPC
+// stack and mirrors it directly onto a second localfs: the protocol layer
+// must be a transparent pipe.
+func TestProtocolOracle(t *testing.T) {
+	net := simnet.New(simnet.LAN100)
+	remote := localfs.New(0, simnet.Disk7200)
+	srv := NewServer(remote, 1)
+	srv.Attach(net, "srv")
+	net.AddNode("cli")
+	c := NewClient(net, "cli")
+	direct := localfs.New(0, simnet.Disk7200)
+
+	r := newRand(77)
+	type ref struct {
+		viaRPC Handle
+		direct uint64
+		isDir  bool
+	}
+	refs := []ref{{viaRPC: srv.Root(), direct: localfs.RootIno, isDir: true}}
+
+	for step := 0; step < 400; step++ {
+		p := refs[r.Intn(len(refs))]
+		name := fmt.Sprintf("e%d", r.Intn(40))
+		switch r.Intn(6) {
+		case 0: // mkdir
+			if !p.isDir {
+				continue
+			}
+			h1, _, _, err1 := c.Mkdir("srv", p.viaRPC, name, 0o755)
+			a2, _, err2 := direct.Mkdir(p.direct, name, 0o755)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d mkdir divergence: %v vs %v", step, err1, err2)
+			}
+			if err1 == nil {
+				refs = append(refs, ref{viaRPC: h1, direct: a2.Ino, isDir: true})
+			}
+		case 1: // create
+			if !p.isDir {
+				continue
+			}
+			h1, _, _, err1 := c.Create("srv", p.viaRPC, name, 0o644, false)
+			a2, _, err2 := direct.Create(p.direct, name, 0o644, false)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d create divergence: %v vs %v", step, err1, err2)
+			}
+			if err1 == nil {
+				refs = append(refs, ref{viaRPC: h1, direct: a2.Ino})
+			}
+		case 2: // write
+			if p.isDir {
+				continue
+			}
+			data := make([]byte, r.Intn(500))
+			r.Read(data)
+			off := int64(r.Intn(200))
+			_, _, err1 := c.Write("srv", p.viaRPC, off, data)
+			_, _, err2 := direct.Write(p.direct, off, data)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d write divergence: %v vs %v", step, err1, err2)
+			}
+		case 3: // read + compare
+			if p.isDir {
+				continue
+			}
+			d1, eof1, _, err1 := c.Read("srv", p.viaRPC, 0, 1000)
+			d2, eof2, _, err2 := direct.Read(p.direct, 0, 1000)
+			if (err1 == nil) != (err2 == nil) || eof1 != eof2 || !bytes.Equal(d1, d2) {
+				t.Fatalf("step %d read divergence: %v/%v %v/%v", step, err1, err2, eof1, eof2)
+			}
+		case 4: // getattr compare
+			a1, _, err1 := c.Getattr("srv", p.viaRPC)
+			a2, _, err2 := direct.Getattr(p.direct)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("step %d getattr divergence: %v vs %v", step, err1, err2)
+			}
+			if err1 == nil && (a1.Size != a2.Size || a1.Type != a2.Type) {
+				t.Fatalf("step %d attr divergence: %+v vs %+v", step, a1, a2)
+			}
+		case 5: // readdir compare
+			if !p.isDir {
+				continue
+			}
+			e1, _, err1 := c.ReaddirAll("srv", p.viaRPC, 7)
+			e2, _, err2 := direct.Readdir(p.direct)
+			if (err1 == nil) != (err2 == nil) || len(e1) != len(e2) {
+				t.Fatalf("step %d readdir divergence: %d vs %d (%v/%v)", step, len(e1), len(e2), err1, err2)
+			}
+			for i := range e1 {
+				if e1[i].Name != e2[i].Name || e1[i].Type != e2[i].Type {
+					t.Fatalf("step %d entry %d: %+v vs %+v", step, i, e1[i], e2[i])
+				}
+			}
+		}
+	}
+}
+
+func newRand(seed int64) *mrand { return &mrand{state: uint64(seed)} }
+
+// mrand is a tiny deterministic generator so this test does not perturb
+// other tests' use of math/rand.
+type mrand struct{ state uint64 }
+
+func (m *mrand) next() uint64 {
+	m.state += 0x9e3779b97f4a7c15
+	z := m.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (m *mrand) Intn(n int) int { return int(m.next() % uint64(n)) }
+
+func (m *mrand) Read(p []byte) {
+	for i := range p {
+		p[i] = byte(m.next())
+	}
+}

@@ -1,0 +1,402 @@
+package nfs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Server exports one localfs over the network. In the Kosha deployment
+// model every participating node "is assumed to run an NFS server, so that
+// its contributed disk space can be accessed via NFS" (Section 4).
+type Server struct {
+	fs  localfs.FileSystem
+	gen atomic.Uint64
+}
+
+// NewServer wraps fs; gen seeds the handle generation (server incarnation).
+func NewServer(fs localfs.FileSystem, gen uint64) *Server {
+	s := &Server{fs: fs}
+	s.gen.Store(gen)
+	return s
+}
+
+// FS returns the backing file system (tests and node-local maintenance).
+func (s *Server) FS() localfs.FileSystem { return s.fs }
+
+// Root returns the handle of the exported root directory.
+func (s *Server) Root() Handle {
+	return Handle{Gen: s.gen.Load(), Ino: localfs.RootIno}
+}
+
+// Bump invalidates all outstanding handles by advancing the incarnation,
+// used when a revived node purges its store (Section 4.3.2).
+func (s *Server) Bump() { s.gen.Add(1) }
+
+// Attach registers the server's RPC handler on the network at addr.
+func (s *Server) Attach(n simnet.Transport, addr simnet.Addr) {
+	n.Register(addr, Service, s.Handle)
+}
+
+// Handle is the simnet.Handler entry point: decode proc, dispatch, encode.
+func (s *Server) Handle(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
+	d := wire.NewDecoder(req)
+	proc := Proc(d.Uint32())
+	if d.Err() != nil {
+		return s.fail(proc, ErrInval), 0, nil
+	}
+	resp, cost := s.dispatch(proc, d)
+	return resp, cost, nil
+}
+
+// fail encodes an error-only reply.
+func (s *Server) fail(proc Proc, st Status) []byte {
+	e := wire.NewEncoder(8)
+	e.PutUint32(uint32(st))
+	_ = proc
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// check resolves a handle to an inode number, validating the incarnation.
+func (s *Server) check(h Handle) (uint64, Status) {
+	if h.Gen != s.gen.Load() {
+		return 0, ErrStale
+	}
+	return h.Ino, OK
+}
+
+func (s *Server) dispatch(proc Proc, d *wire.Decoder) ([]byte, simnet.Cost) {
+	e := wire.NewEncoder(128)
+	switch proc {
+	case ProcNull:
+		e.PutUint32(uint32(OK))
+		return e.Bytes(), 0
+
+	case ProcMountRoot:
+		e.PutUint32(uint32(OK))
+		putHandle(e, s.Root())
+		return e.Bytes(), 0
+
+	case ProcGetattr:
+		h := getHandle(d)
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		attr, cost, err := s.fs.Getattr(ino)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		putAttr(e, attr)
+		return e.Bytes(), cost
+
+	case ProcSetattr:
+		h := getHandle(d)
+		sa := getSetAttr(d)
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		attr, cost, err := s.fs.Setattr(ino, sa)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		putAttr(e, attr)
+		return e.Bytes(), cost
+
+	case ProcLookup:
+		h := getHandle(d)
+		name := d.String()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		attr, cost, err := s.fs.Lookup(ino, name)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		putHandle(e, Handle{Gen: h.Gen, Ino: attr.Ino})
+		putAttr(e, attr)
+		return e.Bytes(), cost
+
+	case ProcAccess:
+		h := getHandle(d)
+		want := d.Uint32()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		attr, cost, err := s.fs.Getattr(ino)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		putAttr(e, attr)
+		e.PutUint32(want & accessFor(attr))
+		return e.Bytes(), cost
+
+	case ProcFSInfo:
+		h := getHandle(d)
+		if _, st := s.check(h); st != OK {
+			return s.fail(proc, st), 0
+		}
+		e.PutUint32(uint32(OK))
+		e.PutUint32(64 << 10) // rtmax
+		e.PutUint32(64 << 10) // wtmax
+		e.PutUint32(32 << 10) // rtpref
+		e.PutUint32(32 << 10) // wtpref
+		e.PutInt64(localfs.MaxFileSize)
+		return e.Bytes(), 0
+
+	case ProcReadlink:
+		h := getHandle(d)
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		target, cost, err := s.fs.Readlink(ino)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		e.PutString(target)
+		return e.Bytes(), cost
+
+	case ProcRead:
+		h := getHandle(d)
+		offset := d.Int64()
+		count := d.Uint32()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		data, eof, cost, err := s.fs.Read(ino, offset, int(count))
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		e.PutBool(eof)
+		e.PutOpaque(data)
+		return e.Bytes(), cost
+
+	case ProcWrite:
+		h := getHandle(d)
+		offset := d.Int64()
+		data := d.Opaque()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		n, cost, err := s.fs.Write(ino, offset, data)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		e.PutUint32(uint32(n))
+		return e.Bytes(), cost
+
+	case ProcCreate:
+		h := getHandle(d)
+		name := d.String()
+		mode := d.Uint32()
+		exclusive := d.Bool()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		attr, cost, err := s.fs.Create(ino, name, mode, exclusive)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		putHandle(e, Handle{Gen: h.Gen, Ino: attr.Ino})
+		putAttr(e, attr)
+		return e.Bytes(), cost
+
+	case ProcMkdir:
+		h := getHandle(d)
+		name := d.String()
+		mode := d.Uint32()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		attr, cost, err := s.fs.Mkdir(ino, name, mode)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		putHandle(e, Handle{Gen: h.Gen, Ino: attr.Ino})
+		putAttr(e, attr)
+		return e.Bytes(), cost
+
+	case ProcSymlink:
+		h := getHandle(d)
+		name := d.String()
+		target := d.String()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		attr, cost, err := s.fs.Symlink(ino, name, target)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		putHandle(e, Handle{Gen: h.Gen, Ino: attr.Ino})
+		putAttr(e, attr)
+		return e.Bytes(), cost
+
+	case ProcRemove, ProcRmdir:
+		h := getHandle(d)
+		name := d.String()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		var cost simnet.Cost
+		var err error
+		if proc == ProcRemove {
+			cost, err = s.fs.Remove(ino, name)
+		} else {
+			cost, err = s.fs.Rmdir(ino, name)
+		}
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		return e.Bytes(), cost
+
+	case ProcRename:
+		fromH := getHandle(d)
+		fromName := d.String()
+		toH := getHandle(d)
+		toName := d.String()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		fromIno, st := s.check(fromH)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		toIno, st := s.check(toH)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		cost, err := s.fs.Rename(fromIno, fromName, toIno, toName)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		return e.Bytes(), cost
+
+	case ProcReaddir:
+		h := getHandle(d)
+		cookie := d.Uint64()
+		count := d.Uint32()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		ents, cost, err := s.fs.Readdir(ino)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		start := int(cookie)
+		if start > len(ents) {
+			start = len(ents)
+		}
+		end := start + int(count)
+		if count == 0 || end > len(ents) {
+			end = len(ents)
+		}
+		page := ents[start:end]
+		e.PutUint32(uint32(OK))
+		e.PutBool(end == len(ents)) // eof
+		e.PutUint64(uint64(end))    // next cookie
+		e.PutUint32(uint32(len(page)))
+		for _, ent := range page {
+			e.PutString(ent.Name)
+			e.PutUint64(ent.Ino)
+			e.PutUint32(uint32(ent.Type))
+		}
+		return e.Bytes(), cost
+
+	case ProcFSStat:
+		h := getHandle(d)
+		if _, st := s.check(h); st != OK {
+			return s.fail(proc, st), 0
+		}
+		st, cost, err := s.fs.Statfs()
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		e.PutUint32(uint32(OK))
+		e.PutInt64(st.TotalBytes)
+		e.PutInt64(st.UsedBytes)
+		e.PutInt64(st.Files)
+		return e.Bytes(), cost
+
+	default:
+		return s.fail(proc, ErrInval), 0
+	}
+}
+
+// accessFor derives the ACCESS grant mask from an entry's mode bits,
+// evaluated for the owner class (Kosha's deployment model trusts the
+// administrator-controlled nodes, Section 4.1.6, so owner-class checks are
+// the meaningful ones).
+func accessFor(a localfs.Attr) uint32 {
+	var m uint32
+	if a.Mode&0o400 != 0 {
+		m |= AccessRead
+	}
+	if a.Mode&0o200 != 0 {
+		m |= AccessModify | AccessExtend | AccessDelete
+	}
+	if a.Mode&0o100 != 0 {
+		m |= AccessExecute
+		if a.Type == localfs.TypeDir {
+			m |= AccessLookup
+		}
+	}
+	if a.Type == localfs.TypeDir && a.Mode&0o100 != 0 {
+		m |= AccessLookup
+	}
+	return m
+}

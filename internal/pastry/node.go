@@ -1,0 +1,481 @@
+package pastry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// ErrRouteFailed is returned when routing cannot converge (all candidate
+// hops dead and no better node known).
+var ErrRouteFailed = errors.New("pastry: route failed")
+
+// LeafSetChange describes a leaf-set membership delta delivered to the
+// application ("The p2p component ... informs Kosha on a node N when nodes
+// in N's leaf set are affected", Section 4.3).
+type LeafSetChange struct {
+	Joined []NodeInfo
+	Left   []NodeInfo
+}
+
+// RouteResult reports the outcome of a key lookup.
+type RouteResult struct {
+	Node NodeInfo    // the root: live node numerically closest to the key
+	Hops int         // overlay RPCs taken
+	Cost simnet.Cost // simulated latency of those RPCs
+}
+
+// Node is one Pastry overlay participant.
+type Node struct {
+	net simnet.Transport
+
+	mu    sync.RWMutex
+	st    *state
+	alive bool
+
+	onChange func(LeafSetChange)
+}
+
+// NewNode creates a node with the given identifier and network address. The
+// caller must Attach it and then Bootstrap it into an overlay.
+func NewNode(nodeID id.ID, addr simnet.Addr, net simnet.Transport, leafSize int) *Node {
+	return &Node{
+		net: net,
+		st:  newState(NodeInfo{ID: nodeID, Addr: addr}, leafSize),
+	}
+}
+
+// Info returns this node's identity.
+func (n *Node) Info() NodeInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st.self
+}
+
+// OnLeafSetChange registers the callback invoked when leaf-set membership
+// changes. The callback runs without the node lock held; it may call back
+// into the node and the network.
+func (n *Node) OnLeafSetChange(fn func(LeafSetChange)) {
+	n.mu.Lock()
+	n.onChange = fn
+	n.mu.Unlock()
+}
+
+// Attach registers the node's overlay RPC handler.
+func (n *Node) Attach() {
+	n.net.Register(n.Info().Addr, Service, n.handle)
+}
+
+// Leaf returns the current leaf set (excluding self).
+func (n *Node) Leaf() []NodeInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st.leafMembers()
+}
+
+// Known returns every node in the routing state (excluding self).
+func (n *Node) Known() []NodeInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st.allKnown()
+}
+
+// ReplicaCandidates returns up to k ring-adjacent leaf-set nodes,
+// alternating successor/predecessor (Section 4.2).
+func (n *Node) ReplicaCandidates(k int) []NodeInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st.replicaCandidates(k)
+}
+
+// IsRootFor reports whether this node believes it is numerically closest to
+// key among the nodes it knows.
+func (n *Node) IsRootFor(key id.ID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, isRoot := n.st.nextHop(key, nil)
+	return isRoot
+}
+
+// addPeer merges a peer and fires the change callback when the leaf set
+// shifts. It reports whether the leaf set changed.
+func (n *Node) addPeer(p NodeInfo) bool {
+	n.mu.Lock()
+	changed := n.st.add(p)
+	cb := n.onChange
+	n.mu.Unlock()
+	if changed && cb != nil {
+		cb(LeafSetChange{Joined: []NodeInfo{p}})
+	}
+	return changed
+}
+
+func (n *Node) addPeers(ps []NodeInfo) {
+	for _, p := range ps {
+		n.addPeer(p)
+	}
+}
+
+// removePeer purges a dead peer and fires the change callback when the leaf
+// set shifts.
+func (n *Node) removePeer(dead NodeInfo) {
+	n.mu.Lock()
+	changed := n.st.remove(dead.ID)
+	cb := n.onChange
+	n.mu.Unlock()
+	if changed && cb != nil {
+		cb(LeafSetChange{Left: []NodeInfo{dead}})
+	}
+}
+
+// Bootstrap joins the overlay via a seed node's address; an empty seed
+// starts a new overlay. Joining routes toward the new node's own id,
+// merging routing state from every hop, then announces the newcomer to all
+// nodes it learned about (Section 2.2's self-organizing join).
+func (n *Node) Bootstrap(seed simnet.Addr) (simnet.Cost, error) {
+	n.mu.Lock()
+	n.alive = true
+	self := n.st.self
+	n.mu.Unlock()
+
+	if seed == "" || seed == self.Addr {
+		return 0, nil
+	}
+
+	var total simnet.Cost
+
+	// Learn the seed's identity and state.
+	state, cost, err := n.rpcGetState(seed)
+	total = simnet.Seq(total, cost)
+	if err != nil {
+		return total, fmt.Errorf("pastry: bootstrap via %s: %w", seed, err)
+	}
+	n.addPeers(state)
+
+	// Route toward our own id to find our ring neighborhood; merge state
+	// from each hop on the way.
+	res, err := n.routeCollect(self.ID, true)
+	total = simnet.Seq(total, res.Cost)
+	if err != nil {
+		return total, fmt.Errorf("pastry: join route: %w", err)
+	}
+
+	// Adopt the root's leaf set: those nodes bracket our position.
+	if res.Node.ID != self.ID {
+		leafs, cost, err := n.rpcGetLeafSet(res.Node.Addr)
+		total = simnet.Seq(total, cost)
+		if err == nil {
+			n.addPeers(leafs)
+			n.addPeer(res.Node)
+		}
+	}
+
+	// Announce ourselves to everyone we know so their leaf sets include us
+	// and their Kosha layers can migrate content (Section 4.3.1).
+	for _, p := range n.Known() {
+		cost, err := n.rpcNotify(p.Addr, self)
+		total = simnet.Seq(total, cost)
+		if err != nil {
+			n.removePeer(p)
+		}
+	}
+	return total, nil
+}
+
+// EnsureRootFor actively verifies whether this node is the root for key:
+// if a better candidate exists it is pinged, and dead candidates are purged
+// until either a live better node is found (false) or none remains (true).
+// Kosha's primary-ownership checks use this so that a node bordering a
+// fresh failure takes over its keys immediately (Section 4.4).
+func (n *Node) EnsureRootFor(key id.ID) (bool, simnet.Cost) {
+	var total simnet.Cost
+	for i := 0; i < 16; i++ {
+		n.mu.RLock()
+		next, isRoot := n.st.nextHop(key, nil)
+		n.mu.RUnlock()
+		if isRoot {
+			return true, total
+		}
+		c, err := n.rpcPing(next.Addr)
+		total = simnet.Seq(total, c)
+		if err == nil {
+			return false, total
+		}
+		n.removePeer(next)
+	}
+	return false, total
+}
+
+// MarkDead purges a node (identified by address) from the routing state,
+// used by the application layer when an RPC to that node failed outside the
+// overlay (e.g. an NFS forward timed out, Section 4.4).
+func (n *Node) MarkDead(addr simnet.Addr) {
+	for _, p := range n.Known() {
+		if p.Addr == addr {
+			n.removePeer(p)
+			return
+		}
+	}
+}
+
+// Route finds the live node numerically closest to key.
+func (n *Node) Route(key id.ID) (RouteResult, error) {
+	return n.routeCollect(key, false)
+}
+
+// routeCollect performs iterative routing. When collect is true, the full
+// state of every hop is merged into our own (used during join).
+func (n *Node) routeCollect(key id.ID, collect bool) (RouteResult, error) {
+	self := n.Info()
+	var res RouteResult
+	var excluded []id.ID
+
+	const maxHops = 64
+restart:
+	for attempts := 0; ; attempts++ {
+		if attempts > maxHops {
+			return res, fmt.Errorf("%w: no live candidates for %s", ErrRouteFailed, key.Short())
+		}
+		n.mu.RLock()
+		next, isRoot := n.st.nextHop(key, excluded)
+		n.mu.RUnlock()
+		if isRoot {
+			res.Node = self
+			return res, nil
+		}
+
+		cur := next
+		for hop := 0; hop < maxHops; hop++ {
+			if collect {
+				if st, cost, err := n.rpcGetState(cur.Addr); err == nil {
+					res.Cost = simnet.Seq(res.Cost, cost)
+					n.addPeers(st)
+				}
+			}
+			nh, isRoot, cost, err := n.rpcNextHop(cur.Addr, key, excluded)
+			res.Cost = simnet.Seq(res.Cost, cost)
+			res.Hops++
+			if err != nil {
+				// cur is dead: exclude it, purge it, restart from self.
+				excluded = append(excluded, cur.ID)
+				n.removePeer(cur)
+				continue restart
+			}
+			n.addPeer(cur)
+			if isRoot {
+				res.Node = cur
+				return res, nil
+			}
+			cur = nh
+		}
+		return res, fmt.Errorf("%w: exceeded %d hops for %s", ErrRouteFailed, maxHops, key.Short())
+	}
+}
+
+// Stabilize probes leaf-set members, purges dead ones, and repairs the leaf
+// set from surviving members' leaf sets ("maintaining its integrity
+// invariants as nodes fail and recover", Section 2.2). It converges in a
+// bounded number of passes and returns the simulated cost.
+func (n *Node) Stabilize() simnet.Cost {
+	var total simnet.Cost
+	dead := make(map[id.ID]bool)
+	self := n.Info()
+	for pass := 0; pass < 6; pass++ {
+		changed := false
+		for _, p := range n.Leaf() {
+			if dead[p.ID] {
+				n.removePeer(p)
+				changed = true
+				continue
+			}
+			// Notify doubles as the liveness probe and re-announces us, so
+			// a node that joined through a stale neighborhood is
+			// eventually pulled into its true neighbors' leaf sets.
+			cost, err := n.rpcNotify(p.Addr, self)
+			total = simnet.Seq(total, cost)
+			if err != nil {
+				dead[p.ID] = true
+				n.removePeer(p)
+				changed = true
+			}
+		}
+		// Pull survivors' leaf sets to fill holes, skipping nodes we just
+		// observed dead (their entries may still name the dead).
+		for _, p := range n.Leaf() {
+			leafs, cost, err := n.rpcGetLeafSet(p.Addr)
+			total = simnet.Seq(total, cost)
+			if err != nil {
+				dead[p.ID] = true
+				n.removePeer(p)
+				changed = true
+				continue
+			}
+			for _, q := range leafs {
+				if dead[q.ID] || q.ID == self.ID {
+					continue
+				}
+				if n.addPeer(q) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return total
+}
+
+// Leave announces departure to all known nodes and marks the node dead.
+func (n *Node) Leave() simnet.Cost {
+	self := n.Info()
+	var total simnet.Cost
+	for _, p := range n.Known() {
+		cost, _ := n.rpcRemoveNode(p.Addr, self.ID)
+		total = simnet.Seq(total, cost)
+	}
+	n.mu.Lock()
+	n.alive = false
+	n.mu.Unlock()
+	return total
+}
+
+// --- RPC client stubs ---
+
+func (n *Node) call(to simnet.Addr, proc uint32, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
+	e := wire.NewEncoder(128)
+	e.PutUint32(proc)
+	if build != nil {
+		build(e)
+	}
+	resp, cost, err := n.net.Call(n.Info().Addr, to, Service, e.Bytes())
+	if err != nil {
+		return nil, cost, err
+	}
+	return wire.NewDecoder(resp), cost, nil
+}
+
+func (n *Node) rpcPing(to simnet.Addr) (simnet.Cost, error) {
+	_, cost, err := n.call(to, pPing, nil)
+	return cost, err
+}
+
+func (n *Node) rpcNextHop(to simnet.Addr, key id.ID, excluded []id.ID) (NodeInfo, bool, simnet.Cost, error) {
+	d, cost, err := n.call(to, pNextHop, func(e *wire.Encoder) {
+		e.PutFixedOpaque(key[:])
+		putIDs(e, excluded)
+	})
+	if err != nil {
+		return NodeInfo{}, false, cost, err
+	}
+	isRoot := d.Bool()
+	next := getNodeInfo(d)
+	if d.Err() != nil {
+		return NodeInfo{}, false, cost, d.Err()
+	}
+	return next, isRoot, cost, nil
+}
+
+func (n *Node) rpcGetState(to simnet.Addr) ([]NodeInfo, simnet.Cost, error) {
+	d, cost, err := n.call(to, pGetState, nil)
+	if err != nil {
+		return nil, cost, err
+	}
+	return getNodeInfos(d), cost, d.Err()
+}
+
+func (n *Node) rpcGetLeafSet(to simnet.Addr) ([]NodeInfo, simnet.Cost, error) {
+	d, cost, err := n.call(to, pGetLeafSet, nil)
+	if err != nil {
+		return nil, cost, err
+	}
+	return getNodeInfos(d), cost, d.Err()
+}
+
+func (n *Node) rpcNotify(to simnet.Addr, who NodeInfo) (simnet.Cost, error) {
+	_, cost, err := n.call(to, pNotify, func(e *wire.Encoder) { putNodeInfo(e, who) })
+	return cost, err
+}
+
+func (n *Node) rpcRemoveNode(to simnet.Addr, dead id.ID) (simnet.Cost, error) {
+	_, cost, err := n.call(to, pRemoveNode, func(e *wire.Encoder) { e.PutFixedOpaque(dead[:]) })
+	return cost, err
+}
+
+// --- RPC server handler ---
+
+func (n *Node) handle(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
+	d := wire.NewDecoder(req)
+	proc := d.Uint32()
+	if d.Err() != nil {
+		return nil, 0, d.Err()
+	}
+	e := wire.NewEncoder(128)
+	switch proc {
+	case pPing:
+		e.PutUint32(0)
+
+	case pNextHop:
+		var key id.ID
+		d.FixedOpaque(key[:])
+		excluded := getIDs(d)
+		if d.Err() != nil {
+			return nil, 0, d.Err()
+		}
+		n.mu.RLock()
+		next, isRoot := n.st.nextHop(key, excluded)
+		n.mu.RUnlock()
+		e.PutBool(isRoot)
+		putNodeInfo(e, next)
+
+	case pGetState:
+		n.mu.RLock()
+		all := append(n.st.allKnown(), n.st.self)
+		n.mu.RUnlock()
+		putNodeInfos(e, all)
+
+	case pGetLeafSet:
+		n.mu.RLock()
+		leafs := append(n.st.leafMembers(), n.st.self)
+		n.mu.RUnlock()
+		putNodeInfos(e, leafs)
+
+	case pNotify:
+		who := getNodeInfo(d)
+		if d.Err() != nil {
+			return nil, 0, d.Err()
+		}
+		n.addPeer(who)
+		e.PutUint32(0)
+
+	case pRemoveNode:
+		var dead id.ID
+		d.FixedOpaque(dead[:])
+		if d.Err() != nil {
+			return nil, 0, d.Err()
+		}
+		n.mu.RLock()
+		var info NodeInfo
+		for _, p := range n.st.allKnown() {
+			if p.ID == dead {
+				info = p
+				break
+			}
+		}
+		n.mu.RUnlock()
+		if !info.IsZero() {
+			n.removePeer(info)
+		}
+		e.PutUint32(0)
+
+	default:
+		return nil, 0, fmt.Errorf("pastry: unknown proc %d", proc)
+	}
+	// Overlay control messages are tiny; processing cost is dominated by
+	// the link model, so report zero local cost.
+	return append([]byte(nil), e.Bytes()...), 0, nil
+}

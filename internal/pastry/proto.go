@@ -1,0 +1,92 @@
+// Package pastry implements the structured p2p overlay Kosha builds on
+// (Section 2.2): 128-bit circular nodeIds, prefix-based routing with a
+// routing table of rows sharing increasingly long prefixes, and a leaf set
+// of l numerically closest nodes (l/2 larger, l/2 smaller) that "ensures
+// reliable message delivery and is used to store replicas of application
+// objects".
+//
+// Routing is iterative: the querying node asks each hop for its next hop
+// until a node claims root ownership of the key (numerically closest
+// nodeId). Each hop is one overlay RPC whose simulated latency feeds the
+// paper's H·hc overhead term (Section 6.1.2). Node state is bounded —
+// O(log N) routing rows plus the l-entry leaf set — so hop counts scale as
+// log_2^b(N) exactly as in the paper; nodes never keep a global membership
+// list.
+package pastry
+
+import (
+	"repro/internal/id"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Service is the simnet service name Pastry nodes register under.
+const Service = "pastry"
+
+// proc numbers for the overlay protocol.
+const (
+	pPing       = 0
+	pNextHop    = 1
+	pGetState   = 2
+	pGetLeafSet = 3
+	pNotify     = 4
+	pRemoveNode = 5
+)
+
+// NodeInfo identifies an overlay member.
+type NodeInfo struct {
+	ID   id.ID
+	Addr simnet.Addr
+}
+
+// IsZero reports whether the info is unset.
+func (n NodeInfo) IsZero() bool { return n.Addr == "" && n.ID.IsZero() }
+
+func putNodeInfo(e *wire.Encoder, n NodeInfo) {
+	e.PutFixedOpaque(n.ID[:])
+	e.PutString(string(n.Addr))
+}
+
+func getNodeInfo(d *wire.Decoder) NodeInfo {
+	var n NodeInfo
+	d.FixedOpaque(n.ID[:])
+	n.Addr = simnet.Addr(d.String())
+	return n
+}
+
+func putNodeInfos(e *wire.Encoder, ns []NodeInfo) {
+	e.PutUint32(uint32(len(ns)))
+	for _, n := range ns {
+		putNodeInfo(e, n)
+	}
+}
+
+func getNodeInfos(d *wire.Decoder) []NodeInfo {
+	n := d.ArrayLen()
+	out := make([]NodeInfo, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, getNodeInfo(d))
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func putIDs(e *wire.Encoder, ids []id.ID) {
+	e.PutUint32(uint32(len(ids)))
+	for _, v := range ids {
+		e.PutFixedOpaque(v[:])
+	}
+}
+
+func getIDs(d *wire.Decoder) []id.ID {
+	n := d.ArrayLen()
+	out := make([]id.ID, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		var v id.ID
+		d.FixedOpaque(v[:])
+		out = append(out, v)
+	}
+	return out
+}

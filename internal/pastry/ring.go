@@ -1,0 +1,101 @@
+package pastry
+
+import (
+	"sort"
+
+	"repro/internal/id"
+)
+
+// Ring is a static, omniscient view of an overlay: the sorted identifier
+// circle. The paper's load-distribution and availability experiments
+// (Sections 6.2-6.3) were simulations over nodeId assignments rather than
+// runs of the prototype; Ring provides the same placement math — root =
+// numerically closest node, replicas = ring-adjacent neighbors — without
+// spinning up live nodes, so sweeps over 50-100 seeds stay cheap.
+type Ring struct {
+	ids []id.ID // sorted ascending
+}
+
+// NewRing builds a ring from node identifiers (duplicates are dropped).
+func NewRing(ids []id.ID) *Ring {
+	seen := make(map[id.ID]bool, len(ids))
+	sorted := make([]id.ID, 0, len(ids))
+	for _, v := range ids {
+		if !seen[v] {
+			seen[v] = true
+			sorted = append(sorted, v)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	return &Ring{ids: sorted}
+}
+
+// RandomRing builds a ring of n uniformly random identifiers derived from
+// seed, mirroring Pastry's "unique, uniform, randomly-assigned" nodeIds.
+func RandomRing(n int, seed uint64) *Ring {
+	state := seed
+	ids := make([]id.ID, 0, n)
+	for len(ids) < n {
+		ids = append(ids, id.Rand128(&state))
+	}
+	return NewRing(ids)
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// IDs returns the sorted identifiers (not a copy; treat as read-only).
+func (r *Ring) IDs() []id.ID { return r.ids }
+
+// Root returns the index of the node numerically closest to key, the
+// primary replica's host. It panics on an empty ring.
+func (r *Ring) Root(key id.ID) int {
+	if len(r.ids) == 0 {
+		panic("pastry: Root on empty ring")
+	}
+	// First id >= key, then compare against its predecessor (with wrap).
+	i := sort.Search(len(r.ids), func(i int) bool { return !r.ids[i].Less(key) })
+	hi := i % len(r.ids)
+	lo := (i - 1 + len(r.ids)) % len(r.ids)
+	dHi, dLo := key.Distance(r.ids[hi]), key.Distance(r.ids[lo])
+	switch dHi.Cmp(dLo) {
+	case -1:
+		return hi
+	case 1:
+		return lo
+	default:
+		if r.ids[hi].Less(r.ids[lo]) {
+			return hi
+		}
+		return lo
+	}
+}
+
+// Replicas returns the indices of up to k nodes holding additional
+// replicas for a key rooted at index root: ring-adjacent neighbors,
+// alternating successor/predecessor (Section 4.2).
+func (r *Ring) Replicas(root, k int) []int {
+	n := len(r.ids)
+	if k > n-1 {
+		k = n - 1
+	}
+	out := make([]int, 0, k)
+	for step := 1; len(out) < k; step++ {
+		succ := (root + step) % n
+		if len(out) < k {
+			out = append(out, succ)
+		}
+		pred := (root - step + n) % n
+		if len(out) < k && pred != succ {
+			out = append(out, pred)
+		}
+	}
+	return out
+}
+
+// Holders returns root plus replica indices for key: every node that
+// stores a copy.
+func (r *Ring) Holders(key id.ID, k int) []int {
+	root := r.Root(key)
+	return append([]int{root}, r.Replicas(root, k)...)
+}

@@ -1,0 +1,220 @@
+// Package simnet provides the message-passing substrate for the Kosha
+// reproduction: an in-process network with a deterministic latency/bandwidth
+// cost model, plus failure injection (node crashes, partitions).
+//
+// The paper evaluated Kosha on eight FreeBSD machines behind a 100 Mb/s
+// switch. This package substitutes that testbed with multi-node emulation on
+// one box: every node registers a service handler, calls are synchronous
+// request/response exchanges, and each exchange returns the simulated time
+// it would have taken on the modeled link (see Cost). Correctness is
+// exercised by real execution; timing is modeled, so measured overheads are
+// reproducible on any host.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr identifies a node on the network.
+type Addr string
+
+// ErrUnreachable is returned when the destination is down or partitioned
+// away from the sender. The associated Cost reflects the RPC timeout the
+// caller would have burned discovering this.
+var ErrUnreachable = errors.New("simnet: destination unreachable")
+
+// ErrNoSuchService is returned when the destination is alive but has no
+// handler for the requested service.
+var ErrNoSuchService = errors.New("simnet: no such service")
+
+// Handler processes one request and returns the response payload together
+// with the simulated cost of local processing (disk ops, nested calls).
+type Handler func(from Addr, req []byte) (resp []byte, cost Cost, err error)
+
+// Caller is the client side of the transport, implemented by *Network and by
+// the TCP transport in internal/tcpnet.
+type Caller interface {
+	// Call sends req from one node to another node's named service and
+	// waits for the response. cost covers the round trip plus the remote
+	// handler's own reported cost, and is meaningful even on error.
+	Call(from, to Addr, service string, req []byte) (resp []byte, cost Cost, err error)
+}
+
+// Transport is the full substrate surface a node needs: issuing calls and
+// serving its own services. *Network implements it for in-process
+// emulation; internal/tcpnet implements it for multi-process deployment.
+type Transport interface {
+	Caller
+	// Register installs a service handler reachable at addr.
+	Register(addr Addr, service string, h Handler)
+}
+
+// Downer is implemented by transports that support failure injection.
+type Downer interface {
+	SetDown(addr Addr, down bool)
+}
+
+// Stats aggregates traffic counters for experiments.
+type Stats struct {
+	Messages uint64 // round trips attempted
+	Bytes    uint64 // request + response payload bytes
+	Failures uint64 // calls that returned an error
+}
+
+type node struct {
+	mu       sync.RWMutex
+	services map[string]Handler
+	down     atomic.Bool
+}
+
+// Network is an in-process transport shared by all simulated nodes.
+type Network struct {
+	Link LinkModel
+	// Timeout is the simulated cost charged for discovering that a peer is
+	// unreachable (client RPC timeout).
+	Timeout Cost
+
+	mu        sync.RWMutex
+	nodes     map[Addr]*node
+	partition func(a, b Addr) bool // true when a cannot reach b
+
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+	failures atomic.Uint64
+}
+
+// New creates a network with the given link model and a 1 s RPC timeout.
+func New(link LinkModel) *Network {
+	return &Network{
+		Link:    link,
+		Timeout: Cost(time.Second),
+		nodes:   make(map[Addr]*node),
+	}
+}
+
+// AddNode registers addr on the network. It is a no-op if already present.
+func (n *Network) AddNode(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; !ok {
+		n.nodes[addr] = &node{services: make(map[string]Handler)}
+	}
+}
+
+// RemoveNode unregisters addr entirely (distinct from SetDown: a removed
+// node loses its handlers, modeling a machine wiped from the cluster).
+func (n *Network) RemoveNode(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+// Register installs a service handler on addr, adding the node if needed.
+func (n *Network) Register(addr Addr, service string, h Handler) {
+	n.AddNode(addr)
+	n.mu.RLock()
+	nd := n.nodes[addr]
+	n.mu.RUnlock()
+	nd.mu.Lock()
+	nd.services[service] = h
+	nd.mu.Unlock()
+}
+
+// SetDown marks addr as crashed (true) or revived (false). Calls to a down
+// node fail with ErrUnreachable after the timeout cost. Handlers and state
+// are preserved, modeling a machine that is off but intact.
+func (n *Network) SetDown(addr Addr, down bool) {
+	n.mu.RLock()
+	nd := n.nodes[addr]
+	n.mu.RUnlock()
+	if nd != nil {
+		nd.down.Store(down)
+	}
+}
+
+// IsDown reports whether addr is currently marked crashed.
+func (n *Network) IsDown(addr Addr) bool {
+	n.mu.RLock()
+	nd := n.nodes[addr]
+	n.mu.RUnlock()
+	return nd == nil || nd.down.Load()
+}
+
+// SetPartition installs a reachability predicate; nil clears it. The
+// predicate returns true when a cannot reach b.
+func (n *Network) SetPartition(blocked func(a, b Addr) bool) {
+	n.mu.Lock()
+	n.partition = blocked
+	n.mu.Unlock()
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Messages: n.messages.Load(),
+		Bytes:    n.bytes.Load(),
+		Failures: n.failures.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.messages.Store(0)
+	n.bytes.Store(0)
+	n.failures.Store(0)
+}
+
+// Call implements Caller. Local calls (from == to) skip the link cost but
+// still pay the handler's processing cost, mirroring a loopback RPC.
+func (n *Network) Call(from, to Addr, service string, req []byte) ([]byte, Cost, error) {
+	n.messages.Add(1)
+	n.bytes.Add(uint64(len(req)))
+
+	n.mu.RLock()
+	dst := n.nodes[to]
+	blocked := n.partition
+	n.mu.RUnlock()
+
+	if dst == nil || dst.down.Load() || (blocked != nil && from != to && blocked(from, to)) {
+		n.failures.Add(1)
+		return nil, n.Timeout, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+
+	dst.mu.RLock()
+	h := dst.services[service]
+	dst.mu.RUnlock()
+	if h == nil {
+		n.failures.Add(1)
+		return nil, n.Timeout, fmt.Errorf("%w: %q on %s", ErrNoSuchService, service, to)
+	}
+
+	var wireCost Cost
+	if from != to {
+		wireCost = n.Link.MessageCost(len(req))
+	}
+	resp, procCost, err := h(from, req)
+	if err != nil {
+		n.failures.Add(1)
+		return nil, Seq(wireCost, procCost), err
+	}
+	n.bytes.Add(uint64(len(resp)))
+	if from != to {
+		wireCost = Seq(wireCost, n.Link.MessageCost(len(resp)))
+	}
+	return resp, Seq(wireCost, procCost), nil
+}
+
+// Nodes returns the addresses currently registered, in unspecified order.
+func (n *Network) Nodes() []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harnesses report: means and standard deviations across nodes
+// and seeds (Figure 5's error bars), and aggregate helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Sum returns the total of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MinMax returns the extrema of xs; ok is false for empty input.
+func MinMax(xs []float64) (min, max float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, true
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// sorted copy of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Accum accumulates running statistics across repeated experiment runs
+// without retaining samples.
+type Accum struct {
+	n    int
+	sum  float64
+	sumS float64
+}
+
+// Add records one sample.
+func (a *Accum) Add(x float64) {
+	a.n++
+	a.sum += x
+	a.sumS += x * x
+}
+
+// N returns the number of samples.
+func (a *Accum) N() int { return a.n }
+
+// Mean returns the running mean.
+func (a *Accum) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (a *Accum) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumS/float64(a.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := StdDev(xs); !approx(s, 2, 1e-12) {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestSumMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Sum(xs) != 9 {
+		t.Fatalf("sum = %v", Sum(xs))
+	}
+	min, max, ok := MinMax(xs)
+	if !ok || min != -1 || max != 7 {
+		t.Fatalf("minmax = %v %v %v", min, max, ok)
+	}
+	if _, _, ok := MinMax(nil); ok {
+		t.Fatal("empty minmax should report !ok")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10}, {-5, 1}, {150, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestAccumMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var a Accum
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()*3 + 10
+		a.Add(x)
+		xs = append(xs, x)
+	}
+	if a.N() != 1000 {
+		t.Fatalf("n = %d", a.N())
+	}
+	if !approx(a.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("accum mean %v vs %v", a.Mean(), Mean(xs))
+	}
+	if !approx(a.StdDev(), StdDev(xs), 1e-6) {
+		t.Fatalf("accum stddev %v vs %v", a.StdDev(), StdDev(xs))
+	}
+}
+
+func TestPropMeanBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		min, max, _ := MinMax(xs)
+		return m >= min-1e-9 && m <= max+1e-9 && StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenFSMatchesTargets(t *testing.T) {
+	cfg := SmallFSConfig()
+	tr := GenFS(cfg, 42)
+	if len(tr.Files) != cfg.Files {
+		t.Fatalf("files = %d, want %d", len(tr.Files), cfg.Files)
+	}
+	if got := tr.TotalBytes(); got != cfg.TotalBytes {
+		t.Fatalf("total bytes = %d, want %d", got, cfg.TotalBytes)
+	}
+	// Every user appears; paths are absolute and under a home dir.
+	users := map[string]bool{}
+	for _, f := range tr.Files {
+		if !strings.HasPrefix(f.Path, "/u") {
+			t.Fatalf("bad path %q", f.Path)
+		}
+		users[strings.SplitN(f.Path[1:], "/", 2)[0]] = true
+		if f.Size < 1 {
+			t.Fatalf("file %q has size %d", f.Path, f.Size)
+		}
+	}
+	if len(users) != cfg.Users {
+		t.Fatalf("users = %d, want %d", len(users), cfg.Users)
+	}
+}
+
+func TestGenFSDeterministic(t *testing.T) {
+	a := GenFS(SmallFSConfig(), 7)
+	b := GenFS(SmallFSConfig(), 7)
+	if len(a.Files) != len(b.Files) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			t.Fatalf("file %d differs: %+v vs %+v", i, a.Files[i], b.Files[i])
+		}
+	}
+	c := GenFS(SmallFSConfig(), 8)
+	same := 0
+	for i := range a.Files {
+		if a.Files[i] == c.Files[i] {
+			same++
+		}
+	}
+	if same == len(a.Files) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenFSDepthBounded(t *testing.T) {
+	cfg := SmallFSConfig()
+	cfg.MaxDepth = 3
+	tr := GenFS(cfg, 3)
+	for _, f := range tr.Files {
+		// /uNNN/d1/d2/file = depth 3 dirs => ≤ 5 components total.
+		parts := strings.Count(f.Path, "/")
+		if parts > cfg.MaxDepth+1 {
+			t.Fatalf("path %q exceeds depth bound", f.Path)
+		}
+	}
+}
+
+func TestGenFSSkewedOwnership(t *testing.T) {
+	tr := GenFS(SmallFSConfig(), 12)
+	counts := map[string]int{}
+	for _, f := range tr.Files {
+		counts[strings.SplitN(f.Path[1:], "/", 2)[0]]++
+	}
+	// u000 must own several times more files than the median user (Zipf).
+	if counts["u000"] < 3*counts["u006"] {
+		t.Fatalf("ownership not skewed: u000=%d u006=%d", counts["u000"], counts["u006"])
+	}
+}
+
+func TestDirOf(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c.txt": "/a/b",
+		"/a":         "/",
+		"noslash":    "/",
+	}
+	for in, want := range cases {
+		if got := DirOf(in); got != want {
+			t.Errorf("DirOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPurdueConfigDimensions(t *testing.T) {
+	cfg := PurdueFSConfig()
+	if cfg.Users != 130 || cfg.Files != 221_000 || cfg.TotalBytes != 17_900<<20 {
+		t.Fatalf("config drifted from the paper: %+v", cfg)
+	}
+}
+
+func TestGenAvailShape(t *testing.T) {
+	cfg := CorporateAvailConfig(200)
+	tr := GenAvail(cfg, 1)
+	if tr.Hours != 840 || tr.Nodes != 200 {
+		t.Fatalf("dims: %d x %d", tr.Hours, tr.Nodes)
+	}
+	// Overall availability should be high (machines are mostly up).
+	totalUp := 0
+	for h := 0; h < tr.Hours; h++ {
+		totalUp += tr.UpCount(h)
+	}
+	avail := float64(totalUp) / float64(tr.Hours*tr.Nodes)
+	if avail < 0.9 || avail > 0.999 {
+		t.Fatalf("average availability = %.3f, want ~0.95", avail)
+	}
+	// The mass-failure spike dominates and sits at the configured hour.
+	hour, down := tr.MaxSimultaneousFailures()
+	if hour < cfg.SpikeHour || hour > cfg.SpikeHour+cfg.SpikeDuration {
+		t.Fatalf("largest failure at hour %d, want near %d", hour, cfg.SpikeHour)
+	}
+	if frac := float64(down) / float64(tr.Nodes); frac < 0.10 || frac > 0.30 {
+		t.Fatalf("spike magnitude %.2f out of range", frac)
+	}
+}
+
+func TestGenAvailDeterministic(t *testing.T) {
+	a := GenAvail(CorporateAvailConfig(50), 9)
+	b := GenAvail(CorporateAvailConfig(50), 9)
+	for h := 0; h < a.Hours; h++ {
+		for n := 0; n < a.Nodes; n++ {
+			if a.Up[h][n] != b.Up[h][n] {
+				t.Fatalf("trace differs at h=%d n=%d", h, n)
+			}
+		}
+	}
+}
+
+func TestGenAvailRecoveryAfterSpike(t *testing.T) {
+	cfg := CorporateAvailConfig(300)
+	tr := GenAvail(cfg, 4)
+	during := tr.UpCount(cfg.SpikeHour)
+	after := tr.UpCount(cfg.SpikeHour + cfg.SpikeDuration + 1)
+	if after <= during {
+		t.Fatalf("no recovery after spike: during=%d after=%d", during, after)
+	}
+}
+
+func TestGenAvailEmpty(t *testing.T) {
+	tr := GenAvail(AvailConfig{}, 0)
+	if tr.Hours != 0 || tr.Nodes != 0 {
+		t.Fatal("empty config should produce empty trace")
+	}
+}
+
+func BenchmarkGenFSPurdue(b *testing.B) {
+	cfg := PurdueFSConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenFS(cfg, uint64(i))
+	}
+}
+
+func TestGenAvailCorrelatedSpike(t *testing.T) {
+	cfg := CorporateAvailConfig(400)
+	cfg.CorrelationGroups = 20
+	tr := GenAvail(cfg, 6)
+	hour, down := tr.MaxSimultaneousFailures()
+	if hour < cfg.SpikeHour || hour > cfg.SpikeHour+cfg.SpikeDuration {
+		t.Fatalf("spike at hour %d", hour)
+	}
+	// With grouped failures the spike magnitude is lumpier but in the same
+	// expected range.
+	frac := float64(down) / float64(tr.Nodes)
+	if frac < 0.03 || frac > 0.5 {
+		t.Fatalf("correlated spike fraction %.2f", frac)
+	}
+	// The machines that failed at the spike must cluster into few groups.
+	groups := map[int]bool{}
+	for n := 0; n < tr.Nodes; n++ {
+		if tr.Up[cfg.SpikeHour-1][n] && !tr.Up[cfg.SpikeHour][n] {
+			groups[n%cfg.CorrelationGroups] = true
+		}
+	}
+	if len(groups) >= cfg.CorrelationGroups {
+		t.Fatalf("spike failures not clustered: %d of %d groups", len(groups), cfg.CorrelationGroups)
+	}
+}

@@ -1,0 +1,76 @@
+package kosha_test
+
+import (
+	"fmt"
+
+	"repro/kosha"
+)
+
+// ExampleCluster_Fail shows transparent fault handling: after the node
+// holding a directory crashes, reads silently come from a replica.
+func ExampleCluster_Fail() {
+	c, err := kosha.NewCluster(kosha.ClusterOptions{
+		Nodes:  6,
+		Seed:   42,
+		Config: kosha.Config{Replicas: 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	m := c.Mount(0)
+	m.WriteFile("/prod/config.yaml", []byte("replicas: 2"))
+
+	// Find and crash the node that stores /prod.
+	pl, _, _ := c.Nodes()[0].ResolvePath("/prod")
+	for i, nd := range c.Nodes() {
+		if nd.Addr() == pl.Node && i != 0 {
+			c.Fail(i)
+		}
+	}
+
+	data, _, err := m.ReadFile("/prod/config.yaml")
+	fmt.Println(string(data), err)
+	// Output: replicas: 2 <nil>
+}
+
+// ExampleMount_Statfs shows the aggregated-storage view: the cluster's
+// contributed space presented as one pool.
+func ExampleMount_Statfs() {
+	caps := []int64{1 << 30, 2 << 30, 3 << 30}
+	c, err := kosha.NewCluster(kosha.ClusterOptions{
+		Nodes:      3,
+		Seed:       7,
+		Config:     kosha.Config{Replicas: 1},
+		Capacities: caps,
+	})
+	if err != nil {
+		panic(err)
+	}
+	st, _, _ := c.Mount(0).Statfs()
+	fmt.Printf("%d nodes pooling %d GiB\n", st.Nodes, st.TotalBytes>>30)
+	// Output: 3 nodes pooling 6 GiB
+}
+
+// ExampleConfig_distributionLevel shows how deeper distribution levels
+// spread a project tree over more nodes.
+func ExampleConfig_distributionLevel() {
+	c, err := kosha.NewCluster(kosha.ClusterOptions{
+		Nodes:  8,
+		Seed:   11,
+		Config: kosha.Config{Replicas: -1, DistributionLevel: 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	m := c.Mount(0)
+	for i := 0; i < 4; i++ {
+		m.WriteFile(fmt.Sprintf("/proj/mod%d/src.go", i), []byte("package m"))
+	}
+	nodes := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		pl, _, _ := c.Nodes()[0].ResolvePath(fmt.Sprintf("/proj/mod%d", i))
+		nodes[string(pl.Node)] = true
+	}
+	fmt.Println(len(nodes) > 1)
+	// Output: true
+}

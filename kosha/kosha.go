@@ -1,0 +1,107 @@
+// Package kosha is the public API of the Kosha reproduction: a peer-to-peer
+// enhancement for NFS (Butt, Johnson, Zheng, Hu — ACM/IEEE SC 2004).
+//
+// Kosha aggregates the unused disk space of many machines into a single
+// shared file system with normal NFS semantics. Nodes join a Pastry
+// overlay; directories are hashed onto nodes by name up to a configurable
+// distribution level; every file is replicated on K leaf-set neighbors; and
+// node failures are handled transparently by re-resolving onto a replica.
+//
+// The quickest way in:
+//
+//	c, err := kosha.NewCluster(kosha.ClusterOptions{Nodes: 8, Config: kosha.Config{Replicas: 2}})
+//	if err != nil { ... }
+//	m := c.Mount(0)                                  // any node's koshad
+//	m.WriteFile("/alice/notes/todo.txt", []byte("…"))
+//	data, _, err := c.Mount(5).ReadFile("/alice/notes/todo.txt") // same image everywhere
+//
+// Every operation returns a simulated cost (see Cost): the time the
+// operation would have taken on the paper's testbed under the calibrated
+// network/disk model, which is what the benchmark harnesses report.
+package kosha
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/localfs"
+	"repro/internal/simnet"
+)
+
+// Re-exported core types. Config tunes a node (distribution level, replica
+// count, redirection attempts, contributed capacity); Mount is the client
+// view of the virtual file system through one node's koshad; VH is a
+// virtual file handle; Attr carries NFS-style attributes; Cost is simulated
+// elapsed time.
+type (
+	Config     = core.Config
+	Node       = core.Node
+	Mount      = core.Mount
+	VH         = core.VH
+	DirEntry   = core.DirEntry
+	Attr       = localfs.Attr
+	SetAttr    = localfs.SetAttr
+	Cost       = simnet.Cost
+	FileType   = localfs.FileType
+	NodeStat   = cluster.NodeStat
+	ClusterOpt = cluster.Options
+)
+
+// File types for DirEntry.Type and Attr.Type.
+const (
+	TypeRegular = localfs.TypeRegular
+	TypeDir     = localfs.TypeDir
+	TypeSymlink = localfs.TypeSymlink
+)
+
+// RootVH is the virtual handle of the mount root.
+const RootVH = core.RootVH
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions = cluster.Options
+
+// Cluster is a set of Kosha nodes sharing one overlay, emulated in-process
+// (the paper's LAN testbed).
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster builds, joins, and stabilizes a Kosha cluster.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	c, err := cluster.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: c}, nil
+}
+
+// Mount attaches a client through node i's koshad; operations on any mount
+// see the same file system image.
+func (c *Cluster) Mount(i int) *Mount { return c.inner.Mount(i) }
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.inner.Nodes }
+
+// Len returns the number of nodes.
+func (c *Cluster) Len() int { return len(c.inner.Nodes) }
+
+// AddNode joins one more node into the overlay; existing content whose keys
+// now root at the newcomer migrates to it (mobility transparency).
+func (c *Cluster) AddNode() (*Node, error) { return c.inner.AddNode() }
+
+// Fail crashes node i; clients transparently fail over to replicas.
+func (c *Cluster) Fail(i int) { c.inner.Fail(i) }
+
+// Revive restarts node i with a fresh overlay identity; its store is purged
+// and it re-acquires content for the keys it now owns.
+func (c *Cluster) Revive(i int) error { return c.inner.Revive(i) }
+
+// Stabilize runs overlay repair and replica synchronization; call it after
+// injecting failures to let the system re-establish its invariants.
+func (c *Cluster) Stabilize() { c.inner.Stabilize() }
+
+// StoreStats reports per-node occupancy (files and bytes), useful for
+// observing load balance.
+func (c *Cluster) StoreStats() []NodeStat { return c.inner.StoreStats() }
+
+// Alive lists the indices of nodes currently up.
+func (c *Cluster) Alive() []int { return c.inner.Alive() }

@@ -1,0 +1,97 @@
+package kosha_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/kosha"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	c, err := kosha.NewCluster(kosha.ClusterOptions{
+		Nodes:  6,
+		Seed:   1,
+		Config: kosha.Config{Replicas: 2, DistributionLevel: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 6 || len(c.Alive()) != 6 {
+		t.Fatalf("len=%d alive=%d", c.Len(), len(c.Alive()))
+	}
+
+	m := c.Mount(0)
+	if _, err := m.WriteFile("/alice/notes/todo.txt", []byte("reproduce kosha")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.Mount(5).ReadFile("/alice/notes/todo.txt")
+	if err != nil || string(data) != "reproduce kosha" {
+		t.Fatalf("read %q err=%v", data, err)
+	}
+
+	// Handle-level API.
+	vh, attr, _, err := m.LookupPath("/alice/notes/todo.txt")
+	if err != nil || attr.Type != kosha.TypeRegular {
+		t.Fatalf("lookup %+v err=%v", attr, err)
+	}
+	buf, eof, _, err := m.Read(vh, 0, 1024)
+	if err != nil || !eof || len(buf) != len(data) {
+		t.Fatalf("read via handle: %d bytes eof=%v err=%v", len(buf), eof, err)
+	}
+
+	// Failure transparency through the public surface.
+	stats := c.StoreStats()
+	if len(stats) != 6 {
+		t.Fatalf("stats len %d", len(stats))
+	}
+	for i := range c.Nodes() {
+		if c.Nodes()[i].Addr() == "" {
+			t.Fatal("node without address")
+		}
+	}
+}
+
+func TestPublicAPIFailover(t *testing.T) {
+	c, err := kosha.NewCluster(kosha.ClusterOptions{
+		Nodes:  5,
+		Seed:   2,
+		Config: kosha.Config{Replicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Mount(0)
+	for i := 0; i < 4; i++ {
+		if _, err := m.WriteFile(fmt.Sprintf("/docs/f%d", i), []byte("safe")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill a node that is not the client's.
+	c.Fail(3)
+	c.Stabilize()
+	for i := 0; i < 4; i++ {
+		data, _, err := m.ReadFile(fmt.Sprintf("/docs/f%d", i))
+		if err != nil || string(data) != "safe" {
+			t.Fatalf("post-failure read f%d: %q err=%v", i, data, err)
+		}
+	}
+	if err := c.Revive(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Alive()); got != 5 {
+		t.Fatalf("alive after revive = %d", got)
+	}
+}
+
+// ExampleNewCluster demonstrates the quickstart flow.
+func ExampleNewCluster() {
+	c, err := kosha.NewCluster(kosha.ClusterOptions{Nodes: 4, Seed: 7, Config: kosha.Config{Replicas: 1}})
+	if err != nil {
+		panic(err)
+	}
+	m := c.Mount(0)
+	m.WriteFile("/team/hello.txt", []byte("hello from kosha"))
+	data, _, _ := c.Mount(3).ReadFile("/team/hello.txt")
+	fmt.Println(string(data))
+	// Output: hello from kosha
+}
