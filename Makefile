@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all vet build test bench-smoke clean
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short -race ./...
+
+bench-smoke:
+	$(GO) test -short -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

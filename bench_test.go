@@ -288,6 +288,29 @@ func BenchmarkAblationReadFromReplicas(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationMetadataCache quantifies the client-side attribute/name
+// caches plus READDIRPLUS batching: a readdir+stat-all-entries scan with the
+// caches on vs off, reported as NFS round trips per client operation and the
+// percent of RPCs the caches eliminate.
+func BenchmarkAblationMetadataCache(b *testing.B) {
+	opts := experiments.DefaultCacheAblationOptions()
+	if testing.Short() {
+		opts.Dirs = 2
+		opts.FilesPerDir = 8
+		opts.Sweeps = 2
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCacheAblation(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.On.RPCsOp, "rpcs/op-cached")
+		b.ReportMetric(res.Off.RPCsOp, "rpcs/op-uncached")
+		b.ReportMetric(res.RPCReductionPct, "rpc-reduction-%")
+		b.ReportMetric(res.TimeSavedPct, "sim-time-saved-%")
+	}
+}
+
 // --- microbenches of the full stack ---
 
 // BenchmarkKoshaWrite32K measures real wall-clock throughput of the whole

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	koshabench -exp table1|table2|fig5|fig6|fig7|model|all [-runs N] [-quick]
+//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|all [-runs N] [-quick]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, all")
 	runs := flag.Int("runs", 0, "override the number of averaged runs (0 = default)")
 	quick := flag.Bool("quick", false, "scaled-down workloads for a fast smoke run")
 	format := flag.String("format", "table", "output format: table or csv")
@@ -167,6 +167,25 @@ func main() {
 			opts.Runs = 2
 		}
 		res, err := experiments.RunTable2(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("cache", func() error {
+		opts := experiments.DefaultCacheAblationOptions()
+		if *quick {
+			opts.Dirs = 2
+			opts.FilesPerDir = 8
+			opts.Sweeps = 2
+		}
+		res, err := experiments.RunCacheAblation(opts)
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"path"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/localfs"
 	"repro/internal/nfs"
@@ -31,6 +33,7 @@ type ventry struct {
 	pn       string // controlling placement name
 	root     string // physical subtree root of the replicated hierarchy
 	place    Place  // directories: resolved place for child operations
+	cached   bool   // served from the name cache, not a fresh resolution
 }
 
 // DirEntry is one row of a virtual directory listing.
@@ -53,6 +56,29 @@ type Mount struct {
 
 	rr        uint64                // round-robin cursor for replica reads
 	readsFrom map[simnet.Addr]int64 // per-node read counter (observability)
+
+	// Client-side metadata caches, modeling the kernel NFS client's
+	// attribute cache and dnlc that the paper's overhead numbers rely on
+	// (Section 6.1). Both serve hits for at most a TTL and are
+	// write-through invalidated by every mutating op and by failover.
+	now    func() time.Time // injectable clock for TTL tests
+	metaMu sync.Mutex
+	attrs  map[string]attrEntry // virtual path -> cached attributes
+	dnlc   map[string]dnlcEntry // child virtual path -> resolved entry
+}
+
+// attrEntry is one attribute-cache row.
+type attrEntry struct {
+	attr localfs.Attr
+	at   time.Time
+}
+
+// dnlcEntry is one name-cache row: the fully resolved child (node, handle,
+// physical path) plus the attributes LOOKUP would have carried.
+type dnlcEntry struct {
+	ve   ventry
+	attr localfs.Attr
+	at   time.Time
 }
 
 // NewMount attaches a client to the node's koshad.
@@ -62,6 +88,9 @@ func (n *Node) NewMount() *Mount {
 		vft:       make(map[VH]*ventry),
 		next:      RootVH + 1,
 		readsFrom: make(map[simnet.Addr]int64),
+		now:       time.Now,
+		attrs:     make(map[string]attrEntry),
+		dnlc:      make(map[string]dnlcEntry),
 	}
 	m.vft[RootVH] = &ventry{
 		vpath: "/",
@@ -69,6 +98,87 @@ func (n *Node) NewMount() *Mount {
 		place: Place{VRoot: true, Store: "/"},
 	}
 	return m
+}
+
+// --- client-side metadata caches ---
+
+func (m *Mount) cacheAttr(vpath string, a localfs.Attr) {
+	if m.n.cfg.AttrCacheTTL <= 0 {
+		return
+	}
+	m.metaMu.Lock()
+	m.attrs[vpath] = attrEntry{attr: a, at: m.now()}
+	m.metaMu.Unlock()
+}
+
+func (m *Mount) cachedAttr(vpath string) (localfs.Attr, bool) {
+	ttl := m.n.cfg.AttrCacheTTL
+	if ttl <= 0 {
+		return localfs.Attr{}, false
+	}
+	m.metaMu.Lock()
+	defer m.metaMu.Unlock()
+	e, ok := m.attrs[vpath]
+	if !ok {
+		return localfs.Attr{}, false
+	}
+	if m.now().Sub(e.at) > ttl {
+		delete(m.attrs, vpath)
+		return localfs.Attr{}, false
+	}
+	return e.attr, true
+}
+
+func (m *Mount) invalAttr(vpath string) {
+	m.metaMu.Lock()
+	delete(m.attrs, vpath)
+	m.metaMu.Unlock()
+}
+
+// dnlcPut caches a resolved child entry and its attributes.
+func (m *Mount) dnlcPut(ve ventry, a localfs.Attr) {
+	if m.n.cfg.NameCacheTTL > 0 {
+		m.metaMu.Lock()
+		m.dnlc[ve.vpath] = dnlcEntry{ve: ve, attr: a, at: m.now()}
+		m.metaMu.Unlock()
+	}
+	m.cacheAttr(ve.vpath, a)
+}
+
+func (m *Mount) dnlcGet(vpath string) (ventry, localfs.Attr, bool) {
+	ttl := m.n.cfg.NameCacheTTL
+	if ttl <= 0 {
+		return ventry{}, localfs.Attr{}, false
+	}
+	m.metaMu.Lock()
+	defer m.metaMu.Unlock()
+	e, ok := m.dnlc[vpath]
+	if !ok {
+		return ventry{}, localfs.Attr{}, false
+	}
+	if m.now().Sub(e.at) > ttl {
+		delete(m.dnlc, vpath)
+		return ventry{}, localfs.Attr{}, false
+	}
+	return e.ve, e.attr, true
+}
+
+// dropMetaUnder invalidates cached metadata for vpath and everything below
+// it (rename/remove/failover relocate whole subtrees).
+func (m *Mount) dropMetaUnder(vpath string) {
+	prefix := strings.TrimSuffix(vpath, "/") + "/"
+	m.metaMu.Lock()
+	for p := range m.attrs {
+		if p == vpath || strings.HasPrefix(p, prefix) {
+			delete(m.attrs, p)
+		}
+	}
+	for p := range m.dnlc {
+		if p == vpath || strings.HasPrefix(p, prefix) {
+			delete(m.dnlc, p)
+		}
+	}
+	m.metaMu.Unlock()
 }
 
 // Root returns the mount's root virtual handle.
@@ -127,6 +237,17 @@ func retryable(err error) bool {
 		nfs.IsStatus(err, nfs.ErrStale)
 }
 
+// cacheSuspect reports whether an error could be the fault of a stale
+// name-cache entry rather than of the operation itself: another client may
+// have removed, renamed, or retyped the path since it was cached. Such a
+// failure on a cached entry is retried once against a fresh resolution, the
+// way the kernel NFS client retries after ESTALE.
+func cacheSuspect(err error) bool {
+	return nfs.IsStatus(err, nfs.ErrNoEnt) ||
+		nfs.IsStatus(err, nfs.ErrNotDir) ||
+		nfs.IsStatus(err, nfs.ErrIsDir)
+}
+
 // materialize builds a ventry for a virtual path by resolving placement and
 // looking the path up on the storage node. It also returns the entry's
 // attributes (LOOKUP carries them, as in NFS).
@@ -166,7 +287,7 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 		if lerr != nil {
 			return nil, localfs.Attr{}, total, lerr
 		}
-		return &ventry{
+		ve := &ventry{
 			vpath:    JoinVirtual(parts),
 			kind:     attr.Type,
 			node:     place.Node,
@@ -175,7 +296,9 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 			pn:       place.PN(),
 			root:     place.SubtreeRoot(),
 			place:    place,
-		}, attr, total, nil
+		}
+		m.cacheAttr(ve.vpath, attr)
+		return ve, attr, total, nil
 
 	case nfs.IsStatus(err, nfs.ErrNotDir):
 		// The final component is a file or plain symlink at a depth the
@@ -209,7 +332,7 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 		if lerr != nil {
 			return nil, localfs.Attr{}, total, lerr
 		}
-		return &ventry{
+		ve := &ventry{
 			vpath:    JoinVirtual(parts),
 			kind:     attr.Type,
 			node:     parent.Node,
@@ -218,7 +341,9 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 			pn:       parent.PN(),
 			root:     parent.SubtreeRoot(),
 			place:    parent,
-		}, attr, total, nil
+		}
+		m.cacheAttr(ve.vpath, attr)
+		return ve, attr, total, nil
 
 	default:
 		return nil, localfs.Attr{}, total, err
@@ -263,18 +388,28 @@ func (m *Mount) withFailover(vh VH, fn func(de *ventry) (simnet.Cost, error)) (s
 	if err != nil {
 		return total, err
 	}
+	cacheRetried := false
 	for attempt := 0; ; attempt++ {
 		c, err := fn(de)
 		total = simnet.Seq(total, c)
-		if err == nil || !retryable(err) || attempt >= 3 {
+		if err == nil || attempt >= 3 {
 			return total, err
 		}
-		// Drop state naming the failed node and re-resolve the path: the
-		// overlay now routes the key to a node holding a replica. A
-		// NotPrimary answer came from a live node — only the stale
-		// resolution is dropped, not the node.
-		if !errors.Is(err, ErrNotPrimary) {
-			m.n.invalidateNode(de.node)
+		switch {
+		case retryable(err):
+			// Drop state naming the failed node and re-resolve the path:
+			// the overlay now routes the key to a node holding a replica.
+			// A NotPrimary answer came from a live node — only the stale
+			// resolution is dropped, not the node.
+			if !errors.Is(err, ErrNotPrimary) {
+				m.n.invalidateNode(de.node)
+			}
+		case de.cached && !cacheRetried && cacheSuspect(err):
+			// The entry came from the name cache and the failure smells
+			// like staleness; revalidate once against a fresh resolution.
+			cacheRetried = true
+		default:
+			return total, err
 		}
 		m.dropCachesUnder(de.vpath)
 		nde, _, c2, rerr := m.materialize(de.vpath)
@@ -288,12 +423,15 @@ func (m *Mount) withFailover(vh VH, fn func(de *ventry) (simnet.Cost, error)) (s
 }
 
 // dropCachesUnder invalidates resolver cache entries for a path and its
-// ancestors (any of them may name the failed node).
+// ancestors (any of them may name the failed node), plus this mount's
+// metadata caches for the path's subtree (handles and attributes cached
+// below a failed or relocated directory are all suspect).
 func (m *Mount) dropCachesUnder(vpath string) {
 	parts := SplitVirtual(vpath)
 	for i := 1; i <= len(parts); i++ {
 		m.n.cacheDrop(JoinVirtual(parts[:i]))
 	}
+	m.dropMetaUnder(vpath)
 }
 
 // Lookup resolves name within the directory dir, returning a new virtual
@@ -310,6 +448,19 @@ func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, erro
 	}
 	depth := len(SplitVirtual(de.vpath)) + 1
 	if !de.place.VRoot && depth > m.n.cfg.DistributionLevel {
+		// Name-cache hit: the child was resolved (or pre-warmed by
+		// READDIRPLUS) within the TTL; no network at all. The entry must
+		// belong to the same hierarchy incarnation as the parent handle in
+		// use — re-created directories get fresh storage roots, so a root
+		// mismatch exposes entries cached before the re-creation. A stale
+		// hit that slips through self-heals: handle ops return
+		// NFS3ERR_STALE and path ops NFS3ERR_NOENT, both of which the
+		// failover path retries against a fresh resolution.
+		if ve, a, ok := m.dnlcGet(path.Join(de.vpath, name)); ok &&
+			ve.node == de.node && ve.root == de.root {
+			ve.cached = true
+			return m.insert(&ve), a, m.n.cfg.InterposeCost, nil
+		}
 		var out VH
 		var attr localfs.Attr
 		cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
@@ -320,7 +471,7 @@ func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, erro
 			attr = a
 			childPlace := de.place
 			childPlace.Rest = append(append([]string(nil), de.place.Rest...), name)
-			out = m.insert(&ventry{
+			ve := ventry{
 				vpath:    path.Join(de.vpath, name),
 				kind:     a.Type,
 				node:     de.node,
@@ -329,7 +480,9 @@ func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, erro
 				pn:       de.pn,
 				root:     de.root,
 				place:    childPlace,
-			})
+			}
+			m.dnlcPut(ve, a)
+			out = m.insert(&ve)
 			return c, nil
 		})
 		return out, attr, cost, err
@@ -344,16 +497,24 @@ func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, erro
 	return m.insert(child), attr, total, nil
 }
 
-// Getattr fetches attributes for a virtual handle.
+// Getattr fetches attributes for a virtual handle. Within the attribute
+// cache's TTL a hit costs only the interposition constant — no RPC — just
+// as the kernel NFS client's acregmin/acdirmin window the paper assumes.
 func (m *Mount) Getattr(vh VH) (localfs.Attr, simnet.Cost, error) {
 	if vh == RootVH {
 		return localfs.Attr{Ino: 1, Type: localfs.TypeDir, Mode: 0o755, Nlink: 2}, m.n.cfg.InterposeCost, nil
+	}
+	if de, err := m.entry(vh); err == nil {
+		if a, ok := m.cachedAttr(de.vpath); ok {
+			return a, m.n.cfg.InterposeCost, nil
+		}
 	}
 	var attr localfs.Attr
 	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
 		a, c, err := m.n.nfsc.Getattr(de.node, de.fh)
 		if err == nil {
 			attr = a
+			m.cacheAttr(de.vpath, a)
 		}
 		return c, err
 	})
@@ -368,6 +529,7 @@ func (m *Mount) Setattr(vh VH, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, e
 			FSOp{Kind: FSSetattr, Path: de.physPath, SetAttr: sa})
 		if err == nil {
 			attr = a
+			m.invalAttr(de.vpath)
 		}
 		return c, err
 	})
@@ -460,6 +622,7 @@ func (m *Mount) Write(vh VH, offset int64, data []byte) (int, simnet.Cost, error
 			FSOp{Kind: FSWrite, Path: de.physPath, Offset: offset, Data: data})
 		if err == nil {
 			n = len(data)
+			m.invalAttr(de.vpath)
 			if de.node == m.n.addr {
 				c = simnet.Seq(c, m.n.cfg.LoopbackXfer(len(data)))
 			}
@@ -491,6 +654,8 @@ func (m *Mount) Create(dir VH, name string, mode uint32, exclusive bool) (VH, lo
 			return c, err
 		}
 		attr = a
+		m.dropMetaUnder(path.Join(de.vpath, name))
+		m.invalAttr(de.vpath)
 		out = m.insert(&ventry{
 			vpath:    path.Join(de.vpath, name),
 			kind:     localfs.TypeRegular,
@@ -527,6 +692,8 @@ func (m *Mount) Symlink(dir VH, name, target string) (VH, simnet.Cost, error) {
 		if err != nil {
 			return c, err
 		}
+		m.dropMetaUnder(path.Join(de.vpath, name))
+		m.invalAttr(de.vpath)
 		out = m.insert(&ventry{
 			vpath:    path.Join(de.vpath, name),
 			kind:     localfs.TypeSymlink,
@@ -584,6 +751,8 @@ func (m *Mount) Mkdir(dir VH, name string, mode uint32) (VH, localfs.Attr, simne
 			return c, err
 		}
 		attr = a
+		m.dropMetaUnder(path.Join(de.vpath, name))
+		m.invalAttr(de.vpath)
 		childPlace := de.place
 		childPlace.Rest = append(append([]string(nil), de.place.Rest...), name)
 		out = m.insert(&ventry{
@@ -721,7 +890,11 @@ func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, 
 // Readdir lists a virtual directory: physical entries minus Kosha-internal
 // names, with special links reported as the directories they stand for
 // (Section 3.3: the link's name "helps Kosha list the directory contents of
-// the parent directory").
+// the parent directory"). One READDIRPLUS reply carries every entry's
+// handle, attributes, and symlink target, so classifying special links
+// needs no per-entry READLINK, and below the distribution level the reply
+// pre-warms the name and attribute caches: a following stat-all-entries
+// sweep issues no RPCs at all (the N+1 round trips collapse into 1).
 func (m *Mount) Readdir(dir VH) ([]DirEntry, simnet.Cost, error) {
 	de, err := m.entry(dir)
 	if err != nil {
@@ -732,38 +905,46 @@ func (m *Mount) Readdir(dir VH) ([]DirEntry, simnet.Cost, error) {
 	}
 	var out []DirEntry
 	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
-		ents, c, err := m.n.nfsc.ReaddirAll(de.node, de.fh, 256)
+		ents, c, err := m.n.nfsc.ReaddirPlusAll(de.node, de.fh, 256)
 		if err != nil {
 			return c, err
 		}
+		// Children of a sub-distribution-level directory live on the
+		// parent's node and their handles came back in the reply, so each
+		// is a complete lookup result worth caching. Distributed levels
+		// resolve through the overlay instead and are left alone.
+		prewarm := !de.place.VRoot && len(SplitVirtual(de.vpath))+1 > m.n.cfg.DistributionLevel
 		out = out[:0]
 		for _, e := range ents {
-			entry, ok, c2 := m.virtualizeEntry(de, e)
-			c = simnet.Seq(c, c2)
-			if ok {
-				out = append(out, entry)
+			if Hidden(e.Name) {
+				continue
+			}
+			if e.Type == localfs.TypeSymlink {
+				if _, _, ok := ParseLinkTarget(e.SymTarget); ok {
+					// Special placement link: a directory on another node.
+					out = append(out, DirEntry{Name: e.Name, Type: localfs.TypeDir})
+					continue
+				}
+			}
+			out = append(out, DirEntry{Name: e.Name, Type: e.Type})
+			if prewarm {
+				childPlace := de.place
+				childPlace.Rest = append(append([]string(nil), de.place.Rest...), e.Name)
+				m.dnlcPut(ventry{
+					vpath:    path.Join(de.vpath, e.Name),
+					kind:     e.Type,
+					node:     de.node,
+					fh:       e.FH,
+					physPath: path.Join(de.physPath, e.Name),
+					pn:       de.pn,
+					root:     de.root,
+					place:    childPlace,
+				}, e.Attr)
 			}
 		}
 		return c, nil
 	})
 	return out, cost, err
-}
-
-// virtualizeEntry maps a physical directory entry to its virtual form.
-func (m *Mount) virtualizeEntry(de *ventry, e nfs.DirEntry) (DirEntry, bool, simnet.Cost) {
-	if Hidden(e.Name) {
-		return DirEntry{}, false, 0
-	}
-	if e.Type == localfs.TypeSymlink {
-		target, c, err := m.n.readLink(de.node, path.Join(de.physPath, e.Name))
-		if err == nil {
-			if _, _, ok := ParseLinkTarget(target); ok {
-				return DirEntry{Name: e.Name, Type: localfs.TypeDir}, true, c
-			}
-		}
-		return DirEntry{Name: e.Name, Type: localfs.TypeSymlink}, true, c
-	}
-	return DirEntry{Name: e.Name, Type: e.Type}, true, 0
 }
 
 // readdirRoot lists the virtual root: "the /kosha/$USER directory actually
@@ -841,6 +1022,10 @@ func (m *Mount) Remove(dir VH, name string) (simnet.Cost, error) {
 		}
 		_, _, c2, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSRemove, Path: phys})
+		if err == nil {
+			m.dropMetaUnder(path.Join(de.vpath, name))
+			m.invalAttr(de.vpath)
+		}
 		return simnet.Seq(c, c2), err
 	})
 }
@@ -856,6 +1041,10 @@ func (m *Mount) Rmdir(dir VH, name string) (simnet.Cost, error) {
 		phys := path.Join(de.physPath, name)
 		_, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSRmdir, Path: phys})
+		if err == nil {
+			m.dropMetaUnder(path.Join(de.vpath, name))
+			m.invalAttr(de.vpath)
+		}
 		return c, err
 	})
 }
@@ -926,6 +1115,8 @@ func (m *Mount) rmdirDistributed(parent *ventry, name string) (simnet.Cost, erro
 		}
 	}
 	n.cacheDrop(vpath)
+	m.dropMetaUnder(vpath)
+	m.invalAttr(parent.vpath)
 	return total, nil
 }
 
@@ -960,6 +1151,9 @@ func (m *Mount) Rename(srcDir VH, srcName string, dstDir VH, dstName string) (si
 			return c, err
 		})
 		m.dropCachesUnder(path.Join(sde.vpath, srcName))
+		m.dropCachesUnder(path.Join(dde.vpath, dstName))
+		m.invalAttr(sde.vpath)
+		m.invalAttr(dde.vpath)
 		return simnet.Seq(total, c), err
 	}
 
@@ -1184,8 +1378,32 @@ func (m *Mount) LookupPath(vpath string) (VH, localfs.Attr, simnet.Cost, error) 
 	return m.insert(de), attr, total, nil
 }
 
-// MkdirAll creates a directory path and any missing ancestors.
+// dropMetaForPath invalidates this mount's metadata caches for a path's
+// whole top-level subtree plus resolver entries along the path — the
+// recovery hammer the path helpers swing before redriving after a failure
+// that implicates cached state.
+func (m *Mount) dropMetaForPath(vpath string) {
+	m.dropCachesUnder(vpath)
+	if parts := SplitVirtual(vpath); len(parts) > 0 {
+		m.dropMetaUnder(JoinVirtual(parts[:1]))
+	}
+}
+
+// MkdirAll creates a directory path and any missing ancestors. A NOENT on
+// the way can mean a name-cache entry went stale mid-walk (another client
+// removed or renamed a component); the walk redrives once with fresh
+// resolutions before giving up.
 func (m *Mount) MkdirAll(vpath string) (VH, simnet.Cost, error) {
+	vh, total, err := m.mkdirAllOnce(vpath)
+	if err != nil && cacheSuspect(err) {
+		m.dropMetaForPath(vpath)
+		vh2, c, err2 := m.mkdirAllOnce(vpath)
+		return vh2, simnet.Seq(total, c), err2
+	}
+	return vh, total, err
+}
+
+func (m *Mount) mkdirAllOnce(vpath string) (VH, simnet.Cost, error) {
 	parts := SplitVirtual(vpath)
 	var total simnet.Cost
 	cur := m.Root()
@@ -1210,8 +1428,19 @@ func (m *Mount) MkdirAll(vpath string) (VH, simnet.Cost, error) {
 	return cur, total, nil
 }
 
-// WriteFile creates (or truncates) a file at a virtual path and writes data.
+// WriteFile creates (or truncates) a file at a virtual path and writes
+// data. Like MkdirAll, it redrives once on a staleness-shaped failure.
 func (m *Mount) WriteFile(vpath string, data []byte) (simnet.Cost, error) {
+	total, err := m.writeFileOnce(vpath, data)
+	if err != nil && cacheSuspect(err) {
+		m.dropMetaForPath(vpath)
+		c, err2 := m.writeFileOnce(vpath, data)
+		return simnet.Seq(total, c), err2
+	}
+	return total, err
+}
+
+func (m *Mount) writeFileOnce(vpath string, data []byte) (simnet.Cost, error) {
 	dir, base := path.Split(path.Clean("/" + vpath))
 	dirVH, total, err := m.MkdirAll(dir)
 	if err != nil {
@@ -1227,15 +1456,28 @@ func (m *Mount) WriteFile(vpath string, data []byte) (simnet.Cost, error) {
 	return simnet.Seq(total, c), err
 }
 
-// ReadFile reads a whole file at a virtual path.
+// ReadFile reads a whole file at a virtual path. It reads to EOF rather
+// than trusting the looked-up size, so a concurrent append through another
+// node can never truncate the result.
 func (m *Mount) ReadFile(vpath string) ([]byte, simnet.Cost, error) {
-	vh, attr, total, err := m.LookupPath(vpath)
+	vh, _, total, err := m.LookupPath(vpath)
 	if err != nil {
 		return nil, total, err
 	}
 	defer m.forget(vh)
-	data, _, c, err := m.Read(vh, 0, int(attr.Size))
-	return data, simnet.Seq(total, c), err
+	var data []byte
+	const chunk = 1 << 20
+	for {
+		d, eof, c, err := m.Read(vh, int64(len(data)), chunk)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return nil, total, err
+		}
+		data = append(data, d...)
+		if eof || len(d) == 0 {
+			return data, total, nil
+		}
+	}
 }
 
 // RemoveAllPath recursively removes a virtual subtree.
@@ -1253,6 +1495,9 @@ func (m *Mount) RemoveAllPath(vpath string) (simnet.Cost, error) {
 	return simnet.Seq(total, c), err
 }
 
+// removeAllIn removes dir/name recursively. NOENT at any step means
+// another client (or a stale cache entry standing in for one) already
+// removed that piece — the goal state, so it counts as success.
 func (m *Mount) removeAllIn(dir VH, name string) (simnet.Cost, error) {
 	vh, attr, total, err := m.Lookup(dir, name)
 	if err != nil {
@@ -1264,12 +1509,18 @@ func (m *Mount) removeAllIn(dir VH, name string) (simnet.Cost, error) {
 	if attr.Type != localfs.TypeDir {
 		m.forget(vh)
 		c, err := m.Remove(dir, name)
+		if nfs.IsStatus(err, nfs.ErrNoEnt) {
+			err = nil
+		}
 		return simnet.Seq(total, c), err
 	}
 	ents, c, err := m.Readdir(vh)
 	total = simnet.Seq(total, c)
 	if err != nil {
 		m.forget(vh)
+		if nfs.IsStatus(err, nfs.ErrNoEnt) {
+			return total, nil
+		}
 		return total, err
 	}
 	for _, e := range ents {
@@ -1282,6 +1533,9 @@ func (m *Mount) removeAllIn(dir VH, name string) (simnet.Cost, error) {
 	}
 	m.forget(vh)
 	c, err = m.Rmdir(dir, name)
+	if nfs.IsStatus(err, nfs.ErrNoEnt) {
+		err = nil
+	}
 	return simnet.Seq(total, c), err
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/id"
 	"repro/internal/localfs"
@@ -69,6 +70,17 @@ type Config struct {
 	AutoSync bool
 	// noAutoSyncSet distinguishes "zero value = default on" from off.
 	NoAutoSync bool
+	// AttrCacheTTL bounds how long a mount may serve cached attributes
+	// without revalidating, mirroring the kernel NFS client's
+	// acregmin/acdirmin window the paper relies on for its low overhead
+	// (Section 6.1). Default 3s; negative disables attribute caching.
+	AttrCacheTTL time.Duration
+	// NameCacheTTL bounds per-directory name-cache (dnlc) entries the same
+	// way. Default 3s; negative disables the name cache.
+	NameCacheTTL time.Duration
+	// NoMetadataCache turns off both client-side metadata caches,
+	// regardless of the TTL fields. Used by ablation benches.
+	NoMetadataCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +114,16 @@ func (c Config) withDefaults() Config {
 		c.Disk = simnet.Disk7200
 	}
 	c.AutoSync = !c.NoAutoSync
+	if c.AttrCacheTTL == 0 {
+		c.AttrCacheTTL = 3 * time.Second
+	}
+	if c.NameCacheTTL == 0 {
+		c.NameCacheTTL = 3 * time.Second
+	}
+	if c.NoMetadataCache {
+		c.AttrCacheTTL = -1
+		c.NameCacheTTL = -1
+	}
 	return c
 }
 
@@ -229,6 +251,16 @@ func (n *Node) newStoreRoot(pn string) string {
 
 // Addr returns the node's network address.
 func (n *Node) Addr() simnet.Addr { return n.addr }
+
+// NFSStats returns cumulative NFS RPC counters for this node's client side
+// (every mount on the node shares it), letting experiments report rpcs/op.
+func (n *Node) NFSStats() nfs.ClientStats { return n.nfsc.Stats() }
+
+// ResetNFSStats zeroes the node's NFS RPC counters.
+func (n *Node) ResetNFSStats() { n.nfsc.ResetStats() }
+
+// NFSProcCount returns how many RPCs of one procedure this node has issued.
+func (n *Node) NFSProcCount(p nfs.Proc) uint64 { return n.nfsc.ProcCount(p) }
 
 // ID returns the node's overlay identifier.
 func (n *Node) ID() id.ID { return n.overlay.Info().ID }
@@ -1021,16 +1053,20 @@ func (n *Node) SyncReplicas() simnet.Cost {
 			total = simnet.Seq(total, c)
 			if meta.Dead {
 				// Propagate the deletion to any replica still holding a
-				// copy older than the tombstone.
+				// copy older than the tombstone. The replicas are
+				// independent peers, so the fan-out cost is the slowest
+				// branch, not the sum.
+				var fan []simnet.Cost
 				for _, rep := range n.overlay.ReplicaCandidates(n.cfg.Replicas) {
 					st, c, err := n.remoteStatTree(rep.Addr, RepPath(root))
-					total = simnet.Seq(total, c)
 					if err != nil || (!st.Exists && st.Ver >= t.Ver) {
+						fan = append(fan, c)
 						continue
 					}
-					c, _ = n.mirror(rep.Addr, t, FSOp{Kind: FSRemoveAll, Path: root})
-					total = simnet.Seq(total, c)
+					mc, _ := n.mirror(rep.Addr, t, FSOp{Kind: FSRemoveAll, Path: root})
+					fan = append(fan, simnet.Seq(c, mc))
 				}
+				total = simnet.Seq(total, simnet.Par(fan...))
 				continue
 			}
 			// Surface any replica-area copy; if a replica holds a newer
@@ -1040,10 +1076,12 @@ func (n *Node) SyncReplicas() simnet.Cost {
 			if n.isDead(root) {
 				continue
 			}
+			var fan []simnet.Cost
 			for _, rep := range n.overlay.ReplicaCandidates(n.cfg.Replicas) {
 				c, _ := n.ensureTree(rep.Addr, t, false)
-				total = simnet.Seq(total, c)
+				fan = append(fan, c)
 			}
+			total = simnet.Seq(total, simnet.Par(fan...))
 			continue
 		} else {
 			total = simnet.Seq(total, c)
@@ -1092,10 +1130,12 @@ func (n *Node) SyncReplicas() simnet.Cost {
 		if isRoot, c := n.overlay.EnsureRootFor(key); isRoot {
 			total = simnet.Seq(total, c)
 			n.promoteLocal(t)
+			var fan []simnet.Cost
 			for _, rep := range n.overlay.ReplicaCandidates(n.cfg.Replicas) {
 				c, _ := n.mirror(rep.Addr, t, op)
-				total = simnet.Seq(total, c)
+				fan = append(fan, c)
 			}
+			total = simnet.Seq(total, simnet.Par(fan...))
 			continue
 		} else {
 			total = simnet.Seq(total, c)

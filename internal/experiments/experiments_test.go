@@ -279,3 +279,34 @@ func TestScaleSweepSaturates(t *testing.T) {
 		t.Fatal("csv header missing")
 	}
 }
+
+func TestCacheAblationCutsRPCs(t *testing.T) {
+	opts := CacheAblationOptions{
+		Nodes:       4,
+		Dirs:        3,
+		FilesPerDir: 10,
+		Sweeps:      2,
+		Seed:        9,
+	}
+	res, err := RunCacheAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Off.RPCs == 0 || res.Off.Ops != res.On.Ops {
+		t.Fatalf("arms not comparable: %+v vs %+v", res.Off, res.On)
+	}
+	// Acceptance bar: caching removes at least 40% of the NFS round
+	// trips on the readdir+stat-all-entries scan.
+	if res.RPCReductionPct < 40 {
+		t.Fatalf("RPC reduction %.1f%% < 40%%: on=%d off=%d",
+			res.RPCReductionPct, res.On.RPCs, res.Off.RPCs)
+	}
+	if res.On.Seconds > res.Off.Seconds {
+		t.Fatalf("caching slower: %.3fs vs %.3fs", res.On.Seconds, res.Off.Seconds)
+	}
+	var sb strings.Builder
+	res.Fprint(&sb, opts)
+	if !strings.Contains(sb.String(), "RPC reduction") {
+		t.Fatal("printout missing reduction line")
+	}
+}

@@ -3,11 +3,29 @@ package nfs
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/localfs"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
+
+// ClientStats counts the RPC traffic one client has issued, so harnesses can
+// report rpcs/op alongside simulated seconds and quantify round-trip savings
+// (e.g. the attribute-cache and READDIRPLUS ablations).
+type ClientStats struct {
+	RPCs  uint64 // calls issued (including failed ones)
+	Bytes uint64 // request + reply payload bytes
+}
+
+// Sub returns the traffic accumulated since an earlier snapshot.
+func (s ClientStats) Sub(prev ClientStats) ClientStats {
+	return ClientStats{RPCs: s.RPCs - prev.RPCs, Bytes: s.Bytes - prev.Bytes}
+}
+
+// maxProc bounds the per-procedure counter table (ProcMountRoot = 100 is the
+// highest procedure number in use).
+const maxProc = 128
 
 // Client issues NFS RPCs from one node to another over the transport.
 // koshad uses it both to serve lookups "as if it is an NFS client of R"
@@ -15,11 +33,37 @@ import (
 type Client struct {
 	Net  simnet.Caller
 	From simnet.Addr
+
+	rpcs   atomic.Uint64
+	bytes  atomic.Uint64
+	byProc [maxProc]atomic.Uint64
 }
 
 // NewClient returns a client that originates calls from addr.
 func NewClient(net simnet.Caller, from simnet.Addr) *Client {
 	return &Client{Net: net, From: from}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{RPCs: c.rpcs.Load(), Bytes: c.bytes.Load()}
+}
+
+// ProcCount reports how many RPCs of one procedure have been issued.
+func (c *Client) ProcCount(p Proc) uint64 {
+	if p >= maxProc {
+		return 0
+	}
+	return c.byProc[p].Load()
+}
+
+// ResetStats zeroes the traffic counters.
+func (c *Client) ResetStats() {
+	c.rpcs.Store(0)
+	c.bytes.Store(0)
+	for i := range c.byProc {
+		c.byProc[i].Store(0)
+	}
 }
 
 // call performs one RPC and strips the status word.
@@ -29,7 +73,13 @@ func (c *Client) call(to simnet.Addr, proc Proc, build func(*wire.Encoder)) (*wi
 	if build != nil {
 		build(e)
 	}
+	c.rpcs.Add(1)
+	if proc < maxProc {
+		c.byProc[proc].Add(1)
+	}
+	c.bytes.Add(uint64(len(e.Bytes())))
 	resp, cost, err := c.Net.Call(c.From, to, Service, e.Bytes())
+	c.bytes.Add(uint64(len(resp)))
 	if err != nil {
 		return nil, cost, fmt.Errorf("nfs %s to %s: %w", proc, to, err)
 	}
@@ -310,6 +360,57 @@ func (c *Client) ReaddirAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntr
 	var cookie uint64
 	for {
 		ents, eof, next, cost, err := c.Readdir(to, dir, cookie, pageSize)
+		total = simnet.Seq(total, cost)
+		if err != nil {
+			return nil, total, err
+		}
+		all = append(all, ents...)
+		if eof {
+			return all, total, nil
+		}
+		cookie = next
+	}
+}
+
+// ReaddirPlus reads one page of directory entries with handles and
+// attributes, starting at cookie; count 0 means "all remaining".
+func (c *Client) ReaddirPlus(to simnet.Addr, dir Handle, cookie uint64, count int) ([]DirEntryPlus, bool, uint64, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcReaddirPlus, func(e *wire.Encoder) {
+		putHandle(e, dir)
+		e.PutUint64(cookie)
+		e.PutUint32(uint32(count))
+	})
+	if err != nil {
+		return nil, false, 0, cost, err
+	}
+	eof := d.Bool()
+	next := d.Uint64()
+	n := d.ArrayLen()
+	ents := make([]DirEntryPlus, 0, n)
+	for i := 0; i < n; i++ {
+		var ent DirEntryPlus
+		ent.Name = d.String()
+		ent.Ino = d.Uint64()
+		ent.Type = localfs.FileType(d.Uint32())
+		ent.FH = getHandle(d)
+		ent.Attr = getAttr(d)
+		ent.SymTarget = d.String()
+		ents = append(ents, ent)
+	}
+	if d.Err() != nil {
+		return nil, false, 0, cost, fmt.Errorf("nfs READDIRPLUS: bad reply: %w", d.Err())
+	}
+	return ents, eof, next, cost, nil
+}
+
+// ReaddirPlusAll drains a directory with READDIRPLUS pages of pageSize
+// entries, returning every entry with its handle and attributes.
+func (c *Client) ReaddirPlusAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntryPlus, simnet.Cost, error) {
+	var all []DirEntryPlus
+	var total simnet.Cost
+	var cookie uint64
+	for {
+		ents, eof, next, cost, err := c.ReaddirPlus(to, dir, cookie, pageSize)
 		total = simnet.Seq(total, cost)
 		if err != nil {
 			return nil, total, err

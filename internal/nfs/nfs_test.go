@@ -189,6 +189,165 @@ func TestReaddirPaging(t *testing.T) {
 	}
 }
 
+func TestReaddirPlusCarriesAttrsHandlesAndTargets(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	fs := srv.FS()
+	fs.WriteFile("/d/file", []byte("payload"))
+	fs.MkdirAll("/d/sub")
+	root := srv.Root()
+	dh, _, _, err := c.Lookup("srv", root, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Symlink("srv", dh, "ln", "target-path"); err != nil {
+		t.Fatal(err)
+	}
+
+	ents, _, err := c.ReaddirPlusAll("srv", dh, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("entries = %d, want 3", len(ents))
+	}
+	byName := map[string]DirEntryPlus{}
+	for _, e := range ents {
+		byName[e.Name] = e
+	}
+	// Each entry's attributes and handle must match a separate GETATTR.
+	for name, e := range byName {
+		want, _, err := c.Getattr("srv", e.FH)
+		if err != nil {
+			t.Fatalf("getattr via READDIRPLUS handle of %s: %v", name, err)
+		}
+		if e.Attr != want {
+			t.Fatalf("%s attrs: %+v vs GETATTR %+v", name, e.Attr, want)
+		}
+	}
+	if f := byName["file"]; f.Attr.Size != 7 || f.Type != localfs.TypeRegular {
+		t.Fatalf("file entry %+v", f)
+	}
+	if s := byName["sub"]; s.Attr.Type != localfs.TypeDir {
+		t.Fatalf("sub entry %+v", s)
+	}
+	if l := byName["ln"]; l.SymTarget != "target-path" {
+		t.Fatalf("symlink target = %q", l.SymTarget)
+	}
+	if byName["file"].SymTarget != "" {
+		t.Fatalf("non-symlink carries target %q", byName["file"].SymTarget)
+	}
+}
+
+func TestReaddirPlusPaging(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	for i := 0; i < 25; i++ {
+		srv.FS().WriteFile(fmt.Sprintf("/f%02d", i), []byte("x"))
+	}
+	root := srv.Root()
+	var names []string
+	var cookie uint64
+	pages := 0
+	for {
+		ents, eof, next, _, err := c.ReaddirPlus("srv", root, cookie, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		for _, e := range ents {
+			names = append(names, e.Name)
+		}
+		if eof {
+			break
+		}
+		cookie = next
+	}
+	if pages != 3 || len(names) != 25 {
+		t.Fatalf("pages=%d names=%d", pages, len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	all, _, err := c.ReaddirPlusAll("srv", root, 7)
+	if err != nil || len(all) != 25 {
+		t.Fatalf("ReaddirPlusAll n=%d err=%v", len(all), err)
+	}
+	// One READDIRPLUS page must cost less than READDIR + per-entry GETATTRs.
+	_, _, _, plusCost, err := c.ReaddirPlus("srv", root, 0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, _, _, readdirCost, err := c.Readdir("srv", root, 0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := readdirCost
+	for range ents {
+		_, c1, _ := c.Getattr("srv", root)
+		sum += c1
+	}
+	if plusCost >= sum {
+		t.Fatalf("READDIRPLUS cost %v not below READDIR+N GETATTR %v", plusCost, sum)
+	}
+}
+
+func TestClientStatsCountRPCsAndBytes(t *testing.T) {
+	_, srv, c := rig(t, 0)
+	root := srv.Root()
+	if s := c.Stats(); s.RPCs != 0 || s.Bytes != 0 {
+		t.Fatalf("fresh stats = %+v", s)
+	}
+	if _, _, err := c.Getattr("srv", root); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Lookup("srv", root, "nope"); !IsStatus(err, ErrNoEnt) {
+		t.Fatal("expected NOENT")
+	}
+	s := c.Stats()
+	if s.RPCs != 2 {
+		t.Fatalf("rpcs = %d, want 2", s.RPCs)
+	}
+	if s.Bytes == 0 {
+		t.Fatalf("bytes = 0")
+	}
+	if got := c.ProcCount(ProcGetattr); got != 1 {
+		t.Fatalf("GETATTR count = %d", got)
+	}
+	if got := c.ProcCount(ProcLookup); got != 1 {
+		t.Fatalf("LOOKUP count = %d", got)
+	}
+	before := s
+	if _, _, err := c.Getattr("srv", root); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Stats().Sub(before); d.RPCs != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.RPCs != 0 || s.Bytes != 0 || c.ProcCount(ProcGetattr) != 0 {
+		t.Fatalf("post-reset stats = %+v", s)
+	}
+}
+
+func TestNetworkServiceStats(t *testing.T) {
+	net, srv, c := rig(t, 0)
+	if _, _, err := c.Getattr("srv", srv.Root()); err != nil {
+		t.Fatal(err)
+	}
+	st := net.ServiceStats(Service)
+	if st.Messages != 1 || st.Bytes == 0 {
+		t.Fatalf("nfs service stats = %+v", st)
+	}
+	if other := net.ServiceStats("no-such-service"); other.Messages != 0 {
+		t.Fatalf("unknown service stats = %+v", other)
+	}
+	net.ResetStats()
+	if st := net.ServiceStats(Service); st.Messages != 0 {
+		t.Fatalf("post-reset service stats = %+v", st)
+	}
+}
+
 func TestFSStatAndQuota(t *testing.T) {
 	_, srv, c := rig(t, 1000)
 	root := srv.Root()

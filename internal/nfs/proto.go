@@ -46,8 +46,12 @@ const (
 	ProcRename   Proc = 14
 	ProcAccess   Proc = 4
 	ProcReaddir  Proc = 16
-	ProcFSStat   Proc = 18
-	ProcFSInfo   Proc = 19
+	// ProcReaddirPlus returns directory entries together with each entry's
+	// handle and attributes (RFC 1813 §3.3.17), letting a client list a
+	// directory and stat every entry in one round trip instead of N+1.
+	ProcReaddirPlus Proc = 17
+	ProcFSStat      Proc = 18
+	ProcFSInfo      Proc = 19
 	// ProcMountRoot stands in for the separate MOUNT protocol's MNT call,
 	// which hands an NFS client the root file handle of an export.
 	ProcMountRoot Proc = 100
@@ -83,6 +87,8 @@ func (p Proc) String() string {
 		return "RENAME"
 	case ProcReaddir:
 		return "READDIR"
+	case ProcReaddirPlus:
+		return "READDIRPLUS"
 	case ProcAccess:
 		return "ACCESS"
 	case ProcFSStat:
@@ -365,6 +371,17 @@ type DirEntry struct {
 	Name string
 	Ino  uint64
 	Type localfs.FileType
+}
+
+// DirEntryPlus is one READDIRPLUS result row: the entry plus its handle and
+// full attributes. SymTarget carries a symlink's target so an interposing
+// client (koshad classifying Kosha's special placement links) needs no
+// follow-up READLINK per entry.
+type DirEntryPlus struct {
+	DirEntry
+	FH        Handle
+	Attr      localfs.Attr
+	SymTarget string
 }
 
 // FSStat mirrors localfs.FSStat on the wire.

@@ -357,6 +357,61 @@ func (s *Server) dispatch(proc Proc, d *wire.Decoder) ([]byte, simnet.Cost) {
 		}
 		return e.Bytes(), cost
 
+	case ProcReaddirPlus:
+		h := getHandle(d)
+		cookie := d.Uint64()
+		count := d.Uint32()
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		ents, cost, err := s.fs.Readdir(ino)
+		if err != nil {
+			return s.fail(proc, toStatus(err)), cost
+		}
+		start := int(cookie)
+		if start > len(ents) {
+			start = len(ents)
+		}
+		end := start + int(count)
+		if count == 0 || end > len(ents) {
+			end = len(ents)
+		}
+		page := ents[start:end]
+		e.PutUint32(uint32(OK))
+		e.PutBool(end == len(ents)) // eof
+		e.PutUint64(uint64(end))    // next cookie
+		e.PutUint32(uint32(len(page)))
+		// Per-entry attributes and link targets come from the inodes the
+		// directory scan just brought into the server's cache, so only the
+		// directory read is charged — the very asymmetry that makes
+		// READDIRPLUS cheaper than a READDIR followed by N GETATTRs.
+		for _, ent := range page {
+			attr, _, aerr := s.fs.Getattr(ent.Ino)
+			if aerr != nil {
+				// The entry vanished between readdir and getattr; report
+				// what the listing said and leave the attributes zero, as
+				// READDIRPLUS's optional name_attributes allow.
+				attr = localfs.Attr{Ino: ent.Ino, Type: ent.Type}
+			}
+			var target string
+			if ent.Type == localfs.TypeSymlink {
+				if t, _, lerr := s.fs.Readlink(ent.Ino); lerr == nil {
+					target = t
+				}
+			}
+			e.PutString(ent.Name)
+			e.PutUint64(ent.Ino)
+			e.PutUint32(uint32(ent.Type))
+			putHandle(e, Handle{Gen: h.Gen, Ino: ent.Ino})
+			putAttr(e, attr)
+			e.PutString(target)
+		}
+		return e.Bytes(), cost
+
 	case ProcFSStat:
 		h := getHandle(d)
 		if _, st := s.check(h); st != OK {

@@ -85,6 +85,14 @@ type Network struct {
 	messages atomic.Uint64
 	bytes    atomic.Uint64
 	failures atomic.Uint64
+	perSvc   sync.Map // service name -> *svcCounter
+}
+
+// svcCounter aggregates traffic for one service name.
+type svcCounter struct {
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+	failures atomic.Uint64
 }
 
 // New creates a network with the given link model and a 1 s RPC timeout.
@@ -161,11 +169,39 @@ func (n *Network) Stats() Stats {
 	}
 }
 
-// ResetStats zeroes the traffic counters.
+// ServiceStats returns a snapshot of traffic counters for one service name
+// (e.g. nfs.Service), letting experiments attribute round trips to the
+// protocol that issued them.
+func (n *Network) ServiceStats(service string) Stats {
+	v, ok := n.perSvc.Load(service)
+	if !ok {
+		return Stats{}
+	}
+	c := v.(*svcCounter)
+	return Stats{
+		Messages: c.messages.Load(),
+		Bytes:    c.bytes.Load(),
+		Failures: c.failures.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters, including per-service ones.
 func (n *Network) ResetStats() {
 	n.messages.Store(0)
 	n.bytes.Store(0)
 	n.failures.Store(0)
+	n.perSvc.Range(func(k, _ any) bool {
+		n.perSvc.Delete(k)
+		return true
+	})
+}
+
+func (n *Network) svc(service string) *svcCounter {
+	if v, ok := n.perSvc.Load(service); ok {
+		return v.(*svcCounter)
+	}
+	v, _ := n.perSvc.LoadOrStore(service, &svcCounter{})
+	return v.(*svcCounter)
 }
 
 // Call implements Caller. Local calls (from == to) skip the link cost but
@@ -173,6 +209,9 @@ func (n *Network) ResetStats() {
 func (n *Network) Call(from, to Addr, service string, req []byte) ([]byte, Cost, error) {
 	n.messages.Add(1)
 	n.bytes.Add(uint64(len(req)))
+	sc := n.svc(service)
+	sc.messages.Add(1)
+	sc.bytes.Add(uint64(len(req)))
 
 	n.mu.RLock()
 	dst := n.nodes[to]
