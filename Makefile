@@ -1,8 +1,22 @@
 GO ?= go
 
-.PHONY: all vet build test bench-smoke clean
+.PHONY: all ci vet build test bench-smoke smoke clean
 
 all: vet build test
+
+# ci is the gate for pull requests: static checks, the full race-enabled
+# test suite, and a koshabench smoke run that fails unless the JSON output
+# carries the latency-percentile fields.
+ci: vet build
+	$(GO) test -race ./...
+	$(MAKE) smoke
+
+smoke:
+	@out=$$($(GO) run ./cmd/koshabench -exp latency -quick -format json); \
+	for f in p50_ms p95_ms p99_ms mean_route_hops; do \
+		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
+	done; \
+	echo "smoke: koshabench latency JSON ok"
 
 vet:
 	$(GO) vet ./...

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|all [-runs N] [-quick]
+//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|latency|all [-runs N] [-quick] [-format table|csv|json]
 package main
 
 import (
@@ -16,10 +16,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, latency, all")
 	runs := flag.Int("runs", 0, "override the number of averaged runs (0 = default)")
 	quick := flag.Bool("quick", false, "scaled-down workloads for a fast smoke run")
-	format := flag.String("format", "table", "output format: table or csv")
+	format := flag.String("format", "table", "output format: table, csv, or json (json: latency only)")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -173,6 +173,28 @@ func main() {
 		if csv {
 			res.FprintCSV(os.Stdout, opts)
 		} else {
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("latency", func() error {
+		opts := experiments.DefaultLatencyOptions()
+		if *quick {
+			opts.Dirs = 3
+			opts.FilesPerDir = 4
+			opts.FileSize = 4 << 10
+		}
+		res, err := experiments.RunLatency(opts)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "json":
+			return res.FprintJSON(os.Stdout)
+		case "csv":
+			res.FprintCSV(os.Stdout, opts)
+		default:
 			res.Fprint(os.Stdout, opts)
 		}
 		return nil

@@ -13,13 +13,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/localfs"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/tcpnet"
 )
@@ -37,12 +43,19 @@ commands:
   status               show the node's store occupancy and overlay identity
   cluster              crawl the overlay from this node and summarize every member
   tree <path>          recursively list a virtual subtree
+  stats [cluster]      per-op latency percentiles, route hops, and overlay events
+                       for this node (or aggregated over the whole cluster)
+  trace dump [n]       dump the n most recent operation traces (default: all)
+
+flags:
+  -json                emit stats/trace output as JSON instead of text
 `)
 	os.Exit(2)
 }
 
 func main() {
 	node := flag.String("node", "127.0.0.1:7001", "address of any koshad")
+	jsonOut := flag.Bool("json", false, "emit stats/trace output as JSON")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -210,7 +223,166 @@ func main() {
 		}
 		fmt.Printf("%-22s %-12s %8d %12d\n", "TOTAL", "", totFiles, totUsed)
 
+	case "stats":
+		if len(args) > 1 && args[1] == "cluster" {
+			peers, _, err := ctl.Peers()
+			if err != nil {
+				fail(err)
+			}
+			addrs := []simnet.Addr{simnet.Addr(*node)}
+			for _, p := range peers {
+				addrs = append(addrs, p.Addr)
+			}
+			var nodes []core.StatsPayload
+			agg := core.StatsPayload{Addr: "cluster"}
+			for _, a := range addrs {
+				peerCtl := &core.CtlClient{Net: tn, From: tn.Addr(), To: a}
+				p, _, err := peerCtl.Stats()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "koshactl: %s unreachable: %v\n", a, err)
+					continue
+				}
+				nodes = append(nodes, p)
+				agg.Stats.Merge(p.Stats)
+				agg.Events.Merge(p.Events)
+			}
+			agg.Events.Recent = nil
+			if *jsonOut {
+				emitJSON(struct {
+					Cluster core.StatsPayload   `json:"cluster"`
+					Nodes   []core.StatsPayload `json:"nodes"`
+				}{agg, nodes})
+				return
+			}
+			for _, p := range nodes {
+				printStats("node "+p.Addr, p)
+			}
+			printStats(fmt.Sprintf("CLUSTER (%d nodes)", len(nodes)), agg)
+			return
+		}
+		p, _, err := ctl.Stats()
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			emitJSON(p)
+			return
+		}
+		printStats("node "+p.Addr, p)
+
+	case "trace":
+		if len(args) < 2 || args[1] != "dump" {
+			usage()
+		}
+		count := 0
+		if len(args) == 3 {
+			var err error
+			if count, err = strconv.Atoi(args[2]); err != nil {
+				usage()
+			}
+		}
+		traces, _, err := ctl.TraceDump(count)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			emitJSON(traces)
+			return
+		}
+		for _, t := range traces {
+			printTrace(t)
+		}
+
 	default:
 		usage()
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "koshactl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func dur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// printStats renders one node's (or the cluster aggregate's) stats payload:
+// a per-operation latency table, mean route hop count, and overlay events.
+func printStats(title string, p core.StatsPayload) {
+	fmt.Println(title)
+	if p.NodeID != "" {
+		fmt.Printf("  nodeId %s\n", p.NodeID)
+	}
+	s := p.Stats
+	header := false
+	for _, name := range s.HistNames() {
+		op := strings.TrimPrefix(name, "op.")
+		if op == name {
+			continue
+		}
+		h := s.Hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		if !header {
+			fmt.Printf("  %-14s %8s %10s %10s %10s %10s %10s\n",
+				"op", "count", "mean", "p50", "p95", "p99", "max")
+			header = true
+		}
+		fmt.Printf("  %-14s %8d %10s %10s %10s %10s %10s\n", op, h.Count,
+			dur(h.Mean()), dur(h.Quantile(50)), dur(h.Quantile(95)),
+			dur(h.Quantile(99)), dur(time.Duration(h.MaxNS)))
+	}
+	if n := s.Counters["route.count"]; n > 0 {
+		fmt.Printf("  mean route hops %.2f over %d routes\n",
+			s.MeanRatio("route.hops", "route.count"), n)
+	}
+	fmt.Printf("  ops %d (%d errors)   nfs rpcs %d (%d bytes)\n",
+		s.Counters["ops.total"], s.Counters["ops.errors"],
+		s.Counters["nfs.rpcs"], s.Counters["nfs.bytes"])
+	if len(p.Events.Counts) > 0 {
+		kinds := make([]string, 0, len(p.Events.Counts))
+		for k := range p.Events.Counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Printf("  events:")
+		for _, k := range kinds {
+			fmt.Printf(" %s=%d", k, p.Events.Counts[k])
+		}
+		fmt.Println()
+	}
+}
+
+// printTrace renders one operation trace as a compact multi-line record.
+func printTrace(t obs.Trace) {
+	fmt.Printf("#%d %s %s  total %s", t.ID, t.Op, t.Path, dur(time.Duration(t.TotalNS)))
+	if t.ServedBy != "" {
+		fmt.Printf("  served by %s", t.ServedBy)
+	}
+	if t.Replicas > 0 {
+		fmt.Printf("  replicas %d", t.Replicas)
+	}
+	if t.Failovers > 0 {
+		fmt.Printf("  failovers %d", t.Failovers)
+	}
+	if t.Err != "" {
+		fmt.Printf("  err %q", t.Err)
+	}
+	fmt.Println()
+	for _, h := range t.Hops {
+		fmt.Printf("    hop %s (%s) prefix %d\n", h.Addr, h.ID, h.Prefix)
+	}
+	for _, sp := range t.Spans {
+		node := sp.Node
+		if node == "" {
+			node = "-"
+		}
+		fmt.Printf("    span %-10s %-20s %s\n", sp.Name, node, dur(time.Duration(sp.DurNS)))
 	}
 }

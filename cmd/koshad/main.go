@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskfs"
 	"repro/internal/id"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/tcpnet"
 )
@@ -40,6 +43,8 @@ func main() {
 	stabilize := flag.Duration("stabilize", 10*time.Second, "overlay stabilization interval")
 	datadir := flag.String("datadir", "", "persist the contributed store in this directory (default: in-memory)")
 	seed := flag.Uint64("seed", 0, "nodeId seed (0 = random)")
+	statsEvery := flag.Duration("statsevery", 0, "log per-op latency stats at this interval (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address ('' = off)")
 	flag.Parse()
 
 	capBytes, err := parseSize(*capacity)
@@ -68,6 +73,9 @@ func main() {
 		Replicas:          *replicas,
 		RedirectAttempts:  *redirects,
 		Capacity:          capBytes,
+		// A real transport serves real clients: histogram samples are wall
+		// time, not the modeled simnet cost.
+		WallClockStats: true,
 	}
 	if *replicas == 0 {
 		cfg.Replicas = -1
@@ -99,6 +107,22 @@ func main() {
 			*join, len(node.Overlay().Leaf()))
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Printf("koshad: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "koshad: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	var statsC <-chan time.Time
+	if *statsEvery > 0 {
+		st := time.NewTicker(*statsEvery)
+		defer st.Stop()
+		statsC = st.C
+	}
+
 	ticker := time.NewTicker(*stabilize)
 	defer ticker.Stop()
 	sigs := make(chan os.Signal, 1)
@@ -108,6 +132,8 @@ func main() {
 		case <-ticker.C:
 			node.Overlay().Stabilize()
 			node.SyncReplicas()
+		case <-statsC:
+			logStats(node)
 		case <-sigs:
 			fmt.Println("koshad: leaving overlay")
 			node.Overlay().Leave()
@@ -115,6 +141,33 @@ func main() {
 		}
 	}
 }
+
+// logStats prints one line per active op histogram plus the route-hop mean,
+// the daemon's periodic observability heartbeat.
+func logStats(node *core.Node) {
+	s := node.Obs().Snapshot()
+	for _, name := range s.HistNames() {
+		h := s.Hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("koshad: stats %-16s count=%d mean=%s p50=%s p95=%s p99=%s\n",
+			name, h.Count, rnd(h.Mean()), rnd(h.Quantile(50)),
+			rnd(h.Quantile(95)), rnd(h.Quantile(99)))
+	}
+	if n := s.Counters["route.count"]; n > 0 {
+		fmt.Printf("koshad: stats route hops mean=%.2f routes=%d\n",
+			s.MeanRatio("route.hops", "route.count"), n)
+	}
+	ev := node.Events().Snapshot(0)
+	if len(ev.Counts) > 0 {
+		fmt.Printf("koshad: stats events failover=%d resync=%d join=%d departure=%d\n",
+			ev.Counts[obs.EvFailover], ev.Counts[obs.EvResync],
+			ev.Counts[obs.EvJoin], ev.Counts[obs.EvDeparture])
+	}
+}
+
+func rnd(d time.Duration) string { return d.Round(time.Microsecond).String() }
 
 // parseSize parses "10G"/"512M"/"3K"/plain bytes.
 func parseSize(s string) (int64, error) {

@@ -1,5 +1,7 @@
-// Command koshatrace emits the synthetic traces the experiments consume,
-// for inspection or for use by external tooling.
+// Command koshatrace emits the synthetic workload traces the experiments
+// consume (file-system contents and node availability), for inspection or
+// for use by external tooling. These are inputs to the benchmarks — for the
+// operation traces a running cluster records, see "koshactl trace dump".
 //
 //	koshatrace -kind fs -seed 1            # file-system trace (CSV: path,bytes)
 //	koshatrace -kind fs -small             # scaled-down variant

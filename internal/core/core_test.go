@@ -772,7 +772,7 @@ func TestNotPrimaryRejected(t *testing.T) {
 			break
 		}
 	}
-	_, _, _, err := nodes[0].apply(wrong.Addr(), Key(pl.PN()), Track{},
+	_, _, _, err := nodes[0].apply(nil, wrong.Addr(), Key(pl.PN()), Track{},
 		FSOp{Kind: FSWriteFile, Path: "/" + pl.PN() + "/evil", Data: []byte("no")})
 	if err != ErrNotPrimary {
 		t.Fatalf("apply at wrong node err = %v", err)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
 	"repro/internal/localfs"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -25,6 +27,8 @@ const (
 	ctlStat
 	ctlStatfs
 	ctlPeers
+	ctlStats
+	ctlTrace
 )
 
 // ctlOnce lazily attaches the ctl handler's mount.
@@ -161,9 +165,50 @@ func (n *Node) handleCtl(from simnet.Addr, req []byte) ([]byte, simnet.Cost, err
 		e.PutUint32(uint32(len(n.overlay.Leaf())))
 		return cp(e), cost, nil
 
+	case ctlStats:
+		p := StatsPayload{
+			Addr:   string(n.addr),
+			NodeID: n.overlay.Info().ID.String(),
+			Stats:  n.reg.Snapshot(),
+			Events: n.events.Snapshot(32),
+		}
+		b, err := json.Marshal(p)
+		if err != nil {
+			return fail(err, 0)
+		}
+		e.PutBool(true)
+		e.PutOpaque(b)
+		return cp(e), 0, nil
+
+	case ctlTrace:
+		count := int(d.Uint32())
+		if d.Err() != nil {
+			return nil, 0, d.Err()
+		}
+		traces := n.tracer.Recent(count)
+		if traces == nil {
+			traces = []obs.Trace{}
+		}
+		b, err := json.Marshal(traces)
+		if err != nil {
+			return fail(err, 0)
+		}
+		e.PutBool(true)
+		e.PutOpaque(b)
+		return cp(e), 0, nil
+
 	default:
 		return nil, 0, fmt.Errorf("koshactl: unknown proc %d", proc)
 	}
+}
+
+// StatsPayload is the JSON document ctlStats returns: one node's metrics
+// registry snapshot plus its overlay-health event log.
+type StatsPayload struct {
+	Addr   string             `json:"addr"`
+	NodeID string             `json:"node_id"`
+	Stats  obs.Snapshot       `json:"stats"`
+	Events obs.EventsSnapshot `json:"events"`
 }
 
 // CtlClient drives a remote koshad's ctl service.
@@ -284,6 +329,44 @@ func (c *CtlClient) Peers() ([]Peer, simnet.Cost, error) {
 		out = append(out, Peer{Addr: simnet.Addr(d.String()), NodeID: d.String()})
 	}
 	return out, cost, d.Err()
+}
+
+// Stats fetches the remote node's metrics registry and event-log snapshot.
+func (c *CtlClient) Stats() (StatsPayload, simnet.Cost, error) {
+	d, cost, err := c.call(ctlStats, "", nil)
+	if err != nil {
+		return StatsPayload{}, cost, err
+	}
+	raw := d.Opaque()
+	if d.Err() != nil {
+		return StatsPayload{}, cost, d.Err()
+	}
+	var p StatsPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return StatsPayload{}, cost, err
+	}
+	return p, cost, nil
+}
+
+// TraceDump fetches up to count recent operation traces from the remote
+// node's ring buffer, newest first (count <= 0 means all retained).
+func (c *CtlClient) TraceDump(count int) ([]obs.Trace, simnet.Cost, error) {
+	if count < 0 {
+		count = 0
+	}
+	d, cost, err := c.call(ctlTrace, "", func(e *wire.Encoder) { e.PutUint32(uint32(count)) })
+	if err != nil {
+		return nil, cost, err
+	}
+	raw := d.Opaque()
+	if d.Err() != nil {
+		return nil, cost, d.Err()
+	}
+	var traces []obs.Trace
+	if err := json.Unmarshal(raw, &traces); err != nil {
+		return nil, cost, err
+	}
+	return traces, cost, nil
 }
 
 // Status reports the remote node's store occupancy and overlay identity.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/localfs"
 	"repro/internal/nfs"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -248,10 +249,70 @@ func cacheSuspect(err error) bool {
 		nfs.IsStatus(err, nfs.ErrIsDir)
 }
 
+// opCtx carries the observability context of one public mount operation: the
+// op name, its trace (nil when tracing is disabled), and the wall-clock start
+// when Config.WallClockStats selects wall time over simulated cost.
+type opCtx struct {
+	m     *Mount
+	op    obs.OpCode
+	tr    *obs.Trace
+	start time.Time
+}
+
+// begin opens the observability context for one public operation.
+func (m *Mount) begin(op obs.OpCode, vpath string) opCtx {
+	o := opCtx{m: m, op: op, tr: m.n.tracer.Start(op.String(), vpath, string(m.n.addr))}
+	if m.n.cfg.WallClockStats {
+		o.start = time.Now()
+	}
+	return o
+}
+
+// done records the operation's latency sample and counters and publishes the
+// trace. Under simnet the sample is the simulated cost; under a real
+// transport koshad selects wall time via Config.WallClockStats.
+func (o opCtx) done(cost simnet.Cost, err error) {
+	n := o.m.n
+	d := time.Duration(cost)
+	if n.cfg.WallClockStats {
+		d = time.Since(o.start)
+	}
+	n.opHists[o.op].Observe(d)
+	n.opsTotal.Add(1)
+	if err != nil {
+		n.opErrors.Add(1)
+	}
+	if o.tr != nil {
+		n.tracer.Finish(o.tr, d, err)
+	}
+}
+
+// vpathOf returns the virtual path behind a handle for trace labels ("" when
+// the handle is unknown; the operation itself surfaces the error).
+func (m *Mount) vpathOf(vh VH) string {
+	if !m.n.tracer.Enabled() {
+		return ""
+	}
+	if de, err := m.entry(vh); err == nil {
+		return de.vpath
+	}
+	return ""
+}
+
+// beginAt opens the observability context for an operation addressed by
+// (directory handle, name); the trace label is only assembled when tracing
+// is enabled, so disabled tracing costs no path allocation.
+func (m *Mount) beginAt(op obs.OpCode, dir VH, name string) opCtx {
+	if !m.n.tracer.Enabled() {
+		return m.begin(op, "")
+	}
+	return m.begin(op, path.Join(m.vpathOf(dir), name))
+}
+
 // materialize builds a ventry for a virtual path by resolving placement and
 // looking the path up on the storage node. It also returns the entry's
 // attributes (LOOKUP carries them, as in NFS).
-func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
+func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
 	parts := SplitVirtual(vpath)
 	if len(parts) == 0 {
 		return &ventry{vpath: "/", kind: localfs.TypeDir, place: Place{VRoot: true, Store: "/"}},
@@ -259,7 +320,7 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 	}
 	var total simnet.Cost
 
-	place, cost, err := m.n.ResolveDir(parts)
+	place, cost, err := m.n.resolveDir(tr, parts)
 	total = simnet.Seq(total, cost)
 	switch {
 	case err == nil:
@@ -287,6 +348,7 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 		if lerr != nil {
 			return nil, localfs.Attr{}, total, lerr
 		}
+		tr.SetServedBy(string(place.Node))
 		ve := &ventry{
 			vpath:    JoinVirtual(parts),
 			kind:     attr.Type,
@@ -304,7 +366,7 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 		// The final component is a file or plain symlink at a depth the
 		// resolver treated as a directory level; resolve the parent and
 		// look the leaf up there.
-		parent, cost, perr := m.n.ResolveDir(parts[:len(parts)-1])
+		parent, cost, perr := m.n.resolveDir(tr, parts[:len(parts)-1])
 		total = simnet.Seq(total, cost)
 		if perr != nil {
 			return nil, localfs.Attr{}, total, perr
@@ -332,6 +394,7 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 		if lerr != nil {
 			return nil, localfs.Attr{}, total, lerr
 		}
+		tr.SetServedBy(string(parent.Node))
 		ve := &ventry{
 			vpath:    JoinVirtual(parts),
 			kind:     attr.Type,
@@ -355,11 +418,11 @@ func (m *Mount) materialize(vpath string) (*ventry, localfs.Attr, simnet.Cost, e
 // so re-resolution routes onto a replica holder. One NoEnt retry with
 // dropped caches covers stale resolver entries whose storage root moved
 // (renames relocate storage by design).
-func (m *Mount) materializeRetry(vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
+func (m *Mount) materializeRetry(tr *obs.Trace, vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
 	var total simnet.Cost
 	staleRetried := false
 	for attempt := 0; ; attempt++ {
-		de, attr, c, err := m.materialize(vpath)
+		de, attr, c, err := m.materialize(tr, vpath)
 		total = simnet.Seq(total, c)
 		if err == nil || attempt >= 3 {
 			return de, attr, total, err
@@ -381,8 +444,10 @@ func (m *Mount) materializeRetry(vpath string) (*ventry, localfs.Attr, simnet.Co
 
 // withFailover runs fn against a ventry, transparently re-resolving and
 // retrying on node failure, stale handles, or primary changes. The
-// interposition constant I is charged once per operation.
-func (m *Mount) withFailover(vh VH, fn func(de *ventry) (simnet.Cost, error)) (simnet.Cost, error) {
+// interposition constant I is charged once per operation. Each failover is
+// recorded in the overlay event log, the failover latency histogram (the
+// cost of re-resolving onto a replica), and the operation's trace.
+func (m *Mount) withFailover(tr *obs.Trace, vh VH, fn func(de *ventry) (simnet.Cost, error)) (simnet.Cost, error) {
 	total := m.n.cfg.InterposeCost
 	de, err := m.entry(vh)
 	if err != nil {
@@ -392,9 +457,19 @@ func (m *Mount) withFailover(vh VH, fn func(de *ventry) (simnet.Cost, error)) (s
 	for attempt := 0; ; attempt++ {
 		c, err := fn(de)
 		total = simnet.Seq(total, c)
-		if err == nil || attempt >= 3 {
+		if err == nil {
+			// Deeper instrumentation (apply, replica reads, materialize)
+			// records the precise server; otherwise the entry's node
+			// served the final RPC.
+			if tr != nil && tr.ServedBy == "" {
+				tr.SetServedBy(string(de.node))
+			}
+			return total, nil
+		}
+		if attempt >= 3 {
 			return total, err
 		}
+		failedOver := false
 		switch {
 		case retryable(err):
 			// Drop state naming the failed node and re-resolve the path:
@@ -404,6 +479,7 @@ func (m *Mount) withFailover(vh VH, fn func(de *ventry) (simnet.Cost, error)) (s
 			if !errors.Is(err, ErrNotPrimary) {
 				m.n.invalidateNode(de.node)
 			}
+			failedOver = true
 		case de.cached && !cacheRetried && cacheSuspect(err):
 			// The entry came from the name cache and the failure smells
 			// like staleness; revalidate once against a fresh resolution.
@@ -412,8 +488,13 @@ func (m *Mount) withFailover(vh VH, fn func(de *ventry) (simnet.Cost, error)) (s
 			return total, err
 		}
 		m.dropCachesUnder(de.vpath)
-		nde, _, c2, rerr := m.materialize(de.vpath)
+		nde, _, c2, rerr := m.materialize(tr, de.vpath)
 		total = simnet.Seq(total, c2)
+		if failedOver {
+			m.n.events.Add(obs.EvFailover, string(m.n.addr), de.vpath)
+			m.n.reg.Observe("op."+obs.OpFailover, time.Duration(c2))
+			tr.Failover()
+		}
 		if rerr != nil {
 			return total, rerr
 		}
@@ -439,6 +520,13 @@ func (m *Mount) dropCachesUnder(vpath string) {
 // handle answers with a single forwarded LOOKUP; at distributed levels the
 // resolver (hash + route + special links) locates the child's node.
 func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, error) {
+	o := m.beginAt(obs.OpcLookup, dir, name)
+	vh, attr, cost, err := m.lookup(o.tr, dir, name)
+	o.done(cost, err)
+	return vh, attr, cost, err
+}
+
+func (m *Mount) lookup(tr *obs.Trace, dir VH, name string) (VH, localfs.Attr, simnet.Cost, error) {
 	de, err := m.entry(dir)
 	if err != nil {
 		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, err
@@ -463,7 +551,7 @@ func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, erro
 		}
 		var out VH
 		var attr localfs.Attr
-		cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+		cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
 			fh, a, c, err := m.n.nfsc.Lookup(de.node, de.fh, name)
 			if err != nil {
 				return c, err
@@ -489,7 +577,7 @@ func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, erro
 	}
 
 	total := m.n.cfg.InterposeCost
-	child, attr, cost, err := m.materializeRetry(path.Join(de.vpath, name))
+	child, attr, cost, err := m.materializeRetry(tr, path.Join(de.vpath, name))
 	total = simnet.Seq(total, cost)
 	if err != nil {
 		return 0, localfs.Attr{}, total, err
@@ -501,6 +589,13 @@ func (m *Mount) Lookup(dir VH, name string) (VH, localfs.Attr, simnet.Cost, erro
 // cache's TTL a hit costs only the interposition constant — no RPC — just
 // as the kernel NFS client's acregmin/acdirmin window the paper assumes.
 func (m *Mount) Getattr(vh VH) (localfs.Attr, simnet.Cost, error) {
+	o := m.begin(obs.OpcGetattr, m.vpathOf(vh))
+	attr, cost, err := m.getattr(o.tr, vh)
+	o.done(cost, err)
+	return attr, cost, err
+}
+
+func (m *Mount) getattr(tr *obs.Trace, vh VH) (localfs.Attr, simnet.Cost, error) {
 	if vh == RootVH {
 		return localfs.Attr{Ino: 1, Type: localfs.TypeDir, Mode: 0o755, Nlink: 2}, m.n.cfg.InterposeCost, nil
 	}
@@ -510,7 +605,7 @@ func (m *Mount) Getattr(vh VH) (localfs.Attr, simnet.Cost, error) {
 		}
 	}
 	var attr localfs.Attr
-	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
 		a, c, err := m.n.nfsc.Getattr(de.node, de.fh)
 		if err == nil {
 			attr = a
@@ -523,9 +618,16 @@ func (m *Mount) Getattr(vh VH) (localfs.Attr, simnet.Cost, error) {
 
 // Setattr updates attributes through the primary, which mirrors to replicas.
 func (m *Mount) Setattr(vh VH, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, error) {
+	o := m.begin(obs.OpcSetattr, m.vpathOf(vh))
+	attr, cost, err := m.setattr(o.tr, vh, sa)
+	o.done(cost, err)
+	return attr, cost, err
+}
+
+func (m *Mount) setattr(tr *obs.Trace, vh VH, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, error) {
 	var attr localfs.Attr
-	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
-		a, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
+		a, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSSetattr, Path: de.physPath, SetAttr: sa})
 		if err == nil {
 			attr = a
@@ -541,11 +643,18 @@ func (m *Mount) Setattr(vh VH, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, e
 // replica holders (the Section 4.2 optimization); any replica-side failure
 // falls back to the primary path transparently.
 func (m *Mount) Read(vh VH, offset int64, count int) ([]byte, bool, simnet.Cost, error) {
+	o := m.begin(obs.OpcRead, m.vpathOf(vh))
+	data, eof, cost, err := m.read(o.tr, vh, offset, count)
+	o.done(cost, err)
+	return data, eof, cost, err
+}
+
+func (m *Mount) read(tr *obs.Trace, vh VH, offset int64, count int) ([]byte, bool, simnet.Cost, error) {
 	var data []byte
 	var eof bool
-	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
 		if m.n.cfg.ReadFromReplicas && m.n.cfg.Replicas > 0 && de.kind == localfs.TypeRegular {
-			if d, e, c, ok := m.readViaReplica(de, offset, count); ok {
+			if d, e, c, ok := m.readViaReplica(tr, de, offset, count); ok {
 				data, eof = d, e
 				return c, nil
 			}
@@ -565,7 +674,7 @@ func (m *Mount) Read(vh VH, offset int64, count int) ([]byte, bool, simnet.Cost,
 
 // readViaReplica attempts one read against a rotating replica holder;
 // ok=false means the caller should use the primary.
-func (m *Mount) readViaReplica(de *ventry, offset int64, count int) ([]byte, bool, simnet.Cost, bool) {
+func (m *Mount) readViaReplica(tr *obs.Trace, de *ventry, offset int64, count int) ([]byte, bool, simnet.Cost, bool) {
 	reps, total, err := m.n.replicaSet(de.node, Key(de.pn), de.root)
 	if err != nil || len(reps) == 0 {
 		return nil, false, total, false
@@ -589,6 +698,7 @@ func (m *Mount) readViaReplica(de *ventry, offset int64, count int) ([]byte, boo
 		return nil, false, total, false
 	}
 	m.countRead(rep)
+	tr.SetServedBy(string(rep))
 	if rep == m.n.addr {
 		total = simnet.Seq(total, m.n.cfg.LoopbackXfer(len(d)))
 	}
@@ -616,9 +726,16 @@ func (m *Mount) ReadSpread() map[simnet.Addr]int64 {
 // Write stores data at offset through the primary, which synchronously
 // mirrors the write to the K replicas (Section 4.2).
 func (m *Mount) Write(vh VH, offset int64, data []byte) (int, simnet.Cost, error) {
+	o := m.begin(obs.OpcWrite, m.vpathOf(vh))
+	n, cost, err := m.write(o.tr, vh, offset, data)
+	o.done(cost, err)
+	return n, cost, err
+}
+
+func (m *Mount) write(tr *obs.Trace, vh VH, offset int64, data []byte) (int, simnet.Cost, error) {
 	n := 0
-	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
-		_, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
+		_, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSWrite, Path: de.physPath, Offset: offset, Data: data})
 		if err == nil {
 			n = len(data)
@@ -635,12 +752,19 @@ func (m *Mount) Write(vh VH, offset int64, data []byte) (int, simnet.Cost, error
 // Create makes a regular file in dir (Section 4.1.4): the primary for the
 // parent directory creates the primary replica and returns its handle.
 func (m *Mount) Create(dir VH, name string, mode uint32, exclusive bool) (VH, localfs.Attr, simnet.Cost, error) {
+	o := m.beginAt(obs.OpcCreate, dir, name)
+	vh, attr, cost, err := m.create(o.tr, dir, name, mode, exclusive)
+	o.done(cost, err)
+	return vh, attr, cost, err
+}
+
+func (m *Mount) create(tr *obs.Trace, dir VH, name string, mode uint32, exclusive bool) (VH, localfs.Attr, simnet.Cost, error) {
 	var out VH
 	var attr localfs.Attr
 	if err := ValidName(name); err != nil {
 		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, err
 	}
-	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+	cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
 		if de.place.VRoot {
 			return 0, ErrRootOnlyDirs
 		}
@@ -648,7 +772,7 @@ func (m *Mount) Create(dir VH, name string, mode uint32, exclusive bool) (VH, lo
 			return 0, &nfs.Error{Proc: nfs.ProcCreate, Status: nfs.ErrNotDir}
 		}
 		phys := path.Join(de.physPath, name)
-		a, fh, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+		a, fh, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSCreate, Path: phys, Mode: mode, Excl: exclusive})
 		if err != nil {
 			return c, err
@@ -675,6 +799,13 @@ func (m *Mount) Create(dir VH, name string, mode uint32, exclusive bool) (VH, lo
 // Kosha's reserved link marker are rejected to keep user symlinks
 // distinguishable from placement links.
 func (m *Mount) Symlink(dir VH, name, target string) (VH, simnet.Cost, error) {
+	o := m.beginAt(obs.OpcSymlink, dir, name)
+	vh, cost, err := m.symlink(o.tr, dir, name, target)
+	o.done(cost, err)
+	return vh, cost, err
+}
+
+func (m *Mount) symlink(tr *obs.Trace, dir VH, name, target string) (VH, simnet.Cost, error) {
 	if err := ValidName(name); err != nil {
 		return 0, m.n.cfg.InterposeCost, err
 	}
@@ -682,12 +813,12 @@ func (m *Mount) Symlink(dir VH, name, target string) (VH, simnet.Cost, error) {
 		return 0, m.n.cfg.InterposeCost, fmt.Errorf("kosha: symlink target begins with a reserved marker")
 	}
 	var out VH
-	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+	cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
 		if de.place.VRoot {
 			return 0, ErrRootOnlyDirs
 		}
 		phys := path.Join(de.physPath, name)
-		_, fh, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+		_, fh, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSSymlink, Path: phys, Target: target})
 		if err != nil {
 			return c, err
@@ -711,8 +842,15 @@ func (m *Mount) Symlink(dir VH, name, target string) (VH, simnet.Cost, error) {
 
 // Readlink reads a user symlink's target.
 func (m *Mount) Readlink(vh VH) (string, simnet.Cost, error) {
+	o := m.begin(obs.OpcReadlink, m.vpathOf(vh))
+	target, cost, err := m.readlink(o.tr, vh)
+	o.done(cost, err)
+	return target, cost, err
+}
+
+func (m *Mount) readlink(tr *obs.Trace, vh VH) (string, simnet.Cost, error) {
 	var target string
-	cost, err := m.withFailover(vh, func(de *ventry) (simnet.Cost, error) {
+	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
 		t, c, err := m.n.nfsc.Readlink(de.node, de.fh)
 		if err == nil {
 			target = t
@@ -726,18 +864,25 @@ func (m *Mount) Readlink(vh VH) (string, simnet.Cost, error) {
 // hashed to their own node, with capacity redirection (Sections 3.2-3.3);
 // deeper directories stay on the parent's node.
 func (m *Mount) Mkdir(dir VH, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
+	o := m.beginAt(obs.OpcMkdir, dir, name)
+	vh, attr, cost, err := m.mkdir(o.tr, dir, name, mode)
+	o.done(cost, err)
+	return vh, attr, cost, err
+}
+
+func (m *Mount) mkdir(tr *obs.Trace, dir VH, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
 	if err := ValidName(name); err != nil {
 		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, err
 	}
 	var out VH
 	var attr localfs.Attr
-	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+	cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
 		if de.kind != localfs.TypeDir {
 			return 0, &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrNotDir}
 		}
 		depth := len(SplitVirtual(de.vpath)) + 1
 		if depth <= m.n.cfg.DistributionLevel || de.place.VRoot {
-			vh, a, c, err := m.mkdirDistributed(de, name, mode)
+			vh, a, c, err := m.mkdirDistributed(tr, de, name, mode)
 			if err != nil {
 				return c, err
 			}
@@ -745,7 +890,7 @@ func (m *Mount) Mkdir(dir VH, name string, mode uint32) (VH, localfs.Attr, simne
 			return c, nil
 		}
 		phys := path.Join(de.physPath, name)
-		a, fh, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+		a, fh, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSMkdir, Path: phys, Mode: mode})
 		if err != nil {
 			return c, err
@@ -774,7 +919,7 @@ func (m *Mount) Mkdir(dir VH, name string, mode uint32) (VH, localfs.Attr, simne
 // name, route, redirect with salts while the target is above the
 // utilization limit, create the hierarchy on the chosen node, and place a
 // special link in the parent when needed (Section 3.3).
-func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
+func (m *Mount) mkdirDistributed(tr *obs.Trace, parent *ventry, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
 	n := m.n
 	var total simnet.Cost
 
@@ -786,7 +931,7 @@ func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, 
 	var linkKey = Key(name)
 	var linkTrack Track
 	if parent.place.VRoot {
-		res, c, err := n.route(Key(name))
+		res, c, err := n.route(tr, Key(name))
 		total = simnet.Seq(total, c)
 		if err != nil {
 			return 0, localfs.Attr{}, total, err
@@ -817,7 +962,7 @@ func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, 
 	chosen := false
 	for attempt := 0; attempt <= n.cfg.RedirectAttempts; attempt++ {
 		pn = Salted(name, attempt)
-		res, c, err := n.route(Key(pn))
+		res, c, err := n.route(tr, Key(pn))
 		total = simnet.Seq(total, c)
 		if err != nil {
 			return 0, localfs.Attr{}, total, err
@@ -855,7 +1000,7 @@ func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, 
 	}
 
 	// Create the subtree root on the chosen node.
-	attr, fh, c, err := n.apply(target, Key(pn), Track{PN: pn, Root: subRoot},
+	attr, fh, c, err := n.apply(tr, target, Key(pn), Track{PN: pn, Root: subRoot},
 		FSOp{Kind: FSMkdirAll, Path: subRoot, Mode: mode})
 	total = simnet.Seq(total, c)
 	if err != nil {
@@ -863,7 +1008,7 @@ func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, 
 	}
 
 	if needLink {
-		_, _, c, err := n.apply(linkNode, linkKey, linkTrack,
+		_, _, c, err := n.apply(tr, linkNode, linkKey, linkTrack,
 			FSOp{Kind: FSSymlink, Path: path.Join(linkDir, name), Target: MakeLinkTarget(pn, subRoot)})
 		total = simnet.Seq(total, c)
 		if err != nil {
@@ -896,15 +1041,22 @@ func (m *Mount) mkdirDistributed(parent *ventry, name string, mode uint32) (VH, 
 // pre-warms the name and attribute caches: a following stat-all-entries
 // sweep issues no RPCs at all (the N+1 round trips collapse into 1).
 func (m *Mount) Readdir(dir VH) ([]DirEntry, simnet.Cost, error) {
+	o := m.begin(obs.OpcReaddir, m.vpathOf(dir))
+	ents, cost, err := m.readdir(o.tr, dir)
+	o.done(cost, err)
+	return ents, cost, err
+}
+
+func (m *Mount) readdir(tr *obs.Trace, dir VH) ([]DirEntry, simnet.Cost, error) {
 	de, err := m.entry(dir)
 	if err != nil {
 		return nil, m.n.cfg.InterposeCost, err
 	}
 	if de.place.VRoot {
-		return m.readdirRoot()
+		return m.readdirRoot(tr)
 	}
 	var out []DirEntry
-	cost, err := m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+	cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
 		ents, c, err := m.n.nfsc.ReaddirPlusAll(de.node, de.fh, 256)
 		if err != nil {
 			return c, err
@@ -950,7 +1102,7 @@ func (m *Mount) Readdir(dir VH) ([]DirEntry, simnet.Cost, error) {
 // readdirRoot lists the virtual root: "the /kosha/$USER directory actually
 // corresponds to the union of the /kosha_store/$USER directories on all
 // nodes" (Section 3) — the root listing is the union of store roots.
-func (m *Mount) readdirRoot() ([]DirEntry, simnet.Cost, error) {
+func (m *Mount) readdirRoot(tr *obs.Trace) ([]DirEntry, simnet.Cost, error) {
 	total := m.n.cfg.InterposeCost
 	seen := make(map[string]localfs.FileType)
 	nodes := []simnet.Addr{m.n.addr}
@@ -984,7 +1136,7 @@ func (m *Mount) readdirRoot() ([]DirEntry, simnet.Cost, error) {
 	// validated against authoritative resolution before it is listed.
 	out := make([]DirEntry, 0, len(seen))
 	for name, typ := range seen {
-		if _, _, c, err := m.materialize("/" + name); err != nil {
+		if _, _, c, err := m.materialize(tr, "/"+name); err != nil {
 			total = simnet.Seq(total, c)
 			continue
 		} else {
@@ -999,7 +1151,14 @@ func (m *Mount) readdirRoot() ([]DirEntry, simnet.Cost, error) {
 // Remove unlinks a file or user symlink (Section 4.1.5): the RPC is
 // forwarded to the primary, which removes all replica instances.
 func (m *Mount) Remove(dir VH, name string) (simnet.Cost, error) {
-	return m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+	o := m.beginAt(obs.OpcRemove, dir, name)
+	cost, err := m.remove(o.tr, dir, name)
+	o.done(cost, err)
+	return cost, err
+}
+
+func (m *Mount) remove(tr *obs.Trace, dir VH, name string) (simnet.Cost, error) {
+	return m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
 		if de.place.VRoot {
 			return 0, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
 		}
@@ -1020,7 +1179,7 @@ func (m *Mount) Remove(dir VH, name string) (simnet.Cost, error) {
 				}
 			}
 		}
-		_, _, c2, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+		_, _, c2, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSRemove, Path: phys})
 		if err == nil {
 			m.dropMetaUnder(path.Join(de.vpath, name))
@@ -1033,13 +1192,20 @@ func (m *Mount) Remove(dir VH, name string) (simnet.Cost, error) {
 // Rmdir removes an empty directory, pruning scaffolding and special links
 // for distributed directories (Section 4.1.5).
 func (m *Mount) Rmdir(dir VH, name string) (simnet.Cost, error) {
-	return m.withFailover(dir, func(de *ventry) (simnet.Cost, error) {
+	o := m.beginAt(obs.OpcRmdir, dir, name)
+	cost, err := m.rmdir(o.tr, dir, name)
+	o.done(cost, err)
+	return cost, err
+}
+
+func (m *Mount) rmdir(tr *obs.Trace, dir VH, name string) (simnet.Cost, error) {
+	return m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
 		depth := len(SplitVirtual(de.vpath)) + 1
 		if depth <= m.n.cfg.DistributionLevel || de.place.VRoot {
-			return m.rmdirDistributed(de, name)
+			return m.rmdirDistributed(tr, de, name)
 		}
 		phys := path.Join(de.physPath, name)
-		_, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+		_, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 			FSOp{Kind: FSRmdir, Path: phys})
 		if err == nil {
 			m.dropMetaUnder(path.Join(de.vpath, name))
@@ -1049,13 +1215,13 @@ func (m *Mount) Rmdir(dir VH, name string) (simnet.Cost, error) {
 	})
 }
 
-func (m *Mount) rmdirDistributed(parent *ventry, name string) (simnet.Cost, error) {
+func (m *Mount) rmdirDistributed(tr *obs.Trace, parent *ventry, name string) (simnet.Cost, error) {
 	n := m.n
 	var total simnet.Cost
 	vpath := path.Join(parent.vpath, name)
 
 	// Locate the child and verify virtual emptiness.
-	child, _, c, err := m.materialize(vpath)
+	child, _, c, err := m.materialize(tr, vpath)
 	total = simnet.Seq(total, c)
 	if err != nil {
 		return total, err
@@ -1076,7 +1242,7 @@ func (m *Mount) rmdirDistributed(parent *ventry, name string) (simnet.Cost, erro
 
 	// Remove the hierarchy on its node (and replicas), pruning empty
 	// scaffolding above it.
-	_, _, c, err = n.apply(child.node, Key(child.pn), Track{PN: child.pn, Root: child.root},
+	_, _, c, err = n.apply(tr, child.node, Key(child.pn), Track{PN: child.pn, Root: child.root},
 		FSOp{Kind: FSRemoveAll, Path: child.root, Prune: true})
 	total = simnet.Seq(total, c)
 	if err != nil {
@@ -1089,7 +1255,7 @@ func (m *Mount) rmdirDistributed(parent *ventry, name string) (simnet.Cost, erro
 	linkKey := Key(name)
 	var linkTrack Track
 	if parent.place.VRoot {
-		res, c, rerr := n.route(Key(name))
+		res, c, rerr := n.route(tr, Key(name))
 		total = simnet.Seq(total, c)
 		if rerr != nil {
 			return total, rerr
@@ -1105,7 +1271,7 @@ func (m *Mount) rmdirDistributed(parent *ventry, name string) (simnet.Cost, erro
 		linkPath := path.Join(linkDir, name)
 		if _, attr, c, lerr := n.remoteLookupPath(linkNode, linkPath); lerr == nil && attr.Type == localfs.TypeSymlink {
 			total = simnet.Seq(total, c)
-			_, _, c2, derr := n.apply(linkNode, linkKey, linkTrack, FSOp{Kind: FSRemove, Path: linkPath})
+			_, _, c2, derr := n.apply(tr, linkNode, linkKey, linkTrack, FSOp{Kind: FSRemove, Path: linkPath})
 			total = simnet.Seq(total, c2)
 			if derr != nil {
 				return total, derr
@@ -1125,6 +1291,13 @@ func (m *Mount) rmdirDistributed(parent *ventry, name string) (simnet.Cost, erro
 // Renaming a distributed directory, or across hierarchies, is "equivalent
 // to a copy to a new location followed by a delete of the old location".
 func (m *Mount) Rename(srcDir VH, srcName string, dstDir VH, dstName string) (simnet.Cost, error) {
+	o := m.beginAt(obs.OpcRename, srcDir, srcName)
+	cost, err := m.rename(o.tr, srcDir, srcName, dstDir, dstName)
+	o.done(cost, err)
+	return cost, err
+}
+
+func (m *Mount) rename(tr *obs.Trace, srcDir VH, srcName string, dstDir VH, dstName string) (simnet.Cost, error) {
 	total := m.n.cfg.InterposeCost
 	if err := ValidName(dstName); err != nil {
 		return total, err
@@ -1141,8 +1314,8 @@ func (m *Mount) Rename(srcDir VH, srcName string, dstDir VH, dstName string) (si
 	srcDistributed := srcDepth <= m.n.cfg.DistributionLevel
 
 	if !srcDistributed && sde.node == dde.node && sde.root == dde.root {
-		c, err := m.withFailover(srcDir, func(de *ventry) (simnet.Cost, error) {
-			_, _, c, err := m.n.apply(de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
+		c, err := m.withFailover(tr, srcDir, func(de *ventry) (simnet.Cost, error) {
+			_, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
 				FSOp{
 					Kind:  FSRename,
 					Path:  path.Join(sde.physPath, srcName),
@@ -1162,7 +1335,7 @@ func (m *Mount) Rename(srcDir VH, srcName string, dstDir VH, dstName string) (si
 	// The target of the link needs not be changed" — the subtree stays
 	// where its placement name hashes; only the name users see moves.
 	if srcDistributed && sde.vpath == dde.vpath {
-		c, ok, err := m.renameDistributedLink(sde, srcName, dstName)
+		c, ok, err := m.renameDistributedLink(tr, sde, srcName, dstName)
 		total = simnet.Seq(total, c)
 		if err != nil {
 			return total, err
@@ -1209,10 +1382,10 @@ func (m *Mount) Rename(srcDir VH, srcName string, dstDir VH, dstName string) (si
 // the network) and the special link is rewritten under the new name.
 // ok=false means the cheap path does not apply (an unredirected level-1
 // home, whose placement IS its name) and the caller must copy-and-delete.
-func (m *Mount) renameDistributedLink(parent *ventry, srcName, dstName string) (simnet.Cost, bool, error) {
+func (m *Mount) renameDistributedLink(tr *obs.Trace, parent *ventry, srcName, dstName string) (simnet.Cost, bool, error) {
 	n := m.n
 	var total simnet.Cost
-	child, _, c, err := m.materialize(path.Join(parent.vpath, srcName))
+	child, _, c, err := m.materialize(tr, path.Join(parent.vpath, srcName))
 	total = simnet.Seq(total, c)
 	if err != nil {
 		return total, false, err
@@ -1221,7 +1394,7 @@ func (m *Mount) renameDistributedLink(parent *ventry, srcName, dstName string) (
 		return total, false, nil
 	}
 	// Destination must not exist.
-	if _, _, c, err := m.materialize(path.Join(parent.vpath, dstName)); err == nil {
+	if _, _, c, err := m.materialize(tr, path.Join(parent.vpath, dstName)); err == nil {
 		return simnet.Seq(total, c), false, &nfs.Error{Proc: nfs.ProcRename, Status: nfs.ErrExist}
 	} else {
 		total = simnet.Seq(total, c)
@@ -1241,7 +1414,7 @@ func (m *Mount) renameDistributedLink(parent *ventry, srcName, dstName string) (
 	// for the old virtual name now dangle instead of aliasing the
 	// renamed directory.
 	newRoot := n.newStoreRoot(child.pn)
-	_, _, c, err = n.apply(child.node, Key(child.pn),
+	_, _, c, err = n.apply(tr, child.node, Key(child.pn),
 		Track{PN: child.pn, Root: newRoot},
 		FSOp{Kind: FSRename, Path: child.root, Path2: newRoot})
 	total = simnet.Seq(total, c)
@@ -1253,37 +1426,37 @@ func (m *Mount) renameDistributedLink(parent *ventry, srcName, dstName string) (
 	// 2. Replace the link: remove the old name, create the new one.
 	if !parent.place.VRoot {
 		pt := Track{PN: parent.pn, Root: parent.root}
-		if _, _, c, err := n.apply(parent.node, Key(parent.pn), pt,
+		if _, _, c, err := n.apply(tr, parent.node, Key(parent.pn), pt,
 			FSOp{Kind: FSRemove, Path: path.Join(parent.physPath, srcName)}); err != nil {
 			return simnet.Seq(total, c), false, err
 		} else {
 			total = simnet.Seq(total, c)
 		}
-		_, _, c, err := n.apply(parent.node, Key(parent.pn), pt,
+		_, _, c, err := n.apply(tr, parent.node, Key(parent.pn), pt,
 			FSOp{Kind: FSSymlink, Path: path.Join(parent.physPath, dstName), Target: target})
 		total = simnet.Seq(total, c)
 		return total, err == nil, err
 	}
 
 	// Level 1: the link moves between the old and new names' hash targets.
-	newRes, c, err := n.route(Key(dstName))
+	newRes, c, err := n.route(tr, Key(dstName))
 	total = simnet.Seq(total, c)
 	if err != nil {
 		return total, false, err
 	}
-	_, _, c, err = n.apply(newRes.Node.Addr, Key(dstName),
+	_, _, c, err = n.apply(tr, newRes.Node.Addr, Key(dstName),
 		Track{PN: dstName, Link: path.Join("/", dstName)},
 		FSOp{Kind: FSSymlink, Path: path.Join("/", dstName), Target: target})
 	total = simnet.Seq(total, c)
 	if err != nil {
 		return total, false, err
 	}
-	oldRes, c, err := n.route(Key(srcName))
+	oldRes, c, err := n.route(tr, Key(srcName))
 	total = simnet.Seq(total, c)
 	if err != nil {
 		return total, false, err
 	}
-	_, _, c, err = n.apply(oldRes.Node.Addr, Key(srcName),
+	_, _, c, err = n.apply(tr, oldRes.Node.Addr, Key(srcName),
 		Track{PN: srcName, Link: path.Join("/", srcName)},
 		FSOp{Kind: FSRemove, Path: path.Join("/", srcName)})
 	total = simnet.Seq(total, c)
@@ -1366,12 +1539,15 @@ func (m *Mount) copyTree(srcDir VH, srcName string, dstDir VH, dstName string) (
 
 // LookupPath resolves a whole virtual path to a handle.
 func (m *Mount) LookupPath(vpath string) (VH, localfs.Attr, simnet.Cost, error) {
+	o := m.begin(obs.OpcLookup, vpath)
 	total := m.n.cfg.InterposeCost
-	de, attr, cost, err := m.materializeRetry(vpath)
+	de, attr, cost, err := m.materializeRetry(o.tr, vpath)
 	total = simnet.Seq(total, cost)
 	if err != nil {
+		o.done(total, err)
 		return 0, localfs.Attr{}, total, err
 	}
+	o.done(total, nil)
 	if de.place.VRoot {
 		return RootVH, attr, total, nil
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/id"
 	"repro/internal/localfs"
 	"repro/internal/nfs"
+	"repro/internal/obs"
 	"repro/internal/pastry"
 	"repro/internal/simnet"
 	"repro/internal/wire"
@@ -81,6 +82,14 @@ type Config struct {
 	// NoMetadataCache turns off both client-side metadata caches,
 	// regardless of the TTL fields. Used by ablation benches.
 	NoMetadataCache bool
+	// WallClockStats records per-op latency histograms in wall time rather
+	// than simulated cost. koshad sets it when running over tcpnet, where
+	// real elapsed time is the number of interest; simulated runs leave it
+	// off so histograms are deterministic.
+	WallClockStats bool
+	// TraceBufSize caps the per-node ring buffer of recent operation
+	// traces. 0 selects obs.DefaultTraceBuf; negative disables tracing.
+	TraceBufSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -124,13 +133,27 @@ func (c Config) withDefaults() Config {
 		c.AttrCacheTTL = -1
 		c.NameCacheTTL = -1
 	}
+	if c.TraceBufSize == 0 {
+		c.TraceBufSize = obs.DefaultTraceBuf
+	}
 	return c
 }
 
 // route asks the local p2p component for the node owning key, charging the
-// substrate lookup cost on top of the overlay hops.
-func (n *Node) route(key id.ID) (pastry.RouteResult, simnet.Cost, error) {
+// substrate lookup cost on top of the overlay hops. Every route feeds the
+// route histogram and hop counters; when the caller is tracing, the hop
+// path (with prefix-match depths against the key) is appended to the trace.
+func (n *Node) route(tr *obs.Trace, key id.ID) (pastry.RouteResult, simnet.Cost, error) {
 	res, err := n.overlay.Route(key)
+	n.routeCount.Add(1)
+	n.routeHops.Add(uint64(res.Hops))
+	n.routeHist.Observe(time.Duration(res.Cost))
+	if tr != nil {
+		for _, h := range res.Path {
+			tr.AddHop(h.ID.String(), string(h.Addr), id.SharedPrefixLen(h.ID, key))
+		}
+		tr.AddSpan("route", string(res.Node.Addr), time.Duration(res.Cost))
+	}
 	return res, simnet.Seq(res.Cost, n.cfg.P2PLookupCost), err
 }
 
@@ -197,10 +220,38 @@ type Node struct {
 	cacheMu  sync.Mutex
 	dirCache map[string]Place // virtual dir path -> place
 
+	// Observability: the node-wide metrics registry (shared with the NFS
+	// client), the operation tracer, and the overlay-health event log.
+	// Hot-path metrics are cached as struct fields.
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	events     *obs.EventLog
+	routeCount *obs.Counter
+	routeHops  *obs.Counter
+	routeHist  *obs.Histogram
+	opsTotal   *obs.Counter
+	opErrors   *obs.Counter
+	opHists    [obs.OpcCount]*obs.Histogram // cached "op.<OP>" histograms, indexed by OpCode
+	repCount   *obs.Counter
+	repFanout  *obs.Counter
+	repHist    *obs.Histogram
+
 	syncing  atomic.Bool
 	storeSeq atomic.Uint64 // storage-root allocation counter
 	gen      uint64        // store incarnation counter
 }
+
+// nodeHistNames are the histogram keys every node registers at
+// construction: route and replicate first, then the "op.<OP>" set in
+// OpCode order. Built once per process so node construction (frequent in
+// simulated clusters) does no string work.
+var nodeHistNames = func() []string {
+	names := []string{"op." + obs.OpRoute, "op." + obs.OpReplicate}
+	for c := obs.OpCode(0); c < obs.OpcCount; c++ {
+		names = append(names, "op."+c.String())
+	}
+	return names
+}()
 
 // NewNode builds a Kosha node with the given network address and overlay
 // identifier, attaches its services, and returns it un-joined. The
@@ -227,8 +278,24 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 		dirCache:     make(map[string]Place),
 		gen:          1,
 	}
+	n.reg = obs.NewRegistry()
+	tbuf := cfg.TraceBufSize
+	if tbuf < 0 {
+		tbuf = 0
+	}
+	n.tracer = obs.NewTracer(tbuf)
+	n.events = obs.NewEventLog(0)
+	n.routeCount = n.reg.Counter("route.count")
+	n.routeHops = n.reg.Counter("route.hops")
+	n.opsTotal = n.reg.Counter("ops.total")
+	n.opErrors = n.reg.Counter("ops.errors")
+	n.repCount = n.reg.Counter("replicate.count")
+	n.repFanout = n.reg.Counter("replicate.fanout")
+	hists := n.reg.Histograms(nodeHistNames...)
+	n.routeHist, n.repHist = hists[0], hists[1]
+	copy(n.opHists[:], hists[2:])
 	n.nsrv = nfs.NewServer(n.store, n.gen)
-	n.nfsc = nfs.NewClient(net, addr)
+	n.nfsc = nfs.NewClientWithRegistry(net, addr, n.reg)
 	n.overlay = pastry.NewNode(nodeID, addr, net, cfg.LeafSize)
 	n.overlay.OnLeafSetChange(n.onLeafChange)
 	n.attach()
@@ -262,6 +329,16 @@ func (n *Node) ResetNFSStats() { n.nfsc.ResetStats() }
 // NFSProcCount returns how many RPCs of one procedure this node has issued.
 func (n *Node) NFSProcCount(p nfs.Proc) uint64 { return n.nfsc.ProcCount(p) }
 
+// Obs returns the node-wide metrics registry (per-op latency histograms,
+// route/replicate/failover counters, and the NFS client's RPC counters).
+func (n *Node) Obs() *obs.Registry { return n.reg }
+
+// Tracer returns the node's operation tracer (nil traces when disabled).
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
+
+// Events returns the node's overlay-health event log.
+func (n *Node) Events() *obs.EventLog { return n.events }
+
 // ID returns the node's overlay identifier.
 func (n *Node) ID() id.ID { return n.overlay.Info().ID }
 
@@ -282,6 +359,13 @@ func (n *Node) Join(seed simnet.Addr) (simnet.Cost, error) {
 // onLeafChange reacts to overlay membership changes: location caches become
 // suspect, and replica placement must be re-established (Section 4.3).
 func (n *Node) onLeafChange(c pastry.LeafSetChange) {
+	for _, p := range c.Joined {
+		n.events.Add(obs.EvJoin, string(p.Addr), p.ID.Short())
+	}
+	for _, p := range c.Left {
+		n.events.Add(obs.EvDeparture, string(p.Addr), p.ID.Short())
+	}
+	n.events.Add(obs.EvCachePurge, string(n.addr), "leaf-set change")
 	n.cacheMu.Lock()
 	n.dirCache = make(map[string]Place)
 	n.cacheMu.Unlock()
@@ -728,7 +812,7 @@ func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, e
 			checkCost = c
 			if !isRoot {
 				e.PutUint32(codeNotPrimary)
-				putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{})
+				putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{}, 0)
 				return cp(e), checkCost, nil
 			}
 			// Cold path after an ownership change: surface the local
@@ -744,7 +828,7 @@ func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, e
 		attr, cost, err := n.applyFSOp(r.Op, false)
 		if err != nil {
 			e.PutUint32(codeNFSBase + uint32(nfs.ToStatus(err)))
-			putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{})
+			putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{}, 0)
 			return cp(e), simnet.Seq(checkCost, cost), nil
 		}
 		if r.Op.Kind == FSRename && r.Op.Path2 == r.Track.Root {
@@ -773,13 +857,18 @@ func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, e
 			c, _ := n.mirror(rep.Addr, r.Track, r.Op)
 			fanout = append(fanout, c)
 		}
+		if len(targets) > 0 {
+			n.repCount.Add(1)
+			n.repFanout.Add(uint64(len(targets)))
+			n.repHist.Observe(time.Duration(simnet.Par(fanout...)))
+		}
 		if n.cfg.SyncReplication {
 			cost = simnet.Seq(checkCost, cost, simnet.Par(fanout...))
 		} else {
 			cost = simnet.Seq(checkCost, cost)
 		}
 		e.PutUint32(codeOK)
-		putApplyReplyBody(e, attr, nfs.Handle{Gen: n.nsrvGen(), Ino: attr.Ino})
+		putApplyReplyBody(e, attr, nfs.Handle{Gen: n.nsrvGen(), Ino: attr.Ino}, len(targets))
 		return cp(e), cost, nil
 
 	case kMirror:
@@ -800,12 +889,12 @@ func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, e
 		attr, cost, err := n.applyFSOp(r.Op, true)
 		if err != nil {
 			e.PutUint32(codeNFSBase + uint32(nfs.ToStatus(err)))
-			putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{})
+			putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{}, 0)
 			return cp(e), cost, nil
 		}
 		n.track(r.Track, r.Op)
 		e.PutUint32(codeOK)
-		putApplyReplyBody(e, attr, nfs.Handle{Gen: n.nsrvGen(), Ino: attr.Ino})
+		putApplyReplyBody(e, attr, nfs.Handle{Gen: n.nsrvGen(), Ino: attr.Ino}, 0)
 		return cp(e), cost, nil
 
 	case kStatTree:
@@ -883,16 +972,17 @@ func (n *Node) nsrvGen() uint64 {
 	return n.nsrv.Root().Gen
 }
 
-func putApplyReplyBody(e *wire.Encoder, attr localfs.Attr, fh nfs.Handle) {
+func putApplyReplyBody(e *wire.Encoder, attr localfs.Attr, fh nfs.Handle, fanout int) {
 	e.PutUint64(attr.Ino)
 	e.PutUint32(uint32(attr.Type))
 	e.PutUint32(attr.Mode)
 	e.PutInt64(attr.Size)
 	e.PutUint64(fh.Gen)
 	e.PutUint64(fh.Ino)
+	e.PutUint32(uint32(fanout)) // replica fan-out width, for trace records
 }
 
-func getApplyReplyBody(d *wire.Decoder) (localfs.Attr, nfs.Handle) {
+func getApplyReplyBody(d *wire.Decoder) (localfs.Attr, nfs.Handle, int) {
 	var attr localfs.Attr
 	attr.Ino = d.Uint64()
 	attr.Type = localfs.FileType(d.Uint32())
@@ -901,15 +991,16 @@ func getApplyReplyBody(d *wire.Decoder) (localfs.Attr, nfs.Handle) {
 	var fh nfs.Handle
 	fh.Gen = d.Uint64()
 	fh.Ino = d.Uint64()
-	return attr, fh
+	return attr, fh, int(d.Uint32())
 }
 
 func cp(e *wire.Encoder) []byte { return append([]byte(nil), e.Bytes()...) }
 
 // --- kosha service (client side) ---
 
-// apply sends a mutation to the primary for key at addr.
-func (n *Node) apply(to simnet.Addr, key id.ID, t Track, op FSOp) (localfs.Attr, nfs.Handle, simnet.Cost, error) {
+// apply sends a mutation to the primary for key at addr. A non-nil trace
+// records the serving node, the replica fan-out width, and an apply span.
+func (n *Node) apply(tr *obs.Trace, to simnet.Addr, key id.ID, t Track, op FSOp) (localfs.Attr, nfs.Handle, simnet.Cost, error) {
 	e := wire.NewEncoder(256 + len(op.Data))
 	e.PutUint32(kApply)
 	r := applyReq{Key: key, Track: t, Op: op}
@@ -920,11 +1011,19 @@ func (n *Node) apply(to simnet.Addr, key id.ID, t Track, op FSOp) (localfs.Attr,
 	}
 	d := wire.NewDecoder(resp)
 	code := d.Uint32()
-	attr, fh := getApplyReplyBody(d)
+	attr, fh, fanout := getApplyReplyBody(d)
 	if d.Err() != nil {
 		return localfs.Attr{}, nfs.Handle{}, cost, d.Err()
 	}
-	return attr, fh, cost, codeToError(code)
+	if err := codeToError(code); err != nil {
+		return attr, fh, cost, err
+	}
+	tr.AddSpan("apply", string(to), time.Duration(cost))
+	tr.SetServedBy(string(to))
+	if fanout > 0 {
+		tr.SetReplicas(fanout)
+	}
+	return attr, fh, cost, nil
 }
 
 // mirror ships a mutation to one replica (replica area).
@@ -1028,13 +1127,15 @@ func (n *Node) rootHandle(to simnet.Addr) (nfs.Handle, simnet.Cost, error) {
 // to its current K leaf-set neighbors; if ownership moved (a closer node
 // joined) it migrates the subtree to the new primary, keeping its own copy
 // as a replica (Section 4.3.1). Returns the simulated cost.
-func (n *Node) SyncReplicas() simnet.Cost {
+func (n *Node) SyncReplicas() (total simnet.Cost) {
 	if !n.syncing.CompareAndSwap(false, true) {
 		return 0
 	}
 	defer n.syncing.Store(false)
-
-	var total simnet.Cost
+	n.events.Add(obs.EvResync, string(n.addr), "")
+	defer func() {
+		n.reg.Observe("op."+obs.OpResync, time.Duration(total))
+	}()
 	n.mu.Lock()
 	roots := make(map[string]Track, len(n.tracked))
 	for r, t := range n.tracked {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCtlStatsTraceRoundTrip drives a workload through the virtual mount and
+// then reads the node's observability surface back through the CTL protocol,
+// checking the two cross-layer invariants the stats surface promises:
+//
+//  1. the per-procedure RPC latency histograms account for exactly the RPCs
+//     the node's NFS client issued (one shared registry, no double counting);
+//  2. a LOOKUP trace that recorded route hops ends at the node that served
+//     the final NFS RPC (the hop list and ServedBy agree).
+func TestCtlStatsTraceRoundTrip(t *testing.T) {
+	_, nodes := testCluster(t, 8, 97, Config{Replicas: 2})
+	for _, nd := range nodes {
+		nd.AttachCtl()
+	}
+
+	// Populate through node 0, then resolve everything freshly through node 5
+	// so its traces include overlay route hops (nothing is in its caches).
+	m0 := nodes[0].NewMount()
+	const dirs = 4
+	for i := 0; i < dirs; i++ {
+		p := fmt.Sprintf("/proj%d/file.txt", i)
+		if _, err := m0.WriteFile(p, []byte("observable")); err != nil {
+			t.Fatalf("populate %s: %v", p, err)
+		}
+	}
+	m5 := nodes[5].NewMount()
+	for i := 0; i < dirs; i++ {
+		p := fmt.Sprintf("/proj%d/file.txt", i)
+		if _, _, _, err := m5.LookupPath(p); err != nil {
+			t.Fatalf("lookup %s: %v", p, err)
+		}
+	}
+
+	ctl := &CtlClient{Net: nodes[0].net, From: nodes[0].Addr(), To: nodes[5].Addr()}
+	payload, _, err := ctl.Stats()
+	if err != nil {
+		t.Fatalf("ctl stats: %v", err)
+	}
+	if payload.Addr != string(nodes[5].Addr()) || payload.NodeID == "" {
+		t.Fatalf("payload identity addr=%q node_id=%q", payload.Addr, payload.NodeID)
+	}
+
+	// Invariant 1: Σ rpc.<PROC> histogram counts == nfs.rpcs == what the
+	// node's own NFS client reports.
+	var rpcHist uint64
+	for name, h := range payload.Stats.Hists {
+		if strings.HasPrefix(name, "rpc.") {
+			rpcHist += h.Count
+		}
+	}
+	rpcs := payload.Stats.Counters["nfs.rpcs"]
+	if rpcHist != rpcs {
+		t.Errorf("rpc histogram counts sum to %d, nfs.rpcs counter is %d", rpcHist, rpcs)
+	}
+	if got := nodes[5].NFSStats().RPCs; rpcs != got {
+		t.Errorf("snapshot nfs.rpcs = %d, client reports %d", rpcs, got)
+	}
+	if rpcs == 0 {
+		t.Error("node 5 issued no NFS RPCs; workload did not exercise the client")
+	}
+	if c := payload.Stats.Hists["op."+obs.OpLookup].Count; c < dirs {
+		t.Errorf("op.LOOKUP histogram count = %d, want >= %d", c, dirs)
+	}
+
+	// Invariant 2: clean single-resolution LOOKUP traces with hops end at
+	// ServedBy. Failover or multi-target ops may legitimately diverge, so
+	// only clean lookups are asserted on — but some must exist.
+	traces, _, err := ctl.TraceDump(0)
+	if err != nil {
+		t.Fatalf("ctl trace dump: %v", err)
+	}
+	checked := 0
+	for _, tr := range traces {
+		if tr.Op != obs.OpLookup || tr.Err != "" || tr.Failovers != 0 {
+			continue
+		}
+		if len(tr.Hops) == 0 || tr.ServedBy == "" {
+			continue
+		}
+		checked++
+		if last := tr.Hops[len(tr.Hops)-1].Addr; last != tr.ServedBy {
+			t.Errorf("trace %d (%s): hop list ends at %s, served by %s",
+				tr.ID, tr.Path, last, tr.ServedBy)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no clean LOOKUP traces with route hops retained")
+	}
+
+	// Bounded dumps come back newest first.
+	two, _, err := ctl.TraceDump(2)
+	if err != nil || len(two) > 2 {
+		t.Fatalf("TraceDump(2) = %d traces, err=%v", len(two), err)
+	}
+	if len(two) == 2 && two[0].ID < two[1].ID {
+		t.Errorf("trace dump not newest-first: ids %d, %d", two[0].ID, two[1].ID)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/localfs"
 	"repro/internal/nfs"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -109,6 +110,11 @@ func (n *Node) cacheDrop(vpath string) {
 // parent directory. Resolved levels are cached, mirroring koshad's practice
 // of "record[ing] the information needed for future accesses" (Section 4).
 func (n *Node) ResolveDir(vdirs []string) (Place, simnet.Cost, error) {
+	return n.resolveDir(nil, vdirs)
+}
+
+// resolveDir is ResolveDir with an optional trace receiving the route hops.
+func (n *Node) resolveDir(tr *obs.Trace, vdirs []string) (Place, simnet.Cost, error) {
 	if len(vdirs) == 0 {
 		return Place{VRoot: true, Store: "/"}, 0, nil
 	}
@@ -129,7 +135,7 @@ restart:
 		var probeNode simnet.Addr
 		var probeDir string
 		if i == 1 {
-			res, c, err := n.route(Key(name))
+			res, c, err := n.route(tr, Key(name))
 			total = simnet.Seq(total, c)
 			if err != nil {
 				return Place{}, total, fmt.Errorf("kosha: resolve %s: %w", vpath, err)
@@ -195,7 +201,7 @@ restart:
 			if !ok {
 				return Place{}, total, &nfs.Error{Proc: nfs.ProcLookup, Status: nfs.ErrNotDir}
 			}
-			res, c, err := n.route(Key(pn))
+			res, c, err := n.route(tr, Key(pn))
 			total = simnet.Seq(total, c)
 			if err != nil {
 				return Place{}, total, err

@@ -58,12 +58,15 @@ type Table1Result struct {
 }
 
 // koshaCfg is the Table 1/2 node configuration: replication factor 1,
-// 35 GB contributed per node.
+// 35 GB contributed per node. Trace retention is off — experiments read
+// the metric histograms, and per-op trace building would tax every arm of
+// every benchmark for records nothing dumps.
 func koshaCfg() core.Config {
 	return core.Config{
 		DistributionLevel: 1,
 		Replicas:          1,
 		Capacity:          35 << 30,
+		TraceBufSize:      -1,
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/localfs"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -30,18 +32,55 @@ const maxProc = 128
 // Client issues NFS RPCs from one node to another over the transport.
 // koshad uses it both to serve lookups "as if it is an NFS client of R"
 // (Section 4.1.3) and to forward interposed RPCs to remote stores.
+//
+// All traffic counters live in an obs.Registry ("nfs.rpcs", "nfs.bytes",
+// per-procedure "rpc.<PROC>" counts and latency histograms) so snapshots and
+// resets come from one place. koshad and the simulated nodes pass in their
+// node-wide registry; NewClient creates a private one.
 type Client struct {
 	Net  simnet.Caller
 	From simnet.Addr
 
-	rpcs   atomic.Uint64
-	bytes  atomic.Uint64
-	byProc [maxProc]atomic.Uint64
+	reg    *obs.Registry
+	rpcs   *obs.Counter
+	bytes  *obs.Counter
+	byProc [maxProc]atomic.Pointer[obs.Histogram]
 }
 
-// NewClient returns a client that originates calls from addr.
+// NewClient returns a client that originates calls from addr, with a private
+// metrics registry.
 func NewClient(net simnet.Caller, from simnet.Addr) *Client {
-	return &Client{Net: net, From: from}
+	return NewClientWithRegistry(net, from, obs.NewRegistry())
+}
+
+// NewClientWithRegistry returns a client whose traffic counters live in reg,
+// letting a node fold its NFS client metrics into a node-wide registry.
+func NewClientWithRegistry(net simnet.Caller, from simnet.Addr, reg *obs.Registry) *Client {
+	return &Client{
+		Net:   net,
+		From:  from,
+		reg:   reg,
+		rpcs:  reg.Counter("nfs.rpcs"),
+		bytes: reg.Counter("nfs.bytes"),
+	}
+}
+
+// Registry exposes the registry backing this client's counters.
+func (c *Client) Registry() *obs.Registry { return c.reg }
+
+// proc returns the cached "rpc.<PROC>" latency histogram for one procedure
+// so the call hot path pays one pointer load instead of a registry lookup.
+// Per-proc counts are the histogram counts — no separate counter.
+func (c *Client) proc(p Proc) *obs.Histogram {
+	if p >= maxProc {
+		p = maxProc - 1
+	}
+	if m := c.byProc[p].Load(); m != nil {
+		return m
+	}
+	m := c.reg.Histogram("rpc." + p.String())
+	c.byProc[p].CompareAndSwap(nil, m)
+	return c.byProc[p].Load()
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -54,31 +93,29 @@ func (c *Client) ProcCount(p Proc) uint64 {
 	if p >= maxProc {
 		return 0
 	}
-	return c.byProc[p].Load()
+	return c.proc(p).Count()
 }
 
-// ResetStats zeroes the traffic counters.
+// ResetStats zeroes every metric in the client's registry (when the registry
+// is shared with a node, this resets the node's whole metric surface — the
+// unified semantics that replaced the three per-type Reset paths).
 func (c *Client) ResetStats() {
-	c.rpcs.Store(0)
-	c.bytes.Store(0)
-	for i := range c.byProc {
-		c.byProc[i].Store(0)
-	}
+	c.reg.Reset()
 }
 
-// call performs one RPC and strips the status word.
+// call performs one RPC, records traffic counters and the per-procedure
+// latency histogram (simulated cost), and strips the status word.
 func (c *Client) call(to simnet.Addr, proc Proc, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
 	e := wire.NewEncoder(256)
 	e.PutUint32(uint32(proc))
 	if build != nil {
 		build(e)
 	}
+	lat := c.proc(proc)
 	c.rpcs.Add(1)
-	if proc < maxProc {
-		c.byProc[proc].Add(1)
-	}
 	c.bytes.Add(uint64(len(e.Bytes())))
 	resp, cost, err := c.Net.Call(c.From, to, Service, e.Bytes())
+	lat.Observe(time.Duration(cost))
 	c.bytes.Add(uint64(len(resp)))
 	if err != nil {
 		return nil, cost, fmt.Errorf("nfs %s to %s: %w", proc, to, err)

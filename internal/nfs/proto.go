@@ -164,8 +164,21 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("nfs: %s failed: %s", e.Proc, e.Status)
 }
 
-// IsStatus reports whether err is an NFS error with the given status.
+// IsStatus reports whether err is an NFS error with the given status. The
+// nil and unwrapped cases are answered without errors.As — resolver success
+// paths probe statuses on every level, and the As target escapes (one heap
+// allocation per call) even when err is nil.
 func IsStatus(err error, s Status) bool {
+	if err == nil {
+		return false
+	}
+	if ne, ok := err.(*Error); ok {
+		return ne.Status == s
+	}
+	return isStatusSlow(err, s)
+}
+
+func isStatusSlow(err error, s Status) bool {
 	var ne *Error
 	return errors.As(err, &ne) && ne.Status == s
 }
@@ -173,6 +186,12 @@ func IsStatus(err error, s Status) bool {
 // StatusOf extracts the NFS status from err, or OK/false if err is not an
 // NFS protocol error (e.g. a transport failure).
 func StatusOf(err error) (Status, bool) {
+	if err == nil {
+		return OK, false
+	}
+	if ne, ok := err.(*Error); ok {
+		return ne.Status, true
+	}
 	var ne *Error
 	if errors.As(err, &ne) {
 		return ne.Status, true

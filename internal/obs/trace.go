@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceBuf is the default capacity of the per-node trace ring buffer.
+const DefaultTraceBuf = 256
+
+// Hop is one overlay routing step: the node contacted, its nodeId, and how
+// many nodeId digits it shares with the destination key (the prefix-match
+// depth that Pastry routing is improving at each step).
+type Hop struct {
+	ID     string `json:"id"`
+	Addr   string `json:"addr"`
+	Prefix int    `json:"prefix"`
+}
+
+// Span is one timed stage inside an operation (resolve, route, an NFS RPC,
+// replica fan-out, a failover retry).
+type Span struct {
+	Name  string `json:"name"`
+	Node  string `json:"node,omitempty"`
+	DurNS int64  `json:"dur_ns"`
+}
+
+// Trace follows one virtual-mount operation end to end: Mount resolve →
+// pastry route (hop by hop) → NFS RPC → replica fan-out. A trace is built by
+// a single goroutine (the one running the op) and published to the ring
+// buffer by Finish.
+type Trace struct {
+	ID        uint64    `json:"id"`
+	Op        string    `json:"op"`
+	Path      string    `json:"path"`
+	Node      string    `json:"node"` // originating node
+	Start     time.Time `json:"start"`
+	TotalNS   int64     `json:"total_ns"`
+	Hops      []Hop     `json:"hops,omitempty"`
+	Spans     []Span    `json:"spans,omitempty"`
+	ServedBy  string    `json:"served_by,omitempty"` // node that served the final NFS RPC
+	Replicas  int       `json:"replicas,omitempty"`  // replica fan-out of the final apply
+	Failovers int       `json:"failovers,omitempty"`
+	Err       string    `json:"err,omitempty"`
+}
+
+// All mutators are nil-safe so instrumentation points never need to guard
+// against tracing being disabled.
+
+// AddHop appends an overlay hop.
+func (t *Trace) AddHop(id, addr string, prefix int) {
+	if t == nil {
+		return
+	}
+	t.Hops = append(t.Hops, Hop{ID: id, Addr: addr, Prefix: prefix})
+}
+
+// AddSpan appends a timed stage.
+func (t *Trace) AddSpan(name, node string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Name: name, Node: node, DurNS: int64(d)})
+}
+
+// SetServedBy records the node that served the operation's final NFS RPC.
+func (t *Trace) SetServedBy(node string) {
+	if t == nil || node == "" {
+		return
+	}
+	t.ServedBy = node
+}
+
+// SetReplicas records the replica fan-out width of the final apply.
+func (t *Trace) SetReplicas(k int) {
+	if t == nil {
+		return
+	}
+	t.Replicas = k
+}
+
+// Failover counts a transparent failover retry.
+func (t *Trace) Failover() {
+	if t == nil {
+		return
+	}
+	t.Failovers++
+}
+
+// Tracer hands out traces and keeps the most recent ones in a bounded ring
+// buffer. A zero-capacity tracer is disabled and returns nil traces (every
+// Trace mutator is nil-safe, so instrumented paths pay one nil check).
+type Tracer struct {
+	cap  int
+	seq  atomic.Uint64
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	full bool
+}
+
+// NewTracer returns a tracer retaining up to capacity traces; capacity <= 0
+// disables tracing.
+func NewTracer(capacity int) *Tracer {
+	return &Tracer{cap: capacity}
+}
+
+// Enabled reports whether the tracer retains traces; instrumentation can
+// skip building trace labels when it does not.
+func (t *Tracer) Enabled() bool { return t != nil && t.cap > 0 }
+
+// Start begins a trace for one operation, or returns nil if disabled.
+func (t *Tracer) Start(op, path, node string) *Trace {
+	if t == nil || t.cap <= 0 {
+		return nil
+	}
+	return &Trace{
+		ID:    t.seq.Add(1),
+		Op:    op,
+		Path:  path,
+		Node:  node,
+		Start: time.Now(),
+	}
+}
+
+// Finish records the total duration and publishes the trace into the ring.
+// The ring grows geometrically up to cap so lightly-used tracers never pay
+// for the full buffer.
+func (t *Tracer) Finish(tr *Trace, total time.Duration, err error) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.TotalNS = int64(total)
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	t.mu.Lock()
+	if !t.full && t.next == len(t.ring) && len(t.ring) < t.cap {
+		if len(t.ring) == cap(t.ring) {
+			grown := cap(t.ring) * 2
+			if grown == 0 {
+				grown = 8
+			}
+			if grown > t.cap {
+				grown = t.cap
+			}
+			next := make([]Trace, len(t.ring), grown)
+			copy(next, t.ring)
+			t.ring = next
+		}
+		t.ring = append(t.ring, *tr)
+	} else {
+		t.ring[t.next] = *tr
+	}
+	t.next++
+	if t.next == t.cap {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n of the most recent traces, newest first. n <= 0
+// means all retained traces.
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil || t.cap <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = t.cap
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := t.next - 1 - i
+		if idx < 0 {
+			idx += t.cap
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

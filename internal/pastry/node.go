@@ -27,6 +27,11 @@ type RouteResult struct {
 	Node NodeInfo    // the root: live node numerically closest to the key
 	Hops int         // overlay RPCs taken
 	Cost simnet.Cost // simulated latency of those RPCs
+	// Path lists the nodes that answered a next-hop query, in routing
+	// order, ending with the root. Iterative routing makes this available
+	// client-side for free; the observability layer turns it into
+	// hop-by-hop trace records with prefix-match depths.
+	Path []NodeInfo
 }
 
 // Node is one Pastry overlay participant.
@@ -245,6 +250,7 @@ restart:
 		n.mu.RUnlock()
 		if isRoot {
 			res.Node = self
+			res.Path = append(res.Path, self)
 			return res, nil
 		}
 
@@ -266,6 +272,7 @@ restart:
 				continue restart
 			}
 			n.addPeer(cur)
+			res.Path = append(res.Path, cur)
 			if isRoot {
 				res.Node = cur
 				return res, nil

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Addr identifies a node on the network.
@@ -82,27 +84,39 @@ type Network struct {
 	nodes     map[Addr]*node
 	partition func(a, b Addr) bool // true when a cannot reach b
 
-	messages atomic.Uint64
-	bytes    atomic.Uint64
-	failures atomic.Uint64
+	// All traffic counters live in one obs.Registry; the fields below are
+	// cached pointers so the Call hot path pays only atomic adds.
+	reg      *obs.Registry
+	messages *obs.Counter
+	bytes    *obs.Counter
+	failures *obs.Counter
 	perSvc   sync.Map // service name -> *svcCounter
 }
 
-// svcCounter aggregates traffic for one service name.
+// svcCounter caches the registry counters for one service name.
 type svcCounter struct {
-	messages atomic.Uint64
-	bytes    atomic.Uint64
-	failures atomic.Uint64
+	messages *obs.Counter
+	bytes    *obs.Counter
+	failures *obs.Counter
 }
 
 // New creates a network with the given link model and a 1 s RPC timeout.
 func New(link LinkModel) *Network {
+	reg := obs.NewRegistry()
 	return &Network{
-		Link:    link,
-		Timeout: Cost(time.Second),
-		nodes:   make(map[Addr]*node),
+		Link:     link,
+		Timeout:  Cost(time.Second),
+		nodes:    make(map[Addr]*node),
+		reg:      reg,
+		messages: reg.Counter("net.messages"),
+		bytes:    reg.Counter("net.bytes"),
+		failures: reg.Counter("net.failures"),
 	}
 }
+
+// Registry exposes the network's metrics registry so experiments and the
+// stats surface can snapshot traffic counters alongside everything else.
+func (n *Network) Registry() *obs.Registry { return n.reg }
 
 // AddNode registers addr on the network. It is a no-op if already present.
 func (n *Network) AddNode(addr Addr) {
@@ -185,22 +199,24 @@ func (n *Network) ServiceStats(service string) Stats {
 	}
 }
 
-// ResetStats zeroes the traffic counters, including per-service ones.
+// ResetStats zeroes the traffic counters, including per-service ones. The
+// counters are zeroed in place — service entries are never deleted — so a
+// concurrent Call holding a counter pointer keeps incrementing a live metric
+// and no service entry is ever lost across a reset.
 func (n *Network) ResetStats() {
-	n.messages.Store(0)
-	n.bytes.Store(0)
-	n.failures.Store(0)
-	n.perSvc.Range(func(k, _ any) bool {
-		n.perSvc.Delete(k)
-		return true
-	})
+	n.reg.Reset()
 }
 
 func (n *Network) svc(service string) *svcCounter {
 	if v, ok := n.perSvc.Load(service); ok {
 		return v.(*svcCounter)
 	}
-	v, _ := n.perSvc.LoadOrStore(service, &svcCounter{})
+	c := &svcCounter{
+		messages: n.reg.Counter("svc." + service + ".messages"),
+		bytes:    n.reg.Counter("svc." + service + ".bytes"),
+		failures: n.reg.Counter("svc." + service + ".failures"),
+	}
+	v, _ := n.perSvc.LoadOrStore(service, c)
 	return v.(*svcCounter)
 }
 

@@ -281,3 +281,57 @@ func BenchmarkCallRemote(b *testing.B) {
 		n.Call("a", "b", "echo", payload)
 	}
 }
+
+// Regression test for ResetStats: per-service counters must be zeroed in
+// place, never deleted, so a Send racing with a reset can never lose the
+// service entry. Run under -race; the final sends must always be visible.
+func TestResetStatsConcurrentServiceEntry(t *testing.T) {
+	n := New(LAN100)
+	n.Register("b", "echo", echoHandler(0))
+	n.AddNode("a")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.Call("a", "b", "echo", []byte("x"))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.ResetStats()
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// After the race settles, the service entry must still be live: new
+	// traffic lands in both the totals and the per-service counters.
+	n.ResetStats()
+	const k = 5
+	for i := 0; i < k; i++ {
+		if _, _, err := n.Call("a", "b", "echo", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Stats().Messages; got != k {
+		t.Fatalf("total messages after reset = %d, want %d", got, k)
+	}
+	if got := n.ServiceStats("echo").Messages; got != k {
+		t.Fatalf("service messages after reset = %d, want %d (entry lost?)", got, k)
+	}
+}
