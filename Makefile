@@ -1,15 +1,26 @@
 GO ?= go
 
-.PHONY: all ci vet build test bench-smoke smoke clean
+.PHONY: all ci vet build test bench-smoke smoke chaos clean
 
 all: vet build test
 
-# ci is the gate for pull requests: static checks, the full race-enabled
-# test suite, and a koshabench smoke run that fails unless the JSON output
-# carries the latency-percentile fields.
+# ci is the gate for pull requests: static checks, the deterministic chaos
+# suite, the full race-enabled test suite, and a koshabench smoke run that
+# fails unless the JSON output carries the latency-percentile fields.
 ci: vet build
+	$(MAKE) chaos
 	$(GO) test -race ./...
 	$(MAKE) smoke
+
+# chaos runs the deterministic fault-injection harness under the race
+# detector: the scripted failure scenarios, a randomized schedule, and the
+# seed-replay determinism check (see internal/chaos). Every failure message
+# carries the run's seed; replay it with
+#   go test -race ./internal/chaos -run <TestName> -v
+# Opt into the longer randomized soak with KOSHA_CHAOS_SOAK=<runs>, pinning
+# its base seed with KOSHA_CHAOS_SEED=<seed>.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos
 
 smoke:
 	@out=$$($(GO) run ./cmd/koshabench -exp latency -quick -format json); \

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|latency|all [-runs N] [-quick] [-format table|csv|json]
+//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|latency|churn|all [-runs N] [-quick] [-format table|csv|json]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, latency, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, latency, churn, all")
 	runs := flag.Int("runs", 0, "override the number of averaged runs (0 = default)")
 	quick := flag.Bool("quick", false, "scaled-down workloads for a fast smoke run")
 	format := flag.String("format", "table", "output format: table, csv, or json (json: latency only)")
@@ -195,6 +195,29 @@ func main() {
 		case "csv":
 			res.FprintCSV(os.Stdout, opts)
 		default:
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("churn", func() error {
+		opts := experiments.DefaultChurnOptions()
+		if *runs > 0 {
+			opts.Runs = *runs
+		}
+		if *quick {
+			opts.Replicas = []int{2}
+			opts.Failed = []int{0, 1}
+			opts.Files = 16
+			opts.Runs = 1
+		}
+		res, err := experiments.RunChurn(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			res.FprintCSV(os.Stdout, opts)
+		} else {
 			res.Fprint(os.Stdout, opts)
 		}
 		return nil

@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/core"
@@ -66,7 +67,12 @@ func New(opts Options) (*Cluster, error) {
 func (c *Cluster) addNode(cfg core.Config) (*core.Node, error) {
 	addr := simnet.Addr(fmt.Sprintf("node%02d", c.nextAddr))
 	c.nextAddr++
-	nd := core.NewNode(addr, id.Rand128(&c.seedState), c.Net, cfg)
+	nodeID := id.Rand128(&c.seedState)
+	// Per-node seed for the node's own randomized choices (retry jitter),
+	// derived from the cluster seed sequence so one Options.Seed reproduces
+	// the whole run.
+	cfg.Seed = binary.BigEndian.Uint64(nodeID[:8])
+	nd := core.NewNode(addr, nodeID, c.Net, cfg)
 	var boot simnet.Addr
 	if len(c.Nodes) > 0 {
 		boot = c.Nodes[0].Addr()
@@ -117,9 +123,22 @@ func (c *Cluster) Mount(i int) *core.Mount { return c.Nodes[i].NewMount() }
 func (c *Cluster) Fail(i int) { c.Nodes[i].Fail() }
 
 // Revive restarts node i with a fresh overlay identifier (its store is
-// purged, Section 4.3.2) and stabilizes.
+// purged, Section 4.3.2) and stabilizes. The rejoin bootstraps through the
+// first node that is actually alive — under churn the next node in index
+// order may itself be down, and bootstrapping through a dead seed would
+// fail the whole revival.
 func (c *Cluster) Revive(i int) error {
-	seed := c.Nodes[(i+1)%len(c.Nodes)].Addr()
+	var seed simnet.Addr
+	for off := 1; off < len(c.Nodes); off++ {
+		cand := c.Nodes[(i+off)%len(c.Nodes)]
+		if !c.Net.IsDown(cand.Addr()) {
+			seed = cand.Addr()
+			break
+		}
+	}
+	if seed == "" {
+		return fmt.Errorf("cluster: revive %d: no live seed node", i)
+	}
 	if _, err := c.Nodes[i].Revive(id.Rand128(&c.seedState), seed); err != nil {
 		return err
 	}

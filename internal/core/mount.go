@@ -334,7 +334,7 @@ func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr,
 				// entry survived a rename/removal done elsewhere.
 				lerr = staleStore
 			} else {
-				c2, perr := m.n.promote(place.Node, Track{PN: place.PN(), Root: place.SubtreeRoot()})
+				_, c2, perr := m.n.promote(place.Node, Track{PN: place.PN(), Root: place.SubtreeRoot()})
 				total = simnet.Seq(total, c2)
 				if perr == nil {
 					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(place.Node, phys)
@@ -380,7 +380,7 @@ func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr,
 			if idx < storeComps {
 				lerr = staleStore
 			} else {
-				c2, perr := m.n.promote(parent.Node, Track{PN: parent.PN(), Root: parent.SubtreeRoot()})
+				_, c2, perr := m.n.promote(parent.Node, Track{PN: parent.PN(), Root: parent.SubtreeRoot()})
 				total = simnet.Seq(total, c2)
 				if perr == nil {
 					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(parent.Node, phys)
@@ -497,6 +497,24 @@ func (m *Mount) withFailover(tr *obs.Trace, vh VH, fn func(de *ventry) (simnet.C
 		}
 		if rerr != nil {
 			return total, rerr
+		}
+		if failedOver && nde.root != "" {
+			// Read-repair: the key now resolves to a (possibly freshly
+			// promoted) replacement primary. Ask it to surface its replica
+			// copy and reconcile versions against the surviving replica set
+			// so the retried operation — and a later revival of the failed
+			// node — sees converged state. If repair moved the subtree, the
+			// handle just materialized is stale; resolve it again.
+			changed, c3, perr := m.n.promote(nde.node, Track{PN: nde.pn, Root: nde.root})
+			total = simnet.Seq(total, c3)
+			if perr == nil && changed {
+				m.dropCachesUnder(de.vpath)
+				nde, _, c3, rerr = m.materialize(tr, de.vpath)
+				total = simnet.Seq(total, c3)
+				if rerr != nil {
+					return total, rerr
+				}
+			}
 		}
 		m.replace(vh, nde)
 		de = nde
@@ -968,12 +986,7 @@ func (m *Mount) mkdirDistributed(tr *obs.Trace, parent *ventry, name string, mod
 			return 0, localfs.Attr{}, total, err
 		}
 		target = res.Node.Addr
-		rootH, c, err := n.rootHandle(target)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			continue
-		}
-		st, c, err := n.nfsc.FSStat(target, rootH)
+		st, c, err := n.remoteFSStat(target)
 		total = simnet.Seq(total, c)
 		if err != nil {
 			continue
@@ -1110,14 +1123,30 @@ func (m *Mount) readdirRoot(tr *obs.Trace) ([]DirEntry, simnet.Cost, error) {
 		nodes = append(nodes, p.Addr)
 	}
 	for _, addr := range nodes {
-		rootH, c, err := m.n.rootHandle(addr)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			continue
+		var ents []nfs.DirEntry
+		ok := false
+		for attempt := 0; attempt < 2; attempt++ {
+			rootH, c, err := m.n.rootHandle(addr)
+			total = simnet.Seq(total, c)
+			if err != nil {
+				break
+			}
+			ents, c, err = m.n.nfsc.ReaddirAll(addr, rootH, 256)
+			total = simnet.Seq(total, c)
+			if err != nil {
+				// A cached handle for a node that crashed and rejoined is
+				// stale; drop it and retry once so the revived node's store
+				// still contributes to the union.
+				if nfs.IsStatus(err, nfs.ErrStale) && attempt == 0 {
+					m.n.dropRootHandle(addr)
+					continue
+				}
+				break
+			}
+			ok = true
+			break
 		}
-		ents, c, err := m.n.nfsc.ReaddirAll(addr, rootH, 256)
-		total = simnet.Seq(total, c)
-		if err != nil {
+		if !ok {
 			continue
 		}
 		for _, e := range ents {
@@ -1736,12 +1765,7 @@ func (m *Mount) Statfs() (ClusterStat, simnet.Cost, error) {
 		nodes = append(nodes, p.Addr)
 	}
 	for _, addr := range nodes {
-		rootH, c, err := m.n.rootHandle(addr)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			continue
-		}
-		st, c, err := m.n.nfsc.FSStat(addr, rootH)
+		st, c, err := m.n.remoteFSStat(addr)
 		total = simnet.Seq(total, c)
 		if err != nil {
 			continue

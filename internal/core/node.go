@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"path"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -90,6 +91,21 @@ type Config struct {
 	// TraceBufSize caps the per-node ring buffer of recent operation
 	// traces. 0 selects obs.DefaultTraceBuf; negative disables tracing.
 	TraceBufSize int
+	// Seed drives every seeded random choice the node makes (currently the
+	// retry backoff jitter), so a failing run is reproducible from one
+	// logged value. The cluster harness derives per-node seeds from its own
+	// Options.Seed.
+	Seed uint64
+	// RetryAttempts is the total number of tries (first send + retries) the
+	// RPC retrier gives a transiently unreachable peer before surfacing the
+	// error. Default 3; negative disables retries (1 try).
+	RetryAttempts int
+	// RetryBackoff is the base pause before the first retry; it doubles per
+	// retry up to RetryBackoffCap, jittered. Charged as simulated cost.
+	// Default 5ms.
+	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the exponential backoff. Default 80ms.
+	RetryBackoffCap time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +151,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceBufSize == 0 {
 		c.TraceBufSize = obs.DefaultTraceBuf
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	} else if c.RetryAttempts < 1 {
+		c.RetryAttempts = 1
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.RetryBackoffCap == 0 {
+		c.RetryBackoffCap = 80 * time.Millisecond
 	}
 	return c
 }
@@ -205,6 +232,7 @@ func (p Place) SubtreeRoot() string {
 type Node struct {
 	cfg     Config
 	net     simnet.Transport
+	rpc     simnet.Caller // retrying wrapper over net for client-path RPCs
 	addr    simnet.Addr
 	overlay *pastry.Node
 	store   localfs.FileSystem
@@ -295,7 +323,12 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 	n.routeHist, n.repHist = hists[0], hists[1]
 	copy(n.opHists[:], hists[2:])
 	n.nsrv = nfs.NewServer(n.store, n.gen)
-	n.nfsc = nfs.NewClientWithRegistry(net, addr, n.reg)
+	// Client-path RPCs (NFS forwarding and the kosha service) go through a
+	// retrying caller so transient message loss does not read as node death;
+	// the overlay keeps the raw transport because its liveness probes need
+	// to see real timeouts.
+	n.rpc = newRetrier(net, cfg, n.reg)
+	n.nfsc = nfs.NewClientWithRegistry(n.rpc, addr, n.reg)
 	n.overlay = pastry.NewNode(nodeID, addr, net, cfg.LeafSize)
 	n.overlay.OnLeafSetChange(n.onLeafChange)
 	n.attach()
@@ -741,14 +774,14 @@ func (n *Node) localTreePath(root string) (string, bool) {
 // promoteLocal moves a replica-area copy of a subtree (or level-1 special
 // link) to its primary path. Call only after confirming ownership of the
 // key; it is a no-op when the primary path already exists or no replica
-// copy is held.
-func (n *Node) promoteLocal(t Track) {
+// copy is held. Reports whether it surfaced anything.
+func (n *Node) promoteLocal(t Track) bool {
 	target := t.Root
 	if t.Link != "" {
 		target = t.Link
 	}
 	if target == "" {
-		return
+		return false
 	}
 	n.mu.Lock()
 	meta, ok := n.tracked[t.Root]
@@ -760,31 +793,32 @@ func (n *Node) promoteLocal(t Track) {
 		// We saw the hierarchy's deletion: nothing to surface, and any
 		// leftover replica-area data is stale.
 		n.store.RemoveAll(RepPath(target))
-		return
+		return false
 	}
 	if _, err := n.store.LookupPath(target); err == nil {
-		return
+		return false
 	}
 	src := RepPath(target)
 	if _, err := n.store.LookupPath(src); err != nil {
-		return
+		return false
 	}
 	if _, err := n.store.MkdirAll(path.Dir(target)); err != nil {
-		return
+		return false
 	}
 	spar, err := n.store.LookupPath(path.Dir(src))
 	if err != nil {
-		return
+		return false
 	}
 	dpar, err := n.store.LookupPath(path.Dir(target))
 	if err != nil {
-		return
+		return false
 	}
 	if _, err := n.store.Rename(spar.Ino, path.Base(src), dpar.Ino, path.Base(target)); err != nil {
-		return
+		return false
 	}
 	n.pruneUp(path.Dir(src))
 	n.track(t, FSOp{Kind: FSMkdirAll, Path: t.Root})
+	return true
 }
 
 // --- kosha service (server side) ---
@@ -821,7 +855,8 @@ func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, e
 			// path already exists — the warm, per-mutation case.
 			if r.Track.Root != "" {
 				if _, err := n.store.LookupPath(r.Track.Root); err != nil {
-					checkCost = simnet.Seq(checkCost, n.adoptRoot(r.Track))
+					c, _ := n.adoptRoot(r.Track)
+					checkCost = simnet.Seq(checkCost, c)
 				}
 			}
 		}
@@ -959,8 +994,10 @@ func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, e
 			e.PutUint32(codeNotPrimary)
 			return cp(e), cost, nil
 		}
-		cost = simnet.Seq(cost, n.adoptRoot(t))
+		c, changed := n.adoptRoot(t)
+		cost = simnet.Seq(cost, c)
 		e.PutUint32(codeOK)
+		e.PutBool(changed)
 		return cp(e), simnet.Seq(cost, n.cfg.Disk.OpCost(0)), nil
 
 	default:
@@ -1005,7 +1042,7 @@ func (n *Node) apply(tr *obs.Trace, to simnet.Addr, key id.ID, t Track, op FSOp)
 	e.PutUint32(kApply)
 	r := applyReq{Key: key, Track: t, Op: op}
 	r.encode(e)
-	resp, cost, err := n.net.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
 	if err != nil {
 		return localfs.Attr{}, nfs.Handle{}, cost, n.noteErr(to, err)
 	}
@@ -1038,7 +1075,7 @@ func (n *Node) mirrorArea(to simnet.Addr, t Track, op FSOp, primary bool) (simne
 	e.PutUint32(kMirror)
 	r := applyReq{Track: t, Op: op, Primary: primary}
 	r.encode(e)
-	resp, cost, err := n.net.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
 	if err != nil {
 		return cost, n.noteErr(to, err)
 	}
@@ -1055,7 +1092,7 @@ func (n *Node) remoteStatTree(to simnet.Addr, root string) (TreeStat, simnet.Cos
 	e := wire.NewEncoder(64)
 	e.PutUint32(kStatTree)
 	e.PutString(root)
-	resp, cost, err := n.net.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
 	if err != nil {
 		return TreeStat{}, cost, n.noteErr(to, err)
 	}
@@ -1080,7 +1117,7 @@ func (n *Node) replicaSet(primary simnet.Addr, key id.ID, root string) ([]simnet
 	e := wire.NewEncoder(32)
 	e.PutUint32(kReplicas)
 	e.PutFixedOpaque(key[:])
-	resp, cost, err := n.net.Call(n.addr, primary, KoshaService, e.Bytes())
+	resp, cost, err := n.rpc.Call(n.addr, primary, KoshaService, e.Bytes())
 	if err != nil {
 		return nil, cost, n.noteErr(primary, err)
 	}
@@ -1100,6 +1137,35 @@ func (n *Node) replicaSet(primary simnet.Addr, key id.ID, root string) ([]simnet
 	n.replicaCache[root] = reps
 	n.mu.Unlock()
 	return reps, cost, nil
+}
+
+// dropRootHandle forgets a cached export root handle. A node that crashed
+// and rejoined re-incarnates its store under a new handle generation, so a
+// caller observing ErrStale on a cached handle drops it and refetches.
+func (n *Node) dropRootHandle(to simnet.Addr) {
+	n.mu.Lock()
+	delete(n.rootHandles, to)
+	n.mu.Unlock()
+}
+
+// remoteFSStat fetches FSSTAT from a node's export, refreshing a stale
+// cached root handle once.
+func (n *Node) remoteFSStat(to simnet.Addr) (nfs.FSStat, simnet.Cost, error) {
+	var total simnet.Cost
+	for attempt := 0; ; attempt++ {
+		rootH, c, err := n.rootHandle(to)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return nfs.FSStat{}, total, err
+		}
+		st, c, err := n.nfsc.FSStat(to, rootH)
+		total = simnet.Seq(total, c)
+		if err != nil && nfs.IsStatus(err, nfs.ErrStale) && attempt == 0 {
+			n.dropRootHandle(to)
+			continue
+		}
+		return st, total, err
+	}
 }
 
 // rootHandle returns (and caches) the NFS root handle of a node's export.
@@ -1136,18 +1202,32 @@ func (n *Node) SyncReplicas() (total simnet.Cost) {
 	defer func() {
 		n.reg.Observe("op."+obs.OpResync, time.Duration(total))
 	}()
-	n.mu.Lock()
-	roots := make(map[string]Track, len(n.tracked))
-	for r, t := range n.tracked {
-		roots[r] = t
+	// Snapshot in sorted order: map iteration order would otherwise vary the
+	// RPC sequence between runs, breaking seed-exact replay of fault
+	// schedules (the chaos harness's determinism contract).
+	type trackedRoot struct {
+		root string
+		meta Track
 	}
-	links := make(map[string]Track, len(n.trackedLinks))
-	for p, t := range n.trackedLinks {
-		links[p] = t
+	n.mu.Lock()
+	roots := make([]trackedRoot, 0, len(n.tracked))
+	for r, t := range n.tracked {
+		roots = append(roots, trackedRoot{r, t})
+	}
+	links := make([]Track, 0, len(n.trackedLinks))
+	linkKeys := make([]string, 0, len(n.trackedLinks))
+	for p := range n.trackedLinks {
+		linkKeys = append(linkKeys, p)
+	}
+	sort.Strings(linkKeys)
+	for _, p := range linkKeys {
+		links = append(links, n.trackedLinks[p])
 	}
 	n.mu.Unlock()
+	sort.Slice(roots, func(i, j int) bool { return roots[i].root < roots[j].root })
 
-	for root, meta := range roots {
+	for _, tr := range roots {
+		root, meta := tr.root, tr.meta
 		key := Key(meta.PN)
 		t := Track{PN: meta.PN, Root: root, Ver: meta.Ver, Dead: meta.Dead}
 		if isRoot, c := n.overlay.EnsureRootFor(key); isRoot {
@@ -1172,7 +1252,8 @@ func (n *Node) SyncReplicas() (total simnet.Cost) {
 			}
 			// Surface any replica-area copy; if a replica holds a newer
 			// version or a newer deletion, adopt it before refreshing.
-			total = simnet.Seq(total, n.adoptRoot(t))
+			ac, _ := n.adoptRoot(t)
+			total = simnet.Seq(total, ac)
 			t.Ver = n.verOf(root)
 			if n.isDead(root) {
 				continue
@@ -1248,7 +1329,7 @@ func (n *Node) SyncReplicas() (total simnet.Cost) {
 		}
 		c, merr := n.mirror(res.Node.Addr, t, op)
 		total = simnet.Seq(total, c)
-		c, perr := n.promote(res.Node.Addr, t)
+		_, c, perr := n.promote(res.Node.Addr, t)
 		total = simnet.Seq(total, c)
 		if merr == nil && perr == nil {
 			n.demoteLocal(t)
@@ -1287,7 +1368,7 @@ func (n *Node) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.Cos
 			return cost, err
 		}
 		if repRemote.Exists && !repRemote.Flag && repRemote.Ver >= t.Ver && !remote.Exists {
-			c, err := n.promote(target, t)
+			_, c, err := n.promote(target, t)
 			return simnet.Seq(cost, c), err
 		}
 		c, err = n.pushTree(target, t, src, true)
@@ -1446,11 +1527,13 @@ func (n *Node) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.Co
 // it becomes the key's owner: surface the local replica-area copy, then
 // check the current replica candidates for a newer version and fetch it if
 // one exists. Runs on the cold path only (first access after an ownership
-// change, or replica synchronization).
-func (n *Node) adoptRoot(t Track) simnet.Cost {
-	n.promoteLocal(t)
+// change, or replica synchronization). The second result reports whether
+// read-repair changed local state — callers holding handles into the
+// subtree must re-resolve when it did.
+func (n *Node) adoptRoot(t Track) (simnet.Cost, bool) {
+	changed := n.promoteLocal(t)
 	if t.Root == "" || t.Link != "" {
-		return 0
+		return 0, changed
 	}
 	var total simnet.Cost
 	myVer := n.verOf(t.Root)
@@ -1468,15 +1551,17 @@ func (n *Node) adoptRoot(t Track) simnet.Cost {
 			dead.Ver = st.Ver
 			n.track(dead, FSOp{Kind: FSRemoveAll, Path: t.Root})
 			myVer = st.Ver
+			changed = true
 			continue
 		}
 		c, err = n.fetchTree(rep.Addr, t, st.Ver)
 		total = simnet.Seq(total, c)
 		if err == nil {
 			myVer = st.Ver
+			changed = true
 		}
 	}
-	return total
+	return total, changed
 }
 
 // demoteLocal moves this node's primary-path copy of a subtree (or link)
@@ -1514,15 +1599,21 @@ func (n *Node) demoteLocal(t Track) {
 	n.pruneUp(path.Dir(target))
 }
 
-// promote asks target to move its replica-area copy to the primary path.
-func (n *Node) promote(to simnet.Addr, t Track) (simnet.Cost, error) {
+// promote asks target to move its replica-area copy to the primary path and
+// run read-repair against the current replica set. The changed result
+// reports whether the target's state moved — handles resolved before the
+// call may then be stale and must be re-resolved.
+func (n *Node) promote(to simnet.Addr, t Track) (changed bool, cost simnet.Cost, err error) {
 	e := wire.NewEncoder(128)
 	e.PutUint32(kPromote)
 	putTrack(e, t)
-	resp, cost, err := n.net.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
 	if err != nil {
-		return cost, n.noteErr(to, err)
+		return false, cost, n.noteErr(to, err)
 	}
 	d := wire.NewDecoder(resp)
-	return cost, codeToError(d.Uint32())
+	if cerr := codeToError(d.Uint32()); cerr != nil {
+		return false, cost, cerr
+	}
+	return d.Bool(), cost, nil
 }

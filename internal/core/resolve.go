@@ -48,9 +48,7 @@ func (n *Node) remoteLookupPathIdx(to simnet.Addr, phys string) (nfs.Handle, loc
 		fh, attr, idx, c, err := n.nfsc.LookupPathIdx(to, root, phys)
 		total = simnet.Seq(total, c)
 		if err != nil && nfs.IsStatus(err, nfs.ErrStale) && attempt == 0 {
-			n.mu.Lock()
-			delete(n.rootHandles, to)
-			n.mu.Unlock()
+			n.dropRootHandle(to)
 			continue
 		}
 		if err != nil && !nfs.IsStatus(err, nfs.ErrStale) {
@@ -157,7 +155,7 @@ restart:
 			} else {
 				t = Track{PN: cur.PN(), Root: cur.SubtreeRoot()}
 			}
-			c2, perr := n.promote(probeNode, t)
+			_, c2, perr := n.promote(probeNode, t)
 			total = simnet.Seq(total, c2)
 			if perr == nil {
 				_, attr, idx, cost, err = n.remoteLookupPathIdx(probeNode, probePath)

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// retrier wraps a simnet.Caller with a bounded retry budget and capped
+// exponential backoff for transient transport failures. It exists so a
+// single lost message (a dropped datagram, a blip of asymmetric partition)
+// does not surface as ErrUnreachable to koshad's client paths, where
+// noteErr/withFailover would falsely mark a live node dead and fail over —
+// exactly the churn amplification a lossy link must not cause.
+//
+// Only simnet.ErrUnreachable is retried: NFS status errors and kosha
+// protocol errors are real answers from a live peer. The overlay's own
+// liveness probes (pastry Stabilize pings) deliberately bypass the retrier —
+// failure detection must keep seeing raw timeouts.
+//
+// Backoff is charged as simulated cost on the returned Cost, keeping runs
+// deterministic; jitter comes from a seeded splitmix64 sequence so a failing
+// schedule replays from one logged seed.
+type retrier struct {
+	net      simnet.Caller
+	attempts int           // total tries per call, >= 1
+	base     time.Duration // first backoff step
+	cap      time.Duration // backoff ceiling
+	state    atomic.Uint64 // splitmix64 jitter state, seeded from Config.Seed
+	retries  *obs.Counter
+	giveups  *obs.Counter
+}
+
+// newRetrier builds the node's retrying caller from its config. reg hosts
+// the retry counters so they surface in node snapshots and cluster stats.
+func newRetrier(net simnet.Caller, cfg Config, reg *obs.Registry) *retrier {
+	r := &retrier{
+		net:      net,
+		attempts: cfg.RetryAttempts,
+		base:     cfg.RetryBackoff,
+		cap:      cfg.RetryBackoffCap,
+		retries:  reg.Counter(obs.CtrRetries),
+		giveups:  reg.Counter(obs.CtrGiveups),
+	}
+	r.state.Store(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	return r
+}
+
+// splitmix64 advances the jitter state and returns the next value. Atomic so
+// concurrent mounts on one node draw from one deterministic sequence without
+// a lock (the interleaving under real concurrency is scheduling-dependent,
+// but single-goroutine harness runs — the reproduction path — are exact).
+func (r *retrier) splitmix64() uint64 {
+	z := r.state.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// backoff returns the pause before retry number try (0-based): exponential
+// growth capped at r.cap, with the upper half jittered so retry storms from
+// many callers decorrelate.
+func (r *retrier) backoff(try int) time.Duration {
+	d := r.base
+	for i := 0; i < try && d < r.cap; i++ {
+		d *= 2
+	}
+	if d > r.cap {
+		d = r.cap
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(r.splitmix64()%uint64(half+1))
+}
+
+// Call implements simnet.Caller. Transient unreachability is retried up to
+// the budget, each retry preceded by a backoff charged to the returned cost;
+// any other outcome (success, handler error, status error) returns
+// immediately with the accumulated cost.
+func (r *retrier) Call(from, to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
+	var total simnet.Cost
+	for try := 0; ; try++ {
+		resp, cost, err := r.net.Call(from, to, service, req)
+		total = simnet.Seq(total, cost)
+		if err == nil || !errors.Is(err, simnet.ErrUnreachable) {
+			return resp, total, err
+		}
+		if try >= r.attempts-1 {
+			r.giveups.Add(1)
+			return resp, total, err
+		}
+		total = simnet.Seq(total, simnet.Cost(r.backoff(try)))
+		r.retries.Add(1)
+	}
+}

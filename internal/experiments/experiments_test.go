@@ -310,3 +310,31 @@ func TestCacheAblationCutsRPCs(t *testing.T) {
 		t.Fatal("printout missing reduction line")
 	}
 }
+
+func TestChurnAvailabilityMeetsFig8Bar(t *testing.T) {
+	opts := ChurnOptions{
+		Nodes:    8,
+		Replicas: []int{2},
+		Failed:   []int{0, 1},
+		Files:    24,
+		Runs:     2,
+		Seed:     17,
+	}
+	res, err := RunChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// Acceptance bar (paper Fig 8): with K=2 and one failed node,
+		// at least 99% of file accesses succeed via failover.
+		if row.Failed <= 1 && row.Availability < 99 {
+			t.Fatalf("K=%d failed=%d availability %.2f%% < 99%%",
+				row.Replicas, row.Failed, row.Availability)
+		}
+	}
+	var sb strings.Builder
+	res.Fprint(&sb, opts)
+	if !strings.Contains(sb.String(), "availability") {
+		t.Fatal("printout missing availability column")
+	}
+}

@@ -44,6 +44,7 @@ type Client struct {
 	reg    *obs.Registry
 	rpcs   *obs.Counter
 	bytes  *obs.Counter
+	xid    atomic.Uint64 // transaction id, unique per (client, request)
 	byProc [maxProc]atomic.Pointer[obs.Histogram]
 }
 
@@ -104,10 +105,14 @@ func (c *Client) ResetStats() {
 }
 
 // call performs one RPC, records traffic counters and the per-procedure
-// latency histogram (simulated cost), and strips the status word.
+// latency histogram (simulated cost), and strips the status word. Every
+// request carries a transaction id (xid) unique to this client so the
+// server's duplicate-request cache can recognize retransmissions and keep
+// non-idempotent procedures at-most-once.
 func (c *Client) call(to simnet.Addr, proc Proc, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
 	e := wire.NewEncoder(256)
 	e.PutUint32(uint32(proc))
+	e.PutUint64(c.xid.Add(1))
 	if build != nil {
 		build(e)
 	}

@@ -63,6 +63,73 @@ func TestCreateWriteReadOverRPC(t *testing.T) {
 	}
 }
 
+// TestAtMostOnceUnderDuplication drives mutating RPCs through a link that
+// duplicates every exchange: the server must execute each request exactly
+// once (replaying the recorded reply for the retransmission), so duplicated
+// CREATE/REMOVE/MKDIR cannot corrupt state or flip their answers.
+func TestAtMostOnceUnderDuplication(t *testing.T) {
+	net, srv, c := rig(t, 0)
+	net.SetFaults(func(from, to simnet.Addr, service string) simnet.LinkFault {
+		return simnet.LinkFault{Dup: true}
+	})
+	root := srv.Root()
+
+	dirH, _, _, err := c.Mkdir("srv", root, "d", 0o755)
+	if err != nil {
+		t.Fatalf("mkdir under duplication: %v", err)
+	}
+	fh, _, _, err := c.Create("srv", dirH, "f", 0o644, true) // exclusive create
+	if err != nil {
+		t.Fatalf("exclusive create under duplication: %v", err)
+	}
+	if _, _, err := c.Write("srv", fh, 0, []byte("payload")); err != nil {
+		t.Fatalf("write under duplication: %v", err)
+	}
+	if _, err := c.Remove("srv", dirH, "f"); err != nil {
+		t.Fatalf("remove under duplication: %v", err)
+	}
+	// Every mutating RPC above was retransmitted once; each retransmission
+	// must have been answered from the duplicate-request cache.
+	if got, want := srv.Replays(), uint64(4); got != want {
+		t.Fatalf("drc replays = %d, want %d", got, want)
+	}
+	// State reflects exactly-one execution of each op.
+	if _, _, _, err := c.Lookup("srv", dirH, "f"); !IsStatus(err, ErrNoEnt) {
+		t.Fatalf("f should be gone, lookup err = %v", err)
+	}
+	// Idempotent reads bypass the cache entirely.
+	before := srv.Replays()
+	if _, _, err := c.Getattr("srv", dirH); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Replays() != before {
+		t.Fatal("read-only RPC hit the duplicate-request cache")
+	}
+}
+
+// TestDRCDistinguishesClients checks the cache key includes the caller: two
+// clients issuing the same xid must not collide.
+func TestDRCDistinguishesClients(t *testing.T) {
+	net, srv, c1 := rig(t, 0)
+	net.AddNode("cli2")
+	c2 := NewClient(net, "cli2")
+	root := srv.Root()
+
+	// Both clients start at xid 1; their first mutating RPCs share an xid.
+	if _, _, _, err := c1.Mkdir("srv", root, "from-c1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c2.Mkdir("srv", root, "from-c2", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c1.Lookup("srv", root, "from-c2"); err != nil {
+		t.Fatalf("c2's mkdir was swallowed by c1's cache entry: %v", err)
+	}
+	if srv.Replays() != 0 {
+		t.Fatalf("replays = %d, want 0 (distinct clients, distinct entries)", srv.Replays())
+	}
+}
+
 func TestLookupAndLookupPath(t *testing.T) {
 	_, srv, c := rig(t, 0)
 	srv.FS().WriteFile("/a/b/c.txt", []byte("deep"))

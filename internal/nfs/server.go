@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/localfs"
@@ -8,12 +9,36 @@ import (
 	"repro/internal/wire"
 )
 
+// drcSize bounds the duplicate-request cache: replies to the most recent
+// mutating requests are retained, evicted FIFO. Retransmissions arrive back
+// to back in the simulated network, so a small window suffices.
+const drcSize = 1024
+
+// drcKey identifies one request: the calling node plus the transaction id
+// its client stamped on the wire. xids are unique per client, so (from, xid)
+// is unique per request cluster-wide.
+type drcKey struct {
+	from simnet.Addr
+	xid  uint64
+}
+
 // Server exports one localfs over the network. In the Kosha deployment
 // model every participating node "is assumed to run an NFS server, so that
 // its contributed disk space can be accessed via NFS" (Section 4).
+//
+// Mutating procedures execute at-most-once: a duplicate-request cache keyed
+// by (caller, xid) replays the recorded reply for a retransmitted request
+// instead of re-executing it, so a duplicated CREATE cannot turn into
+// ErrExist and a duplicated REMOVE cannot turn into ErrNoEnt.
 type Server struct {
 	fs  localfs.FileSystem
 	gen atomic.Uint64
+
+	drcMu   sync.Mutex
+	drc     map[drcKey][]byte
+	drcFIFO []drcKey
+	drcNext int // ring index of the next slot to overwrite
+	replays atomic.Uint64
 }
 
 // NewServer wraps fs; gen seeds the handle generation (server incarnation).
@@ -40,15 +65,71 @@ func (s *Server) Attach(n simnet.Transport, addr simnet.Addr) {
 	n.Register(addr, Service, s.Handle)
 }
 
-// Handle is the simnet.Handler entry point: decode proc, dispatch, encode.
+// Handle is the simnet.Handler entry point: decode proc and xid, consult the
+// duplicate-request cache for mutating procedures, dispatch, encode.
 func (s *Server) Handle(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
 	d := wire.NewDecoder(req)
 	proc := Proc(d.Uint32())
+	xid := d.Uint64()
 	if d.Err() != nil {
 		return s.fail(proc, ErrInval), 0, nil
 	}
+	if mutating(proc) {
+		if resp, ok := s.drcGet(from, xid); ok {
+			// Retransmission of a request already executed: replay the
+			// recorded reply without touching the file system.
+			s.replays.Add(1)
+			return resp, 0, nil
+		}
+	}
 	resp, cost := s.dispatch(proc, d)
+	if mutating(proc) {
+		s.drcPut(from, xid, resp)
+	}
 	return resp, cost, nil
+}
+
+// mutating reports whether a procedure changes file system state and must
+// therefore execute at-most-once. Reads, lookups, and getattrs are naturally
+// idempotent and bypass the cache.
+func mutating(p Proc) bool {
+	switch p {
+	case ProcSetattr, ProcWrite, ProcCreate, ProcMkdir, ProcSymlink,
+		ProcRemove, ProcRmdir, ProcRename:
+		return true
+	}
+	return false
+}
+
+// Replays reports how many retransmitted requests the duplicate-request
+// cache has answered without re-execution.
+func (s *Server) Replays() uint64 { return s.replays.Load() }
+
+func (s *Server) drcGet(from simnet.Addr, xid uint64) ([]byte, bool) {
+	k := drcKey{from: from, xid: xid}
+	s.drcMu.Lock()
+	resp, ok := s.drc[k]
+	s.drcMu.Unlock()
+	return resp, ok
+}
+
+func (s *Server) drcPut(from simnet.Addr, xid uint64, resp []byte) {
+	k := drcKey{from: from, xid: xid}
+	s.drcMu.Lock()
+	defer s.drcMu.Unlock()
+	if s.drc == nil {
+		s.drc = make(map[drcKey][]byte, drcSize)
+		s.drcFIFO = make([]drcKey, drcSize)
+	}
+	if _, dup := s.drc[k]; dup {
+		return
+	}
+	if len(s.drc) >= drcSize {
+		delete(s.drc, s.drcFIFO[s.drcNext])
+	}
+	s.drc[k] = resp
+	s.drcFIFO[s.drcNext] = k
+	s.drcNext = (s.drcNext + 1) % drcSize
 }
 
 // fail encodes an error-only reply.

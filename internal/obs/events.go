@@ -14,6 +14,17 @@ const (
 	EvCachePurge = "cache-purge"
 )
 
+// Counter names for RPC retry accounting, shared by the core retrier and the
+// experiment harnesses that report them.
+const (
+	// CtrRetries counts transient-failure retransmissions the RPC retrier
+	// issued (each backoff-then-retry is one).
+	CtrRetries = "rpc.retries"
+	// CtrGiveups counts calls that exhausted the retry budget and surfaced
+	// ErrUnreachable to the caller (genuine node-death suspicion).
+	CtrGiveups = "rpc.giveups"
+)
+
 // Event is one overlay-health occurrence: a leaf-set join or departure, a
 // transparent failover, a replica resync, or a cache purge.
 type Event struct {

@@ -60,6 +60,27 @@ type Downer interface {
 	SetDown(addr Addr, down bool)
 }
 
+// LinkFault describes the fault injected into one message exchange. The zero
+// value means "deliver normally".
+type LinkFault struct {
+	// Drop loses the exchange: the caller burns the RPC timeout and gets
+	// ErrUnreachable, the handler never runs.
+	Drop bool
+	// Dup delivers the request to the handler twice (back to back); the
+	// caller sees only the first response. This models a retransmitted
+	// datagram reaching a server that already executed the request, and is
+	// what the NFS server's duplicate-request cache defends against.
+	Dup bool
+	// Delay is added to the exchange's wire cost (a latency spike).
+	Delay Cost
+}
+
+// FaultInjector decides, per exchange, what fault (if any) to inject on the
+// from->to link for the given service. It is consulted on every non-local
+// Call and must be safe for concurrent use; implementations that want
+// determinism should derive decisions from their own seeded state.
+type FaultInjector func(from, to Addr, service string) LinkFault
+
 // Stats aggregates traffic counters for experiments.
 type Stats struct {
 	Messages uint64 // round trips attempted
@@ -83,6 +104,7 @@ type Network struct {
 	mu        sync.RWMutex
 	nodes     map[Addr]*node
 	partition func(a, b Addr) bool // true when a cannot reach b
+	faults    FaultInjector        // nil means no fault injection
 
 	// All traffic counters live in one obs.Registry; the fields below are
 	// cached pointers so the Call hot path pays only atomic adds.
@@ -90,7 +112,10 @@ type Network struct {
 	messages *obs.Counter
 	bytes    *obs.Counter
 	failures *obs.Counter
-	perSvc   sync.Map // service name -> *svcCounter
+	dropped  *obs.Counter // exchanges lost by fault injection
+	duped    *obs.Counter // requests delivered twice by fault injection
+	delayed  *obs.Counter // exchanges given an injected latency spike
+	perSvc   sync.Map     // service name -> *svcCounter
 }
 
 // svcCounter caches the registry counters for one service name.
@@ -111,6 +136,9 @@ func New(link LinkModel) *Network {
 		messages: reg.Counter("net.messages"),
 		bytes:    reg.Counter("net.bytes"),
 		failures: reg.Counter("net.failures"),
+		dropped:  reg.Counter("net.fault.dropped"),
+		duped:    reg.Counter("net.fault.duped"),
+		delayed:  reg.Counter("net.fault.delayed"),
 	}
 }
 
@@ -167,11 +195,28 @@ func (n *Network) IsDown(addr Addr) bool {
 }
 
 // SetPartition installs a reachability predicate; nil clears it. The
-// predicate returns true when a cannot reach b.
+// predicate returns true when a cannot reach b. The predicate is directional:
+// blocking a->b leaves b->a open, so asymmetric partitions are expressible.
 func (n *Network) SetPartition(blocked func(a, b Addr) bool) {
 	n.mu.Lock()
 	n.partition = blocked
 	n.mu.Unlock()
+}
+
+// SetFaults installs a per-exchange fault injector; nil clears it. The
+// injector runs after the down/partition checks and never applies to local
+// (from == to) calls, mirroring SetPartition: loopback traffic between a
+// client and its own koshad does not cross the network.
+func (n *Network) SetFaults(f FaultInjector) {
+	n.mu.Lock()
+	n.faults = f
+	n.mu.Unlock()
+}
+
+// FaultStats reports how many exchanges fault injection has dropped,
+// duplicated, and delayed since the last counter reset.
+func (n *Network) FaultStats() (dropped, duped, delayed uint64) {
+	return n.dropped.Load(), n.duped.Load(), n.delayed.Load()
 }
 
 // Stats returns a snapshot of traffic counters.
@@ -232,11 +277,22 @@ func (n *Network) Call(from, to Addr, service string, req []byte) ([]byte, Cost,
 	n.mu.RLock()
 	dst := n.nodes[to]
 	blocked := n.partition
+	inject := n.faults
 	n.mu.RUnlock()
 
 	if dst == nil || dst.down.Load() || (blocked != nil && from != to && blocked(from, to)) {
 		n.failures.Add(1)
 		return nil, n.Timeout, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+
+	var fault LinkFault
+	if inject != nil && from != to {
+		fault = inject(from, to, service)
+	}
+	if fault.Drop {
+		n.failures.Add(1)
+		n.dropped.Add(1)
+		return nil, n.Timeout, fmt.Errorf("%w: %s -> %s (dropped)", ErrUnreachable, from, to)
 	}
 
 	dst.mu.RLock()
@@ -251,7 +307,19 @@ func (n *Network) Call(from, to Addr, service string, req []byte) ([]byte, Cost,
 	if from != to {
 		wireCost = n.Link.MessageCost(len(req))
 	}
+	if fault.Delay > 0 {
+		n.delayed.Add(1)
+		wireCost = Seq(wireCost, fault.Delay)
+	}
 	resp, procCost, err := h(from, req)
+	if fault.Dup {
+		// Deliver the retransmitted copy after the original; the caller only
+		// ever sees the first response. Servers must therefore treat
+		// non-idempotent requests at-most-once (see nfs.Server's duplicate
+		// request cache).
+		n.duped.Add(1)
+		h(from, req)
+	}
 	if err != nil {
 		n.failures.Add(1)
 		return nil, Seq(wireCost, procCost), err

@@ -124,6 +124,141 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+// TestPartitionAsymmetric pins the directional contract of SetPartition:
+// blocking A->B must leave B->A fully usable, including replies flowing back
+// to B (the response of a B-initiated exchange is not a separate A->B send).
+func TestPartitionAsymmetric(t *testing.T) {
+	n := New(LAN100)
+	n.Register("a", "echo", echoHandler(0))
+	n.Register("b", "echo", echoHandler(0))
+	n.SetPartition(func(x, y Addr) bool { return x == "a" && y == "b" })
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := n.Call("a", "b", "echo", []byte("x")); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("a->b attempt %d: err = %v, want ErrUnreachable", i, err)
+		}
+		resp, _, err := n.Call("b", "a", "echo", []byte("y"))
+		if err != nil {
+			t.Fatalf("b->a attempt %d: %v", i, err)
+		}
+		if string(resp) != "y" {
+			t.Fatalf("b->a resp = %q", resp)
+		}
+	}
+	// Third parties are unaffected in both directions.
+	n.Register("c", "echo", echoHandler(0))
+	if _, _, err := n.Call("a", "c", "echo", nil); err != nil {
+		t.Fatalf("a->c: %v", err)
+	}
+	if _, _, err := n.Call("c", "b", "echo", nil); err != nil {
+		t.Fatalf("c->b: %v", err)
+	}
+}
+
+func TestFaultDrop(t *testing.T) {
+	n := New(LAN100)
+	var delivered int
+	n.Register("b", "echo", func(from Addr, req []byte) ([]byte, Cost, error) {
+		delivered++
+		return req, 0, nil
+	})
+	n.AddNode("a")
+	n.SetFaults(func(from, to Addr, service string) LinkFault {
+		return LinkFault{Drop: from == "a" && to == "b"}
+	})
+	_, cost, err := n.Call("a", "b", "echo", []byte("x"))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dropped call err = %v, want ErrUnreachable", err)
+	}
+	if cost != n.Timeout {
+		t.Fatalf("dropped call cost = %v, want timeout %v", cost, n.Timeout)
+	}
+	if delivered != 0 {
+		t.Fatalf("handler ran %d times on a dropped exchange", delivered)
+	}
+	if d, _, _ := n.FaultStats(); d != 1 {
+		t.Fatalf("dropped counter = %d, want 1", d)
+	}
+	// Reverse direction and clearing both restore delivery.
+	if _, _, err := n.Call("b", "b", "echo", nil); err != nil {
+		t.Fatalf("local call under faults: %v", err)
+	}
+	n.SetFaults(nil)
+	if _, _, err := n.Call("a", "b", "echo", nil); err != nil {
+		t.Fatalf("after clearing faults: %v", err)
+	}
+}
+
+func TestFaultDup(t *testing.T) {
+	n := New(LAN100)
+	var delivered int
+	n.Register("b", "count", func(from Addr, req []byte) ([]byte, Cost, error) {
+		delivered++
+		return []byte{byte(delivered)}, 0, nil
+	})
+	n.AddNode("a")
+	n.SetFaults(func(from, to Addr, service string) LinkFault {
+		return LinkFault{Dup: true}
+	})
+	resp, _, err := n.Call("a", "b", "count", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("handler delivered %d times, want 2 (original + dup)", delivered)
+	}
+	if len(resp) != 1 || resp[0] != 1 {
+		t.Fatalf("caller saw resp %v, want the first reply [1]", resp)
+	}
+	if _, d, _ := n.FaultStats(); d != 1 {
+		t.Fatalf("duped counter = %d, want 1", d)
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	n := New(LAN100)
+	n.Register("b", "echo", echoHandler(0))
+	n.AddNode("a")
+	_, base, err := n.Call("a", "b", "echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spike := Cost(250 * time.Millisecond)
+	n.SetFaults(func(from, to Addr, service string) LinkFault {
+		return LinkFault{Delay: spike}
+	})
+	_, slow, err := n.Call("a", "b", "echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != base+spike {
+		t.Fatalf("delayed cost = %v, want %v + %v", slow, base, spike)
+	}
+	if _, _, d := n.FaultStats(); d != 1 {
+		t.Fatalf("delayed counter = %d, want 1", d)
+	}
+}
+
+// Local calls bypass fault injection entirely, like partitions: the loopback
+// hop between a client and its own koshad never crosses the network.
+func TestFaultSkipsLocalCalls(t *testing.T) {
+	n := New(LAN100)
+	var delivered int
+	n.Register("a", "echo", func(from Addr, req []byte) ([]byte, Cost, error) {
+		delivered++
+		return req, 0, nil
+	})
+	n.SetFaults(func(from, to Addr, service string) LinkFault {
+		return LinkFault{Drop: true, Dup: true}
+	})
+	if _, _, err := n.Call("a", "a", "echo", nil); err != nil {
+		t.Fatalf("local call under blanket faults: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("local delivery count = %d, want exactly 1", delivered)
+	}
+}
+
 func TestHandlerError(t *testing.T) {
 	n := New(LAN100)
 	boom := errors.New("boom")
