@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all ci vet build test bench-smoke smoke chaos clean
+.PHONY: all ci fmt-check vet build test bench bench-smoke smoke chaos clean
 
 all: vet build test
 
-# ci is the gate for pull requests: static checks, the deterministic chaos
-# suite, the full race-enabled test suite, and a koshabench smoke run that
-# fails unless the JSON output carries the latency-percentile fields.
-ci: vet build
+# ci is the gate for pull requests: static checks (gofmt + vet), the
+# deterministic chaos suite, the full race-enabled test suite, and a
+# koshabench smoke run that fails unless the JSON output carries the
+# latency-percentile fields.
+ci: fmt-check vet build
 	$(MAKE) chaos
 	$(GO) test -race ./...
 	$(MAKE) smoke
@@ -29,6 +30,12 @@ smoke:
 	done; \
 	echo "smoke: koshabench latency JSON ok"
 
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
 vet:
 	$(GO) vet ./...
 
@@ -37,6 +44,12 @@ build:
 
 test:
 	$(GO) test -short -race ./...
+
+# bench runs the concurrency-scaling benchmark (sweep goroutine counts to
+# see the sharded hot path scale) alongside the cache-ablation benchmark.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkParallelMetadata' -cpu=1,2,4,8 -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkAblationMetadataCache' -short -benchtime=1x .
 
 bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x ./...

@@ -192,8 +192,8 @@ func TestGuardsHoldInvariants(t *testing.T) {
 		Steps: []Step{
 			{Kind: OpCrash, A: 0}, // protected (mount host)
 			{Kind: OpCrash, A: 2},
-			{Kind: OpCrash, A: 3}, // would drop below MinLive
-			{Kind: OpRevive, A: 5}, // not down
+			{Kind: OpCrash, A: 3},           // would drop below MinLive
+			{Kind: OpRevive, A: 5},          // not down
 			{Kind: OpPartition, A: 0, B: 4}, // touches protected node
 			{Kind: OpRevive, A: 2},
 		},

@@ -51,155 +51,219 @@ func (n *Node) AttachCtl() {
 	n.net.Register(n.addr, CtlService, n.handleCtl)
 }
 
+// ctlProcs is the koshactl administrative service, dispatched through the
+// same typed table mechanism as the kosha replication service. Every ctl
+// request carries a vpath argument right after the procedure number (""
+// for node-level procedures); handlers decode it themselves.
+var ctlProcs = serviceTable{
+	ctlRead:      (*Node).ctlServeRead,
+	ctlWrite:     (*Node).ctlServeWrite,
+	ctlList:      (*Node).ctlServeList,
+	ctlMkdirAll:  (*Node).ctlServeMkdirAll,
+	ctlRemoveAll: (*Node).ctlServeRemoveAll,
+	ctlStat:      (*Node).ctlServeStat,
+	ctlStatfs:    (*Node).ctlServeStatfs,
+	ctlPeers:     (*Node).ctlServePeers,
+	ctlStats:     (*Node).ctlServeStats,
+	ctlTrace:     (*Node).ctlServeTrace,
+}
+
 func (n *Node) handleCtl(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
-	d := wire.NewDecoder(req)
-	proc := d.Uint32()
+	return n.dispatch(ctlProcs, "koshactl", from, req)
+}
+
+// ctlFail encodes the ctl failure convention: ok=false plus a message. The
+// RPC itself still succeeds; the client surfaces the message as an error.
+func ctlFail(e *wire.Encoder, err error) {
+	e.Reset()
+	e.PutBool(false)
+	e.PutString(err.Error())
+}
+
+func (n *Node) ctlServeRead(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	vpath := d.String()
 	if d.Err() != nil {
-		return nil, 0, d.Err()
+		return 0, d.Err()
+	}
+	data, cost, err := n.ctlMount().ReadFile(vpath)
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
+	}
+	e.PutBool(true)
+	e.PutOpaque(data)
+	return cost, nil
+}
+
+func (n *Node) ctlServeWrite(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	vpath := d.String()
+	data := d.Opaque()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	cost, err := n.ctlMount().WriteFile(vpath, data)
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
+	}
+	e.PutBool(true)
+	return cost, nil
+}
+
+func (n *Node) ctlServeList(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	vpath := d.String()
+	if d.Err() != nil {
+		return 0, d.Err()
 	}
 	m := n.ctlMount()
-	e := wire.NewEncoder(256)
-
-	fail := func(err error, cost simnet.Cost) ([]byte, simnet.Cost, error) {
-		e.Reset()
-		e.PutBool(false)
-		e.PutString(err.Error())
-		return cp(e), cost, nil
+	vh, attr, cost, err := m.LookupPath(vpath)
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
 	}
-
-	switch proc {
-	case ctlRead:
-		data, cost, err := m.ReadFile(vpath)
-		if err != nil {
-			return fail(err, cost)
-		}
-		e.PutBool(true)
-		e.PutOpaque(data)
-		return cp(e), cost, nil
-
-	case ctlWrite:
-		data := d.Opaque()
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		cost, err := m.WriteFile(vpath, data)
-		if err != nil {
-			return fail(err, cost)
-		}
-		e.PutBool(true)
-		return cp(e), cost, nil
-
-	case ctlList:
-		vh, attr, cost, err := m.LookupPath(vpath)
-		if err != nil {
-			return fail(err, cost)
-		}
-		if attr.Type != localfs.TypeDir {
-			return fail(fmt.Errorf("koshactl: %s is not a directory", vpath), cost)
-		}
-		ents, c, err := m.Readdir(vh)
-		cost = simnet.Seq(cost, c)
-		m.forget(vh)
-		if err != nil {
-			return fail(err, cost)
-		}
-		e.PutBool(true)
-		e.PutUint32(uint32(len(ents)))
-		for _, ent := range ents {
-			e.PutString(ent.Name)
-			e.PutUint32(uint32(ent.Type))
-		}
-		return cp(e), cost, nil
-
-	case ctlMkdirAll:
-		vh, cost, err := m.MkdirAll(vpath)
-		if err != nil {
-			return fail(err, cost)
-		}
-		m.forget(vh)
-		e.PutBool(true)
-		return cp(e), cost, nil
-
-	case ctlRemoveAll:
-		cost, err := m.RemoveAllPath(vpath)
-		if err != nil {
-			return fail(err, cost)
-		}
-		e.PutBool(true)
-		return cp(e), cost, nil
-
-	case ctlStat:
-		vh, attr, cost, err := m.LookupPath(vpath)
-		if err != nil {
-			return fail(err, cost)
-		}
-		m.forget(vh)
-		e.PutBool(true)
-		e.PutUint32(uint32(attr.Type))
-		e.PutUint32(attr.Mode)
-		e.PutInt64(attr.Size)
-		e.PutInt64(attr.Mtime.UnixNano())
-		return cp(e), cost, nil
-
-	case ctlPeers:
-		e.PutBool(true)
-		peers := n.overlay.Known()
-		e.PutUint32(uint32(len(peers)))
-		for _, p := range peers {
-			e.PutString(string(p.Addr))
-			e.PutString(p.ID.String())
-		}
-		return cp(e), 0, nil
-
-	case ctlStatfs:
-		st, cost, err := n.store.Statfs()
-		if err != nil {
-			return fail(err, cost)
-		}
-		e.PutBool(true)
-		e.PutInt64(st.TotalBytes)
-		e.PutInt64(st.UsedBytes)
-		e.PutInt64(st.Files)
-		e.PutString(n.overlay.Info().ID.String())
-		e.PutUint32(uint32(len(n.overlay.Leaf())))
-		return cp(e), cost, nil
-
-	case ctlStats:
-		p := StatsPayload{
-			Addr:   string(n.addr),
-			NodeID: n.overlay.Info().ID.String(),
-			Stats:  n.reg.Snapshot(),
-			Events: n.events.Snapshot(32),
-		}
-		b, err := json.Marshal(p)
-		if err != nil {
-			return fail(err, 0)
-		}
-		e.PutBool(true)
-		e.PutOpaque(b)
-		return cp(e), 0, nil
-
-	case ctlTrace:
-		count := int(d.Uint32())
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		traces := n.tracer.Recent(count)
-		if traces == nil {
-			traces = []obs.Trace{}
-		}
-		b, err := json.Marshal(traces)
-		if err != nil {
-			return fail(err, 0)
-		}
-		e.PutBool(true)
-		e.PutOpaque(b)
-		return cp(e), 0, nil
-
-	default:
-		return nil, 0, fmt.Errorf("koshactl: unknown proc %d", proc)
+	if attr.Type != localfs.TypeDir {
+		ctlFail(e, fmt.Errorf("koshactl: %s is not a directory", vpath))
+		return cost, nil
 	}
+	ents, c, err := m.Readdir(vh)
+	cost = simnet.Seq(cost, c)
+	m.forget(vh)
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
+	}
+	e.PutBool(true)
+	e.PutUint32(uint32(len(ents)))
+	for _, ent := range ents {
+		e.PutString(ent.Name)
+		e.PutUint32(uint32(ent.Type))
+	}
+	return cost, nil
+}
+
+func (n *Node) ctlServeMkdirAll(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	vpath := d.String()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	m := n.ctlMount()
+	vh, cost, err := m.MkdirAll(vpath)
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
+	}
+	m.forget(vh)
+	e.PutBool(true)
+	return cost, nil
+}
+
+func (n *Node) ctlServeRemoveAll(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	vpath := d.String()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	cost, err := n.ctlMount().RemoveAllPath(vpath)
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
+	}
+	e.PutBool(true)
+	return cost, nil
+}
+
+func (n *Node) ctlServeStat(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	vpath := d.String()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	m := n.ctlMount()
+	vh, attr, cost, err := m.LookupPath(vpath)
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
+	}
+	m.forget(vh)
+	e.PutBool(true)
+	e.PutUint32(uint32(attr.Type))
+	e.PutUint32(attr.Mode)
+	e.PutInt64(attr.Size)
+	e.PutInt64(attr.Mtime.UnixNano())
+	return cost, nil
+}
+
+func (n *Node) ctlServePeers(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	_ = d.String() // vpath, unused by node-level procedures
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	e.PutBool(true)
+	peers := n.overlay.Known()
+	e.PutUint32(uint32(len(peers)))
+	for _, p := range peers {
+		e.PutString(string(p.Addr))
+		e.PutString(p.ID.String())
+	}
+	return 0, nil
+}
+
+func (n *Node) ctlServeStatfs(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	_ = d.String() // vpath, unused by node-level procedures
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	st, cost, err := n.store.Statfs()
+	if err != nil {
+		ctlFail(e, err)
+		return cost, nil
+	}
+	e.PutBool(true)
+	e.PutInt64(st.TotalBytes)
+	e.PutInt64(st.UsedBytes)
+	e.PutInt64(st.Files)
+	e.PutString(n.overlay.Info().ID.String())
+	e.PutUint32(uint32(len(n.overlay.Leaf())))
+	return cost, nil
+}
+
+func (n *Node) ctlServeStats(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	_ = d.String() // vpath, unused by node-level procedures
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	p := StatsPayload{
+		Addr:   string(n.addr),
+		NodeID: n.overlay.Info().ID.String(),
+		Stats:  n.reg.Snapshot(),
+		Events: n.events.Snapshot(32),
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		ctlFail(e, err)
+		return 0, nil
+	}
+	e.PutBool(true)
+	e.PutOpaque(b)
+	return 0, nil
+}
+
+func (n *Node) ctlServeTrace(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	_ = d.String() // vpath, unused
+	count := int(d.Uint32())
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	traces := n.tracer.Recent(count)
+	if traces == nil {
+		traces = []obs.Trace{}
+	}
+	b, err := json.Marshal(traces)
+	if err != nil {
+		ctlFail(e, err)
+		return 0, nil
+	}
+	e.PutBool(true)
+	e.PutOpaque(b)
+	return 0, nil
 }
 
 // StatsPayload is the JSON document ctlStats returns: one node's metrics

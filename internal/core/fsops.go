@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"path"
+
+	"repro/internal/localfs"
+	"repro/internal/nfs"
+	"repro/internal/simnet"
+)
+
+// applyFSOp executes a path-based mutation on the local store. lenient mode
+// (replica application) auto-creates missing ancestors and tolerates
+// re-application, keeping mirrors idempotent.
+func (n *Node) applyFSOp(op FSOp, lenient bool) (localfs.Attr, simnet.Cost, error) {
+	// Path resolution against a warm name cache is much cheaper than a
+	// data-bearing disk op; charge a small fixed cost rather than a full
+	// disk operation so path-based mutations stay comparable to the
+	// handle-based NFS ones they stand in for.
+	resolveCost := simnet.Cost(50_000)
+	parentOf := func(p string) (localfs.Attr, error) {
+		dir := path.Dir(p)
+		if lenient {
+			return n.store.MkdirAll(dir)
+		}
+		return n.store.LookupPath(dir)
+	}
+	switch op.Kind {
+	case FSMkdirAll:
+		attr, err := n.store.MkdirAll(op.Path)
+		return attr, resolveCost, err
+
+	case FSMkdir:
+		pattr, err := parentOf(op.Path)
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		attr, cost, err := n.store.Mkdir(pattr.Ino, path.Base(op.Path), op.Mode)
+		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrExist {
+			attr, err = n.store.LookupPath(op.Path)
+		}
+		return attr, simnet.Seq(resolveCost, cost), err
+
+	case FSCreate:
+		pattr, err := parentOf(op.Path)
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		excl := op.Excl && !lenient
+		attr, cost, err := n.store.Create(pattr.Ino, path.Base(op.Path), op.Mode, excl)
+		return attr, simnet.Seq(resolveCost, cost), err
+
+	case FSWrite:
+		attr, err := n.store.LookupPath(op.Path)
+		if err != nil && lenient {
+			if werr := n.store.WriteFile(op.Path, nil); werr == nil {
+				attr, err = n.store.LookupPath(op.Path)
+			}
+		}
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		_, cost, err := n.store.Write(attr.Ino, op.Offset, op.Data)
+		if err != nil {
+			return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
+		}
+		attr, _ = n.store.LookupPath(op.Path)
+		return attr, simnet.Seq(resolveCost, cost), nil
+
+	case FSWriteFile:
+		if err := n.store.WriteFile(op.Path, op.Data); err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		attr, err := n.store.LookupPath(op.Path)
+		return attr, simnet.Seq(resolveCost, n.cfg.Disk.OpCost(len(op.Data))), err
+
+	case FSSetattr:
+		attr, err := n.store.LookupPath(op.Path)
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		attr, cost, err := n.store.Setattr(attr.Ino, op.SetAttr)
+		return attr, simnet.Seq(resolveCost, cost), err
+
+	case FSRemove:
+		pattr, err := n.store.LookupPath(path.Dir(op.Path))
+		if err != nil {
+			if lenient {
+				return localfs.Attr{}, resolveCost, nil
+			}
+			return localfs.Attr{}, resolveCost, err
+		}
+		cost, err := n.store.Remove(pattr.Ino, path.Base(op.Path))
+		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrNoEnt {
+			err = nil
+		}
+		if err == nil && op.Prune {
+			n.rep.PruneUp(path.Dir(op.Path))
+		}
+		return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
+
+	case FSRmdir:
+		pattr, err := n.store.LookupPath(path.Dir(op.Path))
+		if err != nil {
+			if lenient {
+				return localfs.Attr{}, resolveCost, nil
+			}
+			return localfs.Attr{}, resolveCost, err
+		}
+		cost, err := n.store.Rmdir(pattr.Ino, path.Base(op.Path))
+		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrNoEnt {
+			err = nil
+		}
+		if err == nil && op.Prune {
+			n.rep.PruneUp(path.Dir(op.Path))
+		}
+		return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
+
+	case FSRemoveAll:
+		err := n.store.RemoveAll(op.Path)
+		if err == nil && op.Prune {
+			n.rep.PruneUp(path.Dir(op.Path))
+		}
+		return localfs.Attr{}, resolveCost, err
+
+	case FSRename:
+		spattr, err := n.store.LookupPath(path.Dir(op.Path))
+		if err != nil {
+			if lenient {
+				return localfs.Attr{}, resolveCost, nil
+			}
+			return localfs.Attr{}, resolveCost, err
+		}
+		dpattr, err := parentOf(op.Path2)
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		cost, err := n.store.Rename(spattr.Ino, path.Base(op.Path), dpattr.Ino, path.Base(op.Path2))
+		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrNoEnt {
+			err = nil
+		}
+		return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
+
+	case FSSymlink:
+		pattr, err := parentOf(op.Path)
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		attr, cost, err := n.store.Symlink(pattr.Ino, path.Base(op.Path), op.Target)
+		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrExist {
+			// Replace: mirrors converge on the latest target.
+			if _, rerr := n.store.Remove(pattr.Ino, path.Base(op.Path)); rerr == nil {
+				attr, cost, err = n.store.Symlink(pattr.Ino, path.Base(op.Path), op.Target)
+			}
+		}
+		return attr, simnet.Seq(resolveCost, cost), err
+
+	default:
+		return localfs.Attr{}, 0, fmt.Errorf("kosha: unknown FS op %v", op.Kind)
+	}
+}

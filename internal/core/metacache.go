@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/localfs"
+)
+
+// attrEntry is one attribute-cache row.
+type attrEntry struct {
+	attr localfs.Attr
+	at   time.Time
+}
+
+// dnlcEntry is one name-cache row: the fully resolved child (node, handle,
+// physical path) plus the attributes LOOKUP would have carried.
+type dnlcEntry struct {
+	ve   ventry
+	attr localfs.Attr
+	at   time.Time
+}
+
+// mcShards is the shard count of the metadata cache; selection is an FNV-1a
+// hash of the virtual path masked by (mcShards-1), so it must be a power of
+// two.
+const mcShards = 16
+
+// mcShard holds one shard's attribute and name rows behind one mutex.
+type mcShard struct {
+	mu    sync.Mutex
+	attrs map[string]attrEntry // virtual path -> cached attributes
+	dnlc  map[string]dnlcEntry // child virtual path -> resolved entry
+}
+
+// metaCache is the sharded client-side metadata cache, modeling the kernel
+// NFS client's attribute cache and dnlc that the paper's overhead numbers
+// rely on (Section 6.1). Rows serve hits for at most a TTL and are
+// write-through invalidated by every mutating op and by failover. Sharding
+// by path hash keeps cache probes for different files off one global mutex;
+// the TTL clock is injected per call so tests can warp time.
+type metaCache struct {
+	shards [mcShards]mcShard
+}
+
+func (c *metaCache) init() {
+	for i := range c.shards {
+		c.shards[i].attrs = make(map[string]attrEntry)
+		c.shards[i].dnlc = make(map[string]dnlcEntry)
+	}
+}
+
+func (c *metaCache) shard(vpath string) *mcShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(vpath); i++ {
+		h ^= uint32(vpath[i])
+		h *= prime32
+	}
+	return &c.shards[h&(mcShards-1)]
+}
+
+func (c *metaCache) putAttr(vpath string, a localfs.Attr, now time.Time) {
+	s := c.shard(vpath)
+	s.mu.Lock()
+	s.attrs[vpath] = attrEntry{attr: a, at: now}
+	s.mu.Unlock()
+}
+
+func (c *metaCache) getAttr(vpath string, now time.Time, ttl time.Duration) (localfs.Attr, bool) {
+	s := c.shard(vpath)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.attrs[vpath]
+	if !ok {
+		return localfs.Attr{}, false
+	}
+	if now.Sub(e.at) > ttl {
+		delete(s.attrs, vpath)
+		return localfs.Attr{}, false
+	}
+	return e.attr, true
+}
+
+func (c *metaCache) dropAttr(vpath string) {
+	s := c.shard(vpath)
+	s.mu.Lock()
+	delete(s.attrs, vpath)
+	s.mu.Unlock()
+}
+
+func (c *metaCache) putName(ve ventry, a localfs.Attr, now time.Time) {
+	s := c.shard(ve.vpath)
+	s.mu.Lock()
+	s.dnlc[ve.vpath] = dnlcEntry{ve: ve, attr: a, at: now}
+	s.mu.Unlock()
+}
+
+func (c *metaCache) getName(vpath string, now time.Time, ttl time.Duration) (ventry, localfs.Attr, bool) {
+	s := c.shard(vpath)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.dnlc[vpath]
+	if !ok {
+		return ventry{}, localfs.Attr{}, false
+	}
+	if now.Sub(e.at) > ttl {
+		delete(s.dnlc, vpath)
+		return ventry{}, localfs.Attr{}, false
+	}
+	return e.ve, e.attr, true
+}
+
+// dropUnder invalidates cached metadata for vpath and everything below it
+// (rename/remove/failover relocate whole subtrees). Subtree members hash to
+// arbitrary shards, so every shard is swept.
+func (c *metaCache) dropUnder(vpath string) {
+	prefix := strings.TrimSuffix(vpath, "/") + "/"
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for p := range s.attrs {
+			if p == vpath || strings.HasPrefix(p, prefix) {
+				delete(s.attrs, p)
+			}
+		}
+		for p := range s.dnlc {
+			if p == vpath || strings.HasPrefix(p, prefix) {
+				delete(s.dnlc, p)
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -4,9 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"path"
-	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/localfs"
@@ -25,6 +24,8 @@ const RootVH VH = 1
 
 // ventry is one row of the virtual-handle table: virtual handle → full
 // path, storage node, and real handle (Section 4.1.2 stores exactly this).
+// Rows are immutable once published in the table; rebinding installs a
+// fresh row (see vtable).
 type ventry struct {
 	vpath    string
 	kind     localfs.FileType
@@ -46,70 +47,48 @@ type DirEntry struct {
 // Mount is the client view of the Kosha file system through one node's
 // koshad, corresponding to the virtual mount point /kosha (Figure 1). All
 // operations return the simulated cost including the interposition constant
-// I, overlay lookups, and forwarded NFS RPCs. A Mount is safe for
-// concurrent use by multiple goroutines.
+// I, overlay lookups, and forwarded NFS RPCs. A Mount is safe for concurrent
+// use by multiple goroutines; its hot-path state — the virtual-handle table
+// and the metadata caches — is sharded so operations on different files do
+// not serialize on a global mutex (see vtable and metaCache).
 type Mount struct {
 	n *Node
 
-	mu   sync.Mutex
-	vft  map[VH]*ventry
-	next VH
+	vt vtable // sharded virtual-handle table
 
-	rr        uint64                // round-robin cursor for replica reads
+	rr        atomic.Uint64         // round-robin cursor for replica reads
+	readMu    sync.Mutex            // guards readsFrom
 	readsFrom map[simnet.Addr]int64 // per-node read counter (observability)
 
-	// Client-side metadata caches, modeling the kernel NFS client's
-	// attribute cache and dnlc that the paper's overhead numbers rely on
-	// (Section 6.1). Both serve hits for at most a TTL and are
-	// write-through invalidated by every mutating op and by failover.
-	now    func() time.Time // injectable clock for TTL tests
-	metaMu sync.Mutex
-	attrs  map[string]attrEntry // virtual path -> cached attributes
-	dnlc   map[string]dnlcEntry // child virtual path -> resolved entry
-}
-
-// attrEntry is one attribute-cache row.
-type attrEntry struct {
-	attr localfs.Attr
-	at   time.Time
-}
-
-// dnlcEntry is one name-cache row: the fully resolved child (node, handle,
-// physical path) plus the attributes LOOKUP would have carried.
-type dnlcEntry struct {
-	ve   ventry
-	attr localfs.Attr
-	at   time.Time
+	// Client-side metadata caches; the clock is a Mount field so TTL tests
+	// can warp time per mount.
+	now  func() time.Time // injectable clock for TTL tests
+	meta metaCache        // sharded attribute + name caches
 }
 
 // NewMount attaches a client to the node's koshad.
 func (n *Node) NewMount() *Mount {
 	m := &Mount{
 		n:         n,
-		vft:       make(map[VH]*ventry),
-		next:      RootVH + 1,
 		readsFrom: make(map[simnet.Addr]int64),
 		now:       time.Now,
-		attrs:     make(map[string]attrEntry),
-		dnlc:      make(map[string]dnlcEntry),
 	}
-	m.vft[RootVH] = &ventry{
+	m.meta.init()
+	m.vt.init(&ventry{
 		vpath: "/",
 		kind:  localfs.TypeDir,
 		place: Place{VRoot: true, Store: "/"},
-	}
+	})
 	return m
 }
 
-// --- client-side metadata caches ---
+// --- client-side metadata caches (cache stage of the pipeline) ---
 
 func (m *Mount) cacheAttr(vpath string, a localfs.Attr) {
 	if m.n.cfg.AttrCacheTTL <= 0 {
 		return
 	}
-	m.metaMu.Lock()
-	m.attrs[vpath] = attrEntry{attr: a, at: m.now()}
-	m.metaMu.Unlock()
+	m.meta.putAttr(vpath, a, m.now())
 }
 
 func (m *Mount) cachedAttr(vpath string) (localfs.Attr, bool) {
@@ -117,31 +96,17 @@ func (m *Mount) cachedAttr(vpath string) (localfs.Attr, bool) {
 	if ttl <= 0 {
 		return localfs.Attr{}, false
 	}
-	m.metaMu.Lock()
-	defer m.metaMu.Unlock()
-	e, ok := m.attrs[vpath]
-	if !ok {
-		return localfs.Attr{}, false
-	}
-	if m.now().Sub(e.at) > ttl {
-		delete(m.attrs, vpath)
-		return localfs.Attr{}, false
-	}
-	return e.attr, true
+	return m.meta.getAttr(vpath, m.now(), ttl)
 }
 
 func (m *Mount) invalAttr(vpath string) {
-	m.metaMu.Lock()
-	delete(m.attrs, vpath)
-	m.metaMu.Unlock()
+	m.meta.dropAttr(vpath)
 }
 
 // dnlcPut caches a resolved child entry and its attributes.
 func (m *Mount) dnlcPut(ve ventry, a localfs.Attr) {
 	if m.n.cfg.NameCacheTTL > 0 {
-		m.metaMu.Lock()
-		m.dnlc[ve.vpath] = dnlcEntry{ve: ve, attr: a, at: m.now()}
-		m.metaMu.Unlock()
+		m.meta.putName(ve, a, m.now())
 	}
 	m.cacheAttr(ve.vpath, a)
 }
@@ -151,35 +116,13 @@ func (m *Mount) dnlcGet(vpath string) (ventry, localfs.Attr, bool) {
 	if ttl <= 0 {
 		return ventry{}, localfs.Attr{}, false
 	}
-	m.metaMu.Lock()
-	defer m.metaMu.Unlock()
-	e, ok := m.dnlc[vpath]
-	if !ok {
-		return ventry{}, localfs.Attr{}, false
-	}
-	if m.now().Sub(e.at) > ttl {
-		delete(m.dnlc, vpath)
-		return ventry{}, localfs.Attr{}, false
-	}
-	return e.ve, e.attr, true
+	return m.meta.getName(vpath, m.now(), ttl)
 }
 
 // dropMetaUnder invalidates cached metadata for vpath and everything below
 // it (rename/remove/failover relocate whole subtrees).
 func (m *Mount) dropMetaUnder(vpath string) {
-	prefix := strings.TrimSuffix(vpath, "/") + "/"
-	m.metaMu.Lock()
-	for p := range m.attrs {
-		if p == vpath || strings.HasPrefix(p, prefix) {
-			delete(m.attrs, p)
-		}
-	}
-	for p := range m.dnlc {
-		if p == vpath || strings.HasPrefix(p, prefix) {
-			delete(m.dnlc, p)
-		}
-	}
-	m.metaMu.Unlock()
+	m.meta.dropUnder(vpath)
 }
 
 // Root returns the mount's root virtual handle.
@@ -188,30 +131,11 @@ func (m *Mount) Root() VH { return RootVH }
 // ErrBadHandle is returned for unknown virtual handles.
 var ErrBadHandle = errors.New("kosha: unknown virtual handle")
 
-func (m *Mount) entry(vh VH) (*ventry, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	de, ok := m.vft[vh]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrBadHandle, vh)
-	}
-	return de, nil
-}
+func (m *Mount) entry(vh VH) (*ventry, error) { return m.vt.get(vh) }
 
-func (m *Mount) insert(de *ventry) VH {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	vh := m.next
-	m.next++
-	m.vft[vh] = de
-	return vh
-}
+func (m *Mount) insert(de *ventry) VH { return m.vt.insert(de) }
 
-func (m *Mount) replace(vh VH, de *ventry) {
-	m.mu.Lock()
-	m.vft[vh] = de
-	m.mu.Unlock()
-}
+func (m *Mount) replace(vh VH, de *ventry) { m.vt.set(vh, de) }
 
 // forget drops a virtual handle (e.g. after unlink). The root handle is
 // permanent.
@@ -219,319 +143,13 @@ func (m *Mount) forget(vh VH) {
 	if vh == RootVH {
 		return
 	}
-	m.mu.Lock()
-	delete(m.vft, vh)
-	m.mu.Unlock()
+	m.vt.delete(vh)
 }
 
-// staleStore marks a resolution whose cached storage root no longer exists
-// (the hierarchy was renamed or removed through another node); the caller
-// drops its caches and re-resolves.
-var staleStore = errors.New("kosha: cached storage root dangles")
-
-// retryable reports whether an error warrants transparent failover:
-// transport failures and stale handles re-resolve onto a replica (Section
-// 4.4); ErrNotPrimary re-resolves after an ownership change.
-func retryable(err error) bool {
-	return errors.Is(err, simnet.ErrUnreachable) ||
-		errors.Is(err, ErrNotPrimary) ||
-		nfs.IsStatus(err, nfs.ErrStale)
-}
-
-// cacheSuspect reports whether an error could be the fault of a stale
-// name-cache entry rather than of the operation itself: another client may
-// have removed, renamed, or retyped the path since it was cached. Such a
-// failure on a cached entry is retried once against a fresh resolution, the
-// way the kernel NFS client retries after ESTALE.
-func cacheSuspect(err error) bool {
-	return nfs.IsStatus(err, nfs.ErrNoEnt) ||
-		nfs.IsStatus(err, nfs.ErrNotDir) ||
-		nfs.IsStatus(err, nfs.ErrIsDir)
-}
-
-// opCtx carries the observability context of one public mount operation: the
-// op name, its trace (nil when tracing is disabled), and the wall-clock start
-// when Config.WallClockStats selects wall time over simulated cost.
-type opCtx struct {
-	m     *Mount
-	op    obs.OpCode
-	tr    *obs.Trace
-	start time.Time
-}
-
-// begin opens the observability context for one public operation.
-func (m *Mount) begin(op obs.OpCode, vpath string) opCtx {
-	o := opCtx{m: m, op: op, tr: m.n.tracer.Start(op.String(), vpath, string(m.n.addr))}
-	if m.n.cfg.WallClockStats {
-		o.start = time.Now()
-	}
-	return o
-}
-
-// done records the operation's latency sample and counters and publishes the
-// trace. Under simnet the sample is the simulated cost; under a real
-// transport koshad selects wall time via Config.WallClockStats.
-func (o opCtx) done(cost simnet.Cost, err error) {
-	n := o.m.n
-	d := time.Duration(cost)
-	if n.cfg.WallClockStats {
-		d = time.Since(o.start)
-	}
-	n.opHists[o.op].Observe(d)
-	n.opsTotal.Add(1)
-	if err != nil {
-		n.opErrors.Add(1)
-	}
-	if o.tr != nil {
-		n.tracer.Finish(o.tr, d, err)
-	}
-}
-
-// vpathOf returns the virtual path behind a handle for trace labels ("" when
-// the handle is unknown; the operation itself surfaces the error).
-func (m *Mount) vpathOf(vh VH) string {
-	if !m.n.tracer.Enabled() {
-		return ""
-	}
-	if de, err := m.entry(vh); err == nil {
-		return de.vpath
-	}
-	return ""
-}
-
-// beginAt opens the observability context for an operation addressed by
-// (directory handle, name); the trace label is only assembled when tracing
-// is enabled, so disabled tracing costs no path allocation.
-func (m *Mount) beginAt(op obs.OpCode, dir VH, name string) opCtx {
-	if !m.n.tracer.Enabled() {
-		return m.begin(op, "")
-	}
-	return m.begin(op, path.Join(m.vpathOf(dir), name))
-}
-
-// materialize builds a ventry for a virtual path by resolving placement and
-// looking the path up on the storage node. It also returns the entry's
-// attributes (LOOKUP carries them, as in NFS).
-func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
-	parts := SplitVirtual(vpath)
-	if len(parts) == 0 {
-		return &ventry{vpath: "/", kind: localfs.TypeDir, place: Place{VRoot: true, Store: "/"}},
-			localfs.Attr{Ino: 1, Type: localfs.TypeDir, Mode: 0o755, Nlink: 2}, 0, nil
-	}
-	var total simnet.Cost
-
-	place, cost, err := m.n.resolveDir(tr, parts)
-	total = simnet.Seq(total, cost)
-	switch {
-	case err == nil:
-		phys := place.PhysDir()
-		storeComps := pathComponents(place.SubtreeRoot())
-		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(place.Node, phys)
-		total = simnet.Seq(total, c)
-		if nfs.IsStatus(lerr, nfs.ErrNoEnt) {
-			if idx < storeComps {
-				// The resolved storage root itself dangles: a stale cache
-				// entry survived a rename/removal done elsewhere.
-				lerr = staleStore
-			} else {
-				_, c2, perr := m.n.promote(place.Node, Track{PN: place.PN(), Root: place.SubtreeRoot()})
-				total = simnet.Seq(total, c2)
-				if perr == nil {
-					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(place.Node, phys)
-					total = simnet.Seq(total, c)
-					if nfs.IsStatus(lerr, nfs.ErrNoEnt) && idx < storeComps {
-						lerr = staleStore
-					}
-				}
-			}
-		}
-		if lerr != nil {
-			return nil, localfs.Attr{}, total, lerr
-		}
-		tr.SetServedBy(string(place.Node))
-		ve := &ventry{
-			vpath:    JoinVirtual(parts),
-			kind:     attr.Type,
-			node:     place.Node,
-			fh:       fh,
-			physPath: phys,
-			pn:       place.PN(),
-			root:     place.SubtreeRoot(),
-			place:    place,
-		}
-		m.cacheAttr(ve.vpath, attr)
-		return ve, attr, total, nil
-
-	case nfs.IsStatus(err, nfs.ErrNotDir):
-		// The final component is a file or plain symlink at a depth the
-		// resolver treated as a directory level; resolve the parent and
-		// look the leaf up there.
-		parent, cost, perr := m.n.resolveDir(tr, parts[:len(parts)-1])
-		total = simnet.Seq(total, cost)
-		if perr != nil {
-			return nil, localfs.Attr{}, total, perr
-		}
-		name := parts[len(parts)-1]
-		phys := path.Join(parent.PhysDir(), name)
-		storeComps := pathComponents(parent.SubtreeRoot())
-		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(parent.Node, phys)
-		total = simnet.Seq(total, c)
-		if nfs.IsStatus(lerr, nfs.ErrNoEnt) && !parent.VRoot {
-			if idx < storeComps {
-				lerr = staleStore
-			} else {
-				_, c2, perr := m.n.promote(parent.Node, Track{PN: parent.PN(), Root: parent.SubtreeRoot()})
-				total = simnet.Seq(total, c2)
-				if perr == nil {
-					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(parent.Node, phys)
-					total = simnet.Seq(total, c)
-					if nfs.IsStatus(lerr, nfs.ErrNoEnt) && idx < storeComps {
-						lerr = staleStore
-					}
-				}
-			}
-		}
-		if lerr != nil {
-			return nil, localfs.Attr{}, total, lerr
-		}
-		tr.SetServedBy(string(parent.Node))
-		ve := &ventry{
-			vpath:    JoinVirtual(parts),
-			kind:     attr.Type,
-			node:     parent.Node,
-			fh:       fh,
-			physPath: phys,
-			pn:       parent.PN(),
-			root:     parent.SubtreeRoot(),
-			place:    parent,
-		}
-		m.cacheAttr(ve.vpath, attr)
-		return ve, attr, total, nil
-
-	default:
-		return nil, localfs.Attr{}, total, err
-	}
-}
-
-// materializeRetry is materialize with transparent failover: a retryable
-// failure has already invalidated the caches naming the dead node (noteErr),
-// so re-resolution routes onto a replica holder. One NoEnt retry with
-// dropped caches covers stale resolver entries whose storage root moved
-// (renames relocate storage by design).
-func (m *Mount) materializeRetry(tr *obs.Trace, vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
-	var total simnet.Cost
-	staleRetried := false
-	for attempt := 0; ; attempt++ {
-		de, attr, c, err := m.materialize(tr, vpath)
-		total = simnet.Seq(total, c)
-		if err == nil || attempt >= 3 {
-			return de, attr, total, err
-		}
-		if errors.Is(err, staleStore) {
-			if staleRetried {
-				return de, attr, total, &nfs.Error{Proc: nfs.ProcLookup, Status: nfs.ErrNoEnt}
-			}
-			staleRetried = true
-			m.dropCachesUnder(vpath)
-			continue
-		}
-		if !retryable(err) {
-			return de, attr, total, err
-		}
-		m.dropCachesUnder(vpath)
-	}
-}
-
-// withFailover runs fn against a ventry, transparently re-resolving and
-// retrying on node failure, stale handles, or primary changes. The
-// interposition constant I is charged once per operation. Each failover is
-// recorded in the overlay event log, the failover latency histogram (the
-// cost of re-resolving onto a replica), and the operation's trace.
-func (m *Mount) withFailover(tr *obs.Trace, vh VH, fn func(de *ventry) (simnet.Cost, error)) (simnet.Cost, error) {
-	total := m.n.cfg.InterposeCost
-	de, err := m.entry(vh)
-	if err != nil {
-		return total, err
-	}
-	cacheRetried := false
-	for attempt := 0; ; attempt++ {
-		c, err := fn(de)
-		total = simnet.Seq(total, c)
-		if err == nil {
-			// Deeper instrumentation (apply, replica reads, materialize)
-			// records the precise server; otherwise the entry's node
-			// served the final RPC.
-			if tr != nil && tr.ServedBy == "" {
-				tr.SetServedBy(string(de.node))
-			}
-			return total, nil
-		}
-		if attempt >= 3 {
-			return total, err
-		}
-		failedOver := false
-		switch {
-		case retryable(err):
-			// Drop state naming the failed node and re-resolve the path:
-			// the overlay now routes the key to a node holding a replica.
-			// A NotPrimary answer came from a live node — only the stale
-			// resolution is dropped, not the node.
-			if !errors.Is(err, ErrNotPrimary) {
-				m.n.invalidateNode(de.node)
-			}
-			failedOver = true
-		case de.cached && !cacheRetried && cacheSuspect(err):
-			// The entry came from the name cache and the failure smells
-			// like staleness; revalidate once against a fresh resolution.
-			cacheRetried = true
-		default:
-			return total, err
-		}
-		m.dropCachesUnder(de.vpath)
-		nde, _, c2, rerr := m.materialize(tr, de.vpath)
-		total = simnet.Seq(total, c2)
-		if failedOver {
-			m.n.events.Add(obs.EvFailover, string(m.n.addr), de.vpath)
-			m.n.reg.Observe("op."+obs.OpFailover, time.Duration(c2))
-			tr.Failover()
-		}
-		if rerr != nil {
-			return total, rerr
-		}
-		if failedOver && nde.root != "" {
-			// Read-repair: the key now resolves to a (possibly freshly
-			// promoted) replacement primary. Ask it to surface its replica
-			// copy and reconcile versions against the surviving replica set
-			// so the retried operation — and a later revival of the failed
-			// node — sees converged state. If repair moved the subtree, the
-			// handle just materialized is stale; resolve it again.
-			changed, c3, perr := m.n.promote(nde.node, Track{PN: nde.pn, Root: nde.root})
-			total = simnet.Seq(total, c3)
-			if perr == nil && changed {
-				m.dropCachesUnder(de.vpath)
-				nde, _, c3, rerr = m.materialize(tr, de.vpath)
-				total = simnet.Seq(total, c3)
-				if rerr != nil {
-					return total, rerr
-				}
-			}
-		}
-		m.replace(vh, nde)
-		de = nde
-	}
-}
-
-// dropCachesUnder invalidates resolver cache entries for a path and its
-// ancestors (any of them may name the failed node), plus this mount's
-// metadata caches for the path's subtree (handles and attributes cached
-// below a failed or relocated directory are all suspect).
-func (m *Mount) dropCachesUnder(vpath string) {
-	parts := SplitVirtual(vpath)
-	for i := 1; i <= len(parts); i++ {
-		m.n.cacheDrop(JoinVirtual(parts[:i]))
-	}
-	m.dropMetaUnder(vpath)
-}
+// Forget releases a virtual handle the client no longer references,
+// mirroring the kernel's FORGET upcall; without it long-lived mounts would
+// pin every handle ever issued. The root handle is permanent.
+func (m *Mount) Forget(vh VH) { m.forget(vh) }
 
 // Lookup resolves name within the directory dir, returning a new virtual
 // handle (Section 4.1.3). Below the distribution level the parent's real
@@ -552,8 +170,7 @@ func (m *Mount) lookup(tr *obs.Trace, dir VH, name string) (VH, localfs.Attr, si
 	if de.kind != localfs.TypeDir {
 		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, &nfs.Error{Proc: nfs.ProcLookup, Status: nfs.ErrNotDir}
 	}
-	depth := len(SplitVirtual(de.vpath)) + 1
-	if !de.place.VRoot && depth > m.n.cfg.DistributionLevel {
+	if !m.distributedAt(de) {
 		// Name-cache hit: the child was resolved (or pre-warmed by
 		// READDIRPLUS) within the TTL; no network at all. The entry must
 		// belong to the same hierarchy incarnation as the parent handle in
@@ -697,10 +314,7 @@ func (m *Mount) readViaReplica(tr *obs.Trace, de *ventry, offset int64, count in
 	if err != nil || len(reps) == 0 {
 		return nil, false, total, false
 	}
-	m.mu.Lock()
-	idx := m.rr % uint64(len(reps)+1)
-	m.rr++
-	m.mu.Unlock()
+	idx := (m.rr.Add(1) - 1) % uint64(len(reps)+1)
 	if idx == 0 {
 		return nil, false, total, false // the primary's turn
 	}
@@ -724,16 +338,17 @@ func (m *Mount) readViaReplica(tr *obs.Trace, de *ventry, offset int64, count in
 }
 
 func (m *Mount) countRead(addr simnet.Addr) {
-	m.mu.Lock()
+	m.readMu.Lock()
 	m.readsFrom[addr]++
-	m.mu.Unlock()
+	m.readMu.Unlock()
 }
 
 // ReadSpread reports how many reads this mount served from each node,
-// for observability and the replica-read ablation.
+// for observability and the replica-read ablation. The returned map is a
+// copy the caller owns.
 func (m *Mount) ReadSpread() map[simnet.Addr]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.readMu.Lock()
+	defer m.readMu.Unlock()
 	out := make(map[simnet.Addr]int64, len(m.readsFrom))
 	for k, v := range m.readsFrom {
 		out[k] = v
@@ -876,908 +491,4 @@ func (m *Mount) readlink(tr *obs.Trace, vh VH) (string, simnet.Cost, error) {
 		return c, err
 	})
 	return target, cost, err
-}
-
-// Mkdir creates a directory. Directories within the distribution level are
-// hashed to their own node, with capacity redirection (Sections 3.2-3.3);
-// deeper directories stay on the parent's node.
-func (m *Mount) Mkdir(dir VH, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
-	o := m.beginAt(obs.OpcMkdir, dir, name)
-	vh, attr, cost, err := m.mkdir(o.tr, dir, name, mode)
-	o.done(cost, err)
-	return vh, attr, cost, err
-}
-
-func (m *Mount) mkdir(tr *obs.Trace, dir VH, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
-	if err := ValidName(name); err != nil {
-		return 0, localfs.Attr{}, m.n.cfg.InterposeCost, err
-	}
-	var out VH
-	var attr localfs.Attr
-	cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
-		if de.kind != localfs.TypeDir {
-			return 0, &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrNotDir}
-		}
-		depth := len(SplitVirtual(de.vpath)) + 1
-		if depth <= m.n.cfg.DistributionLevel || de.place.VRoot {
-			vh, a, c, err := m.mkdirDistributed(tr, de, name, mode)
-			if err != nil {
-				return c, err
-			}
-			out, attr = vh, a
-			return c, nil
-		}
-		phys := path.Join(de.physPath, name)
-		a, fh, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
-			FSOp{Kind: FSMkdir, Path: phys, Mode: mode})
-		if err != nil {
-			return c, err
-		}
-		attr = a
-		m.dropMetaUnder(path.Join(de.vpath, name))
-		m.invalAttr(de.vpath)
-		childPlace := de.place
-		childPlace.Rest = append(append([]string(nil), de.place.Rest...), name)
-		out = m.insert(&ventry{
-			vpath:    path.Join(de.vpath, name),
-			kind:     localfs.TypeDir,
-			node:     de.node,
-			fh:       fh,
-			physPath: phys,
-			pn:       de.pn,
-			root:     de.root,
-			place:    childPlace,
-		})
-		return c, nil
-	})
-	return out, attr, cost, err
-}
-
-// mkdirDistributed creates a directory at a distributed level: hash the
-// name, route, redirect with salts while the target is above the
-// utilization limit, create the hierarchy on the chosen node, and place a
-// special link in the parent when needed (Section 3.3).
-func (m *Mount) mkdirDistributed(tr *obs.Trace, parent *ventry, name string, mode uint32) (VH, localfs.Attr, simnet.Cost, error) {
-	n := m.n
-	var total simnet.Cost
-
-	// Where resolution will probe for this name (and where a special link
-	// would live): the original hash target for level-1 directories, the
-	// parent's node otherwise.
-	var linkNode simnet.Addr
-	var linkDir string
-	var linkKey = Key(name)
-	var linkTrack Track
-	if parent.place.VRoot {
-		res, c, err := n.route(tr, Key(name))
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return 0, localfs.Attr{}, total, err
-		}
-		linkNode, linkDir = res.Node.Addr, "/"
-		linkTrack = Track{PN: name, Link: path.Join("/", name)}
-	} else {
-		linkNode, linkDir = parent.node, parent.physPath
-		linkKey = Key(parent.pn)
-		linkTrack = Track{PN: parent.pn, Root: parent.root}
-	}
-
-	// Existence check at the probe location.
-	if _, _, c, err := n.remoteLookupPath(linkNode, path.Join(linkDir, name)); err == nil {
-		return 0, localfs.Attr{}, simnet.Seq(total, c), &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrExist}
-	} else {
-		total = simnet.Seq(total, c)
-		if !nfs.IsStatus(err, nfs.ErrNoEnt) {
-			return 0, localfs.Attr{}, total, err
-		}
-	}
-
-	// Choose the placement name and node, redirecting on full targets:
-	// "the redirection process repeats till a node with enough disk space
-	// is found, or a pre-specified number of retries is exhausted".
-	var pn string
-	var target simnet.Addr
-	chosen := false
-	for attempt := 0; attempt <= n.cfg.RedirectAttempts; attempt++ {
-		pn = Salted(name, attempt)
-		res, c, err := n.route(tr, Key(pn))
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return 0, localfs.Attr{}, total, err
-		}
-		target = res.Node.Addr
-		st, c, err := n.remoteFSStat(target)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			continue
-		}
-		if st.TotalBytes == 0 || float64(st.UsedBytes)/float64(st.TotalBytes) < n.cfg.UtilizationLimit {
-			chosen = true
-			break
-		}
-	}
-	if !chosen {
-		return 0, localfs.Attr{}, total, &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrNoSpc}
-	}
-
-	// An unsalted level-1 home sits at its own hash target under its plain
-	// name and needs no link; every other distributed directory gets a
-	// fresh, unique storage root behind a special link, so a later rename
-	// or re-creation can never alias its storage (see MakeLinkTarget).
-	needLink := !(parent.place.VRoot && pn == name)
-	var subRoot string
-	if needLink {
-		subRoot = n.newStoreRoot(pn)
-	} else {
-		subRoot = "/" + pn
-	}
-
-	// Create the subtree root on the chosen node.
-	attr, fh, c, err := n.apply(tr, target, Key(pn), Track{PN: pn, Root: subRoot},
-		FSOp{Kind: FSMkdirAll, Path: subRoot, Mode: mode})
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return 0, localfs.Attr{}, total, err
-	}
-
-	if needLink {
-		_, _, c, err := n.apply(tr, linkNode, linkKey, linkTrack,
-			FSOp{Kind: FSSymlink, Path: path.Join(linkDir, name), Target: MakeLinkTarget(pn, subRoot)})
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return 0, localfs.Attr{}, total, err
-		}
-	}
-
-	place := Place{Node: target, Name: pn, Store: subRoot}
-	vpath := path.Join(parent.vpath, name)
-	n.cachePut(vpath, place)
-	vh := m.insert(&ventry{
-		vpath:    vpath,
-		kind:     localfs.TypeDir,
-		node:     target,
-		fh:       fh,
-		physPath: subRoot,
-		pn:       pn,
-		root:     subRoot,
-		place:    place,
-	})
-	return vh, attr, total, nil
-}
-
-// Readdir lists a virtual directory: physical entries minus Kosha-internal
-// names, with special links reported as the directories they stand for
-// (Section 3.3: the link's name "helps Kosha list the directory contents of
-// the parent directory"). One READDIRPLUS reply carries every entry's
-// handle, attributes, and symlink target, so classifying special links
-// needs no per-entry READLINK, and below the distribution level the reply
-// pre-warms the name and attribute caches: a following stat-all-entries
-// sweep issues no RPCs at all (the N+1 round trips collapse into 1).
-func (m *Mount) Readdir(dir VH) ([]DirEntry, simnet.Cost, error) {
-	o := m.begin(obs.OpcReaddir, m.vpathOf(dir))
-	ents, cost, err := m.readdir(o.tr, dir)
-	o.done(cost, err)
-	return ents, cost, err
-}
-
-func (m *Mount) readdir(tr *obs.Trace, dir VH) ([]DirEntry, simnet.Cost, error) {
-	de, err := m.entry(dir)
-	if err != nil {
-		return nil, m.n.cfg.InterposeCost, err
-	}
-	if de.place.VRoot {
-		return m.readdirRoot(tr)
-	}
-	var out []DirEntry
-	cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
-		ents, c, err := m.n.nfsc.ReaddirPlusAll(de.node, de.fh, 256)
-		if err != nil {
-			return c, err
-		}
-		// Children of a sub-distribution-level directory live on the
-		// parent's node and their handles came back in the reply, so each
-		// is a complete lookup result worth caching. Distributed levels
-		// resolve through the overlay instead and are left alone.
-		prewarm := !de.place.VRoot && len(SplitVirtual(de.vpath))+1 > m.n.cfg.DistributionLevel
-		out = out[:0]
-		for _, e := range ents {
-			if Hidden(e.Name) {
-				continue
-			}
-			if e.Type == localfs.TypeSymlink {
-				if _, _, ok := ParseLinkTarget(e.SymTarget); ok {
-					// Special placement link: a directory on another node.
-					out = append(out, DirEntry{Name: e.Name, Type: localfs.TypeDir})
-					continue
-				}
-			}
-			out = append(out, DirEntry{Name: e.Name, Type: e.Type})
-			if prewarm {
-				childPlace := de.place
-				childPlace.Rest = append(append([]string(nil), de.place.Rest...), e.Name)
-				m.dnlcPut(ventry{
-					vpath:    path.Join(de.vpath, e.Name),
-					kind:     e.Type,
-					node:     de.node,
-					fh:       e.FH,
-					physPath: path.Join(de.physPath, e.Name),
-					pn:       de.pn,
-					root:     de.root,
-					place:    childPlace,
-				}, e.Attr)
-			}
-		}
-		return c, nil
-	})
-	return out, cost, err
-}
-
-// readdirRoot lists the virtual root: "the /kosha/$USER directory actually
-// corresponds to the union of the /kosha_store/$USER directories on all
-// nodes" (Section 3) — the root listing is the union of store roots.
-func (m *Mount) readdirRoot(tr *obs.Trace) ([]DirEntry, simnet.Cost, error) {
-	total := m.n.cfg.InterposeCost
-	seen := make(map[string]localfs.FileType)
-	nodes := []simnet.Addr{m.n.addr}
-	for _, p := range m.n.overlay.Known() {
-		nodes = append(nodes, p.Addr)
-	}
-	for _, addr := range nodes {
-		var ents []nfs.DirEntry
-		ok := false
-		for attempt := 0; attempt < 2; attempt++ {
-			rootH, c, err := m.n.rootHandle(addr)
-			total = simnet.Seq(total, c)
-			if err != nil {
-				break
-			}
-			ents, c, err = m.n.nfsc.ReaddirAll(addr, rootH, 256)
-			total = simnet.Seq(total, c)
-			if err != nil {
-				// A cached handle for a node that crashed and rejoined is
-				// stale; drop it and retry once so the revived node's store
-				// still contributes to the union.
-				if nfs.IsStatus(err, nfs.ErrStale) && attempt == 0 {
-					m.n.dropRootHandle(addr)
-					continue
-				}
-				break
-			}
-			ok = true
-			break
-		}
-		if !ok {
-			continue
-		}
-		for _, e := range ents {
-			if Hidden(e.Name) {
-				continue
-			}
-			if _, dup := seen[e.Name]; dup {
-				continue
-			}
-			// Root entries are directories (real or via special link).
-			seen[e.Name] = localfs.TypeDir
-		}
-	}
-	// The union is advisory: a node that fell out of a key's replica set
-	// can still hold a stale copy of a deleted directory, so each name is
-	// validated against authoritative resolution before it is listed.
-	out := make([]DirEntry, 0, len(seen))
-	for name, typ := range seen {
-		if _, _, c, err := m.materialize(tr, "/"+name); err != nil {
-			total = simnet.Seq(total, c)
-			continue
-		} else {
-			total = simnet.Seq(total, c)
-		}
-		out = append(out, DirEntry{Name: name, Type: typ})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out, total, nil
-}
-
-// Remove unlinks a file or user symlink (Section 4.1.5): the RPC is
-// forwarded to the primary, which removes all replica instances.
-func (m *Mount) Remove(dir VH, name string) (simnet.Cost, error) {
-	o := m.beginAt(obs.OpcRemove, dir, name)
-	cost, err := m.remove(o.tr, dir, name)
-	o.done(cost, err)
-	return cost, err
-}
-
-func (m *Mount) remove(tr *obs.Trace, dir VH, name string) (simnet.Cost, error) {
-	return m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
-		if de.place.VRoot {
-			return 0, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
-		}
-		phys := path.Join(de.physPath, name)
-		_, attr, c, err := m.n.remoteLookupPath(de.node, phys)
-		if err != nil {
-			return c, err
-		}
-		if attr.Type == localfs.TypeDir {
-			return c, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
-		}
-		if attr.Type == localfs.TypeSymlink {
-			target, c2, err := m.n.readLink(de.node, phys)
-			c = simnet.Seq(c, c2)
-			if err == nil {
-				if _, _, ok := ParseLinkTarget(target); ok {
-					return c, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
-				}
-			}
-		}
-		_, _, c2, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
-			FSOp{Kind: FSRemove, Path: phys})
-		if err == nil {
-			m.dropMetaUnder(path.Join(de.vpath, name))
-			m.invalAttr(de.vpath)
-		}
-		return simnet.Seq(c, c2), err
-	})
-}
-
-// Rmdir removes an empty directory, pruning scaffolding and special links
-// for distributed directories (Section 4.1.5).
-func (m *Mount) Rmdir(dir VH, name string) (simnet.Cost, error) {
-	o := m.beginAt(obs.OpcRmdir, dir, name)
-	cost, err := m.rmdir(o.tr, dir, name)
-	o.done(cost, err)
-	return cost, err
-}
-
-func (m *Mount) rmdir(tr *obs.Trace, dir VH, name string) (simnet.Cost, error) {
-	return m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
-		depth := len(SplitVirtual(de.vpath)) + 1
-		if depth <= m.n.cfg.DistributionLevel || de.place.VRoot {
-			return m.rmdirDistributed(tr, de, name)
-		}
-		phys := path.Join(de.physPath, name)
-		_, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
-			FSOp{Kind: FSRmdir, Path: phys})
-		if err == nil {
-			m.dropMetaUnder(path.Join(de.vpath, name))
-			m.invalAttr(de.vpath)
-		}
-		return c, err
-	})
-}
-
-func (m *Mount) rmdirDistributed(tr *obs.Trace, parent *ventry, name string) (simnet.Cost, error) {
-	n := m.n
-	var total simnet.Cost
-	vpath := path.Join(parent.vpath, name)
-
-	// Locate the child and verify virtual emptiness.
-	child, _, c, err := m.materialize(tr, vpath)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-	if child.kind != localfs.TypeDir {
-		return total, &nfs.Error{Proc: nfs.ProcRmdir, Status: nfs.ErrNotDir}
-	}
-	ents, c, err := n.nfsc.ReaddirAll(child.node, child.fh, 256)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-	for _, e := range ents {
-		if !Hidden(e.Name) {
-			return total, &nfs.Error{Proc: nfs.ProcRmdir, Status: nfs.ErrNotEmpty}
-		}
-	}
-
-	// Remove the hierarchy on its node (and replicas), pruning empty
-	// scaffolding above it.
-	_, _, c, err = n.apply(tr, child.node, Key(child.pn), Track{PN: child.pn, Root: child.root},
-		FSOp{Kind: FSRemoveAll, Path: child.root, Prune: true})
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-
-	// Remove the special link from the parent, if one exists.
-	var linkNode simnet.Addr
-	var linkDir string
-	linkKey := Key(name)
-	var linkTrack Track
-	if parent.place.VRoot {
-		res, c, rerr := n.route(tr, Key(name))
-		total = simnet.Seq(total, c)
-		if rerr != nil {
-			return total, rerr
-		}
-		linkNode, linkDir = res.Node.Addr, "/"
-		linkTrack = Track{PN: name, Link: path.Join("/", name)}
-	} else {
-		linkNode, linkDir = parent.node, parent.physPath
-		linkKey = Key(parent.pn)
-		linkTrack = Track{PN: parent.pn, Root: parent.root}
-	}
-	if !(parent.place.VRoot && child.root == "/"+name) {
-		linkPath := path.Join(linkDir, name)
-		if _, attr, c, lerr := n.remoteLookupPath(linkNode, linkPath); lerr == nil && attr.Type == localfs.TypeSymlink {
-			total = simnet.Seq(total, c)
-			_, _, c2, derr := n.apply(tr, linkNode, linkKey, linkTrack, FSOp{Kind: FSRemove, Path: linkPath})
-			total = simnet.Seq(total, c2)
-			if derr != nil {
-				return total, derr
-			}
-		} else {
-			total = simnet.Seq(total, c)
-		}
-	}
-	n.cacheDrop(vpath)
-	m.dropMetaUnder(vpath)
-	m.invalAttr(parent.vpath)
-	return total, nil
-}
-
-// Rename renames an entry (Section 4.1.4). Renames within one stored
-// hierarchy are a single forwarded NFS rename (mirrored to replicas).
-// Renaming a distributed directory, or across hierarchies, is "equivalent
-// to a copy to a new location followed by a delete of the old location".
-func (m *Mount) Rename(srcDir VH, srcName string, dstDir VH, dstName string) (simnet.Cost, error) {
-	o := m.beginAt(obs.OpcRename, srcDir, srcName)
-	cost, err := m.rename(o.tr, srcDir, srcName, dstDir, dstName)
-	o.done(cost, err)
-	return cost, err
-}
-
-func (m *Mount) rename(tr *obs.Trace, srcDir VH, srcName string, dstDir VH, dstName string) (simnet.Cost, error) {
-	total := m.n.cfg.InterposeCost
-	if err := ValidName(dstName); err != nil {
-		return total, err
-	}
-	sde, err := m.entry(srcDir)
-	if err != nil {
-		return total, err
-	}
-	dde, err := m.entry(dstDir)
-	if err != nil {
-		return total, err
-	}
-	srcDepth := len(SplitVirtual(sde.vpath)) + 1
-	srcDistributed := srcDepth <= m.n.cfg.DistributionLevel
-
-	if !srcDistributed && sde.node == dde.node && sde.root == dde.root {
-		c, err := m.withFailover(tr, srcDir, func(de *ventry) (simnet.Cost, error) {
-			_, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
-				FSOp{
-					Kind:  FSRename,
-					Path:  path.Join(sde.physPath, srcName),
-					Path2: path.Join(dde.physPath, dstName),
-				})
-			return c, err
-		})
-		m.dropCachesUnder(path.Join(sde.vpath, srcName))
-		m.dropCachesUnder(path.Join(dde.vpath, dstName))
-		m.invalAttr(sde.vpath)
-		m.invalAttr(dde.vpath)
-		return simnet.Seq(total, c), err
-	}
-
-	// Cheap rename of a distributed directory within the same parent
-	// (Section 4.1.4): "the rename is achieved by renaming the link ...
-	// The target of the link needs not be changed" — the subtree stays
-	// where its placement name hashes; only the name users see moves.
-	if srcDistributed && sde.vpath == dde.vpath {
-		c, ok, err := m.renameDistributedLink(tr, sde, srcName, dstName)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return total, err
-		}
-		if ok {
-			m.dropCachesUnder(path.Join(sde.vpath, srcName))
-			m.dropCachesUnder(path.Join(sde.vpath, dstName))
-			return total, nil
-		}
-	}
-
-	// Copy-then-delete across hierarchies or for unredirected level-1
-	// directories, whose placement is their visible name ("renaming of
-	// distributed subdirectories ... is equivalent to a copy ... followed
-	// by a delete").
-	c, err := m.copyTree(srcDir, srcName, dstDir, dstName)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-	srcVH, _, c, err := m.Lookup(srcDir, srcName)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-	sattr, c, err := m.Getattr(srcVH)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-	if sattr.Type == localfs.TypeDir {
-		c, err = m.RemoveAllPath(path.Join(sde.vpath, srcName))
-	} else {
-		c, err = m.Remove(srcDir, srcName)
-	}
-	total = simnet.Seq(total, c)
-	m.forget(srcVH)
-	return total, err
-}
-
-// renameDistributedLink renames a distributed directory cheaply (Section
-// 4.1.4): its storage relocates LOCALLY on its node to a fresh root (the
-// placement name — and hence the node — is unchanged, so no data crosses
-// the network) and the special link is rewritten under the new name.
-// ok=false means the cheap path does not apply (an unredirected level-1
-// home, whose placement IS its name) and the caller must copy-and-delete.
-func (m *Mount) renameDistributedLink(tr *obs.Trace, parent *ventry, srcName, dstName string) (simnet.Cost, bool, error) {
-	n := m.n
-	var total simnet.Cost
-	child, _, c, err := m.materialize(tr, path.Join(parent.vpath, srcName))
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, false, err
-	}
-	if child.kind != localfs.TypeDir {
-		return total, false, nil
-	}
-	// Destination must not exist.
-	if _, _, c, err := m.materialize(tr, path.Join(parent.vpath, dstName)); err == nil {
-		return simnet.Seq(total, c), false, &nfs.Error{Proc: nfs.ProcRename, Status: nfs.ErrExist}
-	} else {
-		total = simnet.Seq(total, c)
-		if !nfs.IsStatus(err, nfs.ErrNoEnt) && !nfs.IsStatus(err, nfs.ErrNotDir) {
-			return total, false, err
-		}
-	}
-
-	if parent.place.VRoot && child.root == "/"+srcName {
-		// Unredirected level-1 home: no link exists; placement is the
-		// visible name, so a rename must move the data (copy + delete).
-		return total, false, nil
-	}
-
-	// 1. Relocate the hierarchy to a fresh storage root on its own node —
-	// a local rename, no data crosses the network. Stale resolver caches
-	// for the old virtual name now dangle instead of aliasing the
-	// renamed directory.
-	newRoot := n.newStoreRoot(child.pn)
-	_, _, c, err = n.apply(tr, child.node, Key(child.pn),
-		Track{PN: child.pn, Root: newRoot},
-		FSOp{Kind: FSRename, Path: child.root, Path2: newRoot})
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, false, err
-	}
-	target := MakeLinkTarget(child.pn, newRoot)
-
-	// 2. Replace the link: remove the old name, create the new one.
-	if !parent.place.VRoot {
-		pt := Track{PN: parent.pn, Root: parent.root}
-		if _, _, c, err := n.apply(tr, parent.node, Key(parent.pn), pt,
-			FSOp{Kind: FSRemove, Path: path.Join(parent.physPath, srcName)}); err != nil {
-			return simnet.Seq(total, c), false, err
-		} else {
-			total = simnet.Seq(total, c)
-		}
-		_, _, c, err := n.apply(tr, parent.node, Key(parent.pn), pt,
-			FSOp{Kind: FSSymlink, Path: path.Join(parent.physPath, dstName), Target: target})
-		total = simnet.Seq(total, c)
-		return total, err == nil, err
-	}
-
-	// Level 1: the link moves between the old and new names' hash targets.
-	newRes, c, err := n.route(tr, Key(dstName))
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, false, err
-	}
-	_, _, c, err = n.apply(tr, newRes.Node.Addr, Key(dstName),
-		Track{PN: dstName, Link: path.Join("/", dstName)},
-		FSOp{Kind: FSSymlink, Path: path.Join("/", dstName), Target: target})
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, false, err
-	}
-	oldRes, c, err := n.route(tr, Key(srcName))
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, false, err
-	}
-	_, _, c, err = n.apply(tr, oldRes.Node.Addr, Key(srcName),
-		Track{PN: srcName, Link: path.Join("/", srcName)},
-		FSOp{Kind: FSRemove, Path: path.Join("/", srcName)})
-	total = simnet.Seq(total, c)
-	return total, err == nil, err
-}
-
-// copyTree recursively copies srcDir/srcName to dstDir/dstName via client
-// operations.
-func (m *Mount) copyTree(srcDir VH, srcName string, dstDir VH, dstName string) (simnet.Cost, error) {
-	var total simnet.Cost
-	srcVH, sattr, c, err := m.Lookup(srcDir, srcName)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-	defer m.forget(srcVH)
-	switch sattr.Type {
-	case localfs.TypeRegular:
-		dstVH, _, c, err := m.Create(dstDir, dstName, sattr.Mode, false)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return total, err
-		}
-		defer m.forget(dstVH)
-		const chunk = 1 << 20
-		for off := int64(0); ; {
-			data, eof, c, err := m.Read(srcVH, off, chunk)
-			total = simnet.Seq(total, c)
-			if err != nil {
-				return total, err
-			}
-			if len(data) > 0 {
-				_, c, err = m.Write(dstVH, off, data)
-				total = simnet.Seq(total, c)
-				if err != nil {
-					return total, err
-				}
-				off += int64(len(data))
-			}
-			if eof {
-				return total, nil
-			}
-		}
-	case localfs.TypeSymlink:
-		target, c, err := m.Readlink(srcVH)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return total, err
-		}
-		vh, c, err := m.Symlink(dstDir, dstName, target)
-		total = simnet.Seq(total, c)
-		m.forget(vh)
-		return total, err
-	case localfs.TypeDir:
-		dstVH, _, c, err := m.Mkdir(dstDir, dstName, sattr.Mode)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return total, err
-		}
-		defer m.forget(dstVH)
-		ents, c, err := m.Readdir(srcVH)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return total, err
-		}
-		for _, e := range ents {
-			c, err := m.copyTree(srcVH, e.Name, dstVH, e.Name)
-			total = simnet.Seq(total, c)
-			if err != nil {
-				return total, err
-			}
-		}
-		return total, nil
-	default:
-		return total, &nfs.Error{Proc: nfs.ProcRename, Status: nfs.ErrInval}
-	}
-}
-
-// --- path-level conveniences for applications and experiments ---
-
-// LookupPath resolves a whole virtual path to a handle.
-func (m *Mount) LookupPath(vpath string) (VH, localfs.Attr, simnet.Cost, error) {
-	o := m.begin(obs.OpcLookup, vpath)
-	total := m.n.cfg.InterposeCost
-	de, attr, cost, err := m.materializeRetry(o.tr, vpath)
-	total = simnet.Seq(total, cost)
-	if err != nil {
-		o.done(total, err)
-		return 0, localfs.Attr{}, total, err
-	}
-	o.done(total, nil)
-	if de.place.VRoot {
-		return RootVH, attr, total, nil
-	}
-	return m.insert(de), attr, total, nil
-}
-
-// dropMetaForPath invalidates this mount's metadata caches for a path's
-// whole top-level subtree plus resolver entries along the path — the
-// recovery hammer the path helpers swing before redriving after a failure
-// that implicates cached state.
-func (m *Mount) dropMetaForPath(vpath string) {
-	m.dropCachesUnder(vpath)
-	if parts := SplitVirtual(vpath); len(parts) > 0 {
-		m.dropMetaUnder(JoinVirtual(parts[:1]))
-	}
-}
-
-// MkdirAll creates a directory path and any missing ancestors. A NOENT on
-// the way can mean a name-cache entry went stale mid-walk (another client
-// removed or renamed a component); the walk redrives once with fresh
-// resolutions before giving up.
-func (m *Mount) MkdirAll(vpath string) (VH, simnet.Cost, error) {
-	vh, total, err := m.mkdirAllOnce(vpath)
-	if err != nil && cacheSuspect(err) {
-		m.dropMetaForPath(vpath)
-		vh2, c, err2 := m.mkdirAllOnce(vpath)
-		return vh2, simnet.Seq(total, c), err2
-	}
-	return vh, total, err
-}
-
-func (m *Mount) mkdirAllOnce(vpath string) (VH, simnet.Cost, error) {
-	parts := SplitVirtual(vpath)
-	var total simnet.Cost
-	cur := m.Root()
-	for i, name := range parts {
-		next, _, c, err := m.Lookup(cur, name)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			if !nfs.IsStatus(err, nfs.ErrNoEnt) {
-				return 0, total, err
-			}
-			next, _, c, err = m.Mkdir(cur, name, 0o755)
-			total = simnet.Seq(total, c)
-			if err != nil {
-				return 0, total, err
-			}
-		}
-		if i > 0 && cur != m.Root() {
-			m.forget(cur)
-		}
-		cur = next
-	}
-	return cur, total, nil
-}
-
-// WriteFile creates (or truncates) a file at a virtual path and writes
-// data. Like MkdirAll, it redrives once on a staleness-shaped failure.
-func (m *Mount) WriteFile(vpath string, data []byte) (simnet.Cost, error) {
-	total, err := m.writeFileOnce(vpath, data)
-	if err != nil && cacheSuspect(err) {
-		m.dropMetaForPath(vpath)
-		c, err2 := m.writeFileOnce(vpath, data)
-		return simnet.Seq(total, c), err2
-	}
-	return total, err
-}
-
-func (m *Mount) writeFileOnce(vpath string, data []byte) (simnet.Cost, error) {
-	dir, base := path.Split(path.Clean("/" + vpath))
-	dirVH, total, err := m.MkdirAll(dir)
-	if err != nil {
-		return total, err
-	}
-	fvh, _, c, err := m.Create(dirVH, base, 0o644, false)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		return total, err
-	}
-	defer m.forget(fvh)
-	_, c, err = m.Write(fvh, 0, data)
-	return simnet.Seq(total, c), err
-}
-
-// ReadFile reads a whole file at a virtual path. It reads to EOF rather
-// than trusting the looked-up size, so a concurrent append through another
-// node can never truncate the result.
-func (m *Mount) ReadFile(vpath string) ([]byte, simnet.Cost, error) {
-	vh, _, total, err := m.LookupPath(vpath)
-	if err != nil {
-		return nil, total, err
-	}
-	defer m.forget(vh)
-	var data []byte
-	const chunk = 1 << 20
-	for {
-		d, eof, c, err := m.Read(vh, int64(len(data)), chunk)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return nil, total, err
-		}
-		data = append(data, d...)
-		if eof || len(d) == 0 {
-			return data, total, nil
-		}
-	}
-}
-
-// RemoveAllPath recursively removes a virtual subtree.
-func (m *Mount) RemoveAllPath(vpath string) (simnet.Cost, error) {
-	parts := SplitVirtual(vpath)
-	if len(parts) == 0 {
-		return 0, &nfs.Error{Proc: nfs.ProcRmdir, Status: nfs.ErrInval}
-	}
-	parentVH, _, total, err := m.LookupPath(JoinVirtual(parts[:len(parts)-1]))
-	if err != nil {
-		return total, err
-	}
-	defer m.forget(parentVH)
-	c, err := m.removeAllIn(parentVH, parts[len(parts)-1])
-	return simnet.Seq(total, c), err
-}
-
-// removeAllIn removes dir/name recursively. NOENT at any step means
-// another client (or a stale cache entry standing in for one) already
-// removed that piece — the goal state, so it counts as success.
-func (m *Mount) removeAllIn(dir VH, name string) (simnet.Cost, error) {
-	vh, attr, total, err := m.Lookup(dir, name)
-	if err != nil {
-		if nfs.IsStatus(err, nfs.ErrNoEnt) {
-			return total, nil
-		}
-		return total, err
-	}
-	if attr.Type != localfs.TypeDir {
-		m.forget(vh)
-		c, err := m.Remove(dir, name)
-		if nfs.IsStatus(err, nfs.ErrNoEnt) {
-			err = nil
-		}
-		return simnet.Seq(total, c), err
-	}
-	ents, c, err := m.Readdir(vh)
-	total = simnet.Seq(total, c)
-	if err != nil {
-		m.forget(vh)
-		if nfs.IsStatus(err, nfs.ErrNoEnt) {
-			return total, nil
-		}
-		return total, err
-	}
-	for _, e := range ents {
-		c, err := m.removeAllIn(vh, e.Name)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			m.forget(vh)
-			return total, err
-		}
-	}
-	m.forget(vh)
-	c, err = m.Rmdir(dir, name)
-	if nfs.IsStatus(err, nfs.ErrNoEnt) {
-		err = nil
-	}
-	return simnet.Seq(total, c), err
-}
-
-// ClusterStat aggregates contributed-space accounting across every node
-// this mount's koshad knows about — the "single large storage" view the
-// paper's introduction promises (unused desktop space harvested into one
-// shared file system).
-type ClusterStat struct {
-	Nodes      int
-	TotalBytes int64 // sum of contributed capacities (0 entries = unlimited)
-	UsedBytes  int64
-	Files      int64 // file copies stored, replicas included
-	Unlimited  int   // nodes contributing without a cap
-}
-
-// Statfs sums FSSTAT over the local node and every known peer.
-func (m *Mount) Statfs() (ClusterStat, simnet.Cost, error) {
-	total := m.n.cfg.InterposeCost
-	var out ClusterStat
-	nodes := []simnet.Addr{m.n.addr}
-	for _, p := range m.n.overlay.Known() {
-		nodes = append(nodes, p.Addr)
-	}
-	for _, addr := range nodes {
-		st, c, err := m.n.remoteFSStat(addr)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			continue
-		}
-		out.Nodes++
-		out.UsedBytes += st.UsedBytes
-		out.Files += st.Files
-		if st.TotalBytes == 0 {
-			out.Unlimited++
-		} else {
-			out.TotalBytes += st.TotalBytes
-		}
-	}
-	return out, total, nil
 }

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"path"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,8 +11,8 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/obs"
 	"repro/internal/pastry"
+	"repro/internal/repl"
 	"repro/internal/simnet"
-	"repro/internal/wire"
 )
 
 // Config tunes one Kosha node. Zero values select the defaults used by the
@@ -228,7 +225,9 @@ func (p Place) SubtreeRoot() string {
 }
 
 // Node is one Kosha participant: contributed store + NFS server + Pastry
-// overlay node + the koshad logic tying them together (Figure 4).
+// overlay node + the koshad logic tying them together (Figure 4). The
+// replication/tracking engine lives in internal/repl; the node adapts its
+// overlay and RPC clients to the engine's narrow interfaces (see peer.go).
 type Node struct {
 	cfg     Config
 	net     simnet.Transport
@@ -238,10 +237,9 @@ type Node struct {
 	store   localfs.FileSystem
 	nsrv    *nfs.Server
 	nfsc    *nfs.Client
+	rep     *repl.Engine
 
 	mu           sync.Mutex
-	tracked      map[string]Track // physical subtree root -> metadata (PN, version)
-	trackedLinks map[string]Track // level-1 special link path -> metadata
 	rootHandles  map[simnet.Addr]nfs.Handle
 	replicaCache map[string][]simnet.Addr // subtree root -> replica holders
 
@@ -264,7 +262,6 @@ type Node struct {
 	repFanout  *obs.Counter
 	repHist    *obs.Histogram
 
-	syncing  atomic.Bool
 	storeSeq atomic.Uint64 // storage-root allocation counter
 	gen      uint64        // store incarnation counter
 }
@@ -299,8 +296,6 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 		net:          net,
 		addr:         addr,
 		store:        store,
-		tracked:      make(map[string]Track),
-		trackedLinks: make(map[string]Track),
 		rootHandles:  make(map[simnet.Addr]nfs.Handle),
 		replicaCache: make(map[string][]simnet.Addr),
 		dirCache:     make(map[string]Place),
@@ -329,6 +324,16 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 	// to see real timeouts.
 	n.rpc = newRetrier(net, cfg, n.reg)
 	n.nfsc = nfs.NewClientWithRegistry(n.rpc, addr, n.reg)
+	n.rep = repl.New(repl.Options{
+		Self:     addr,
+		Store:    store,
+		Overlay:  engineOverlay{n},
+		Peer:     enginePeer{n},
+		Replicas: cfg.Replicas,
+		Key:      Key,
+		Events:   n.events,
+		Registry: n.reg,
+	})
 	n.overlay = pastry.NewNode(nodeID, addr, net, cfg.LeafSize)
 	n.overlay.OnLeafSetChange(n.onLeafChange)
 	n.attach()
@@ -443,1177 +448,45 @@ func (n *Node) Revive(newID id.ID, seed simnet.Addr) (simnet.Cost, error) {
 		d.SetDown(n.addr, false)
 	}
 	n.store.RemoveAll("/")
+	n.rep.Reset()
 	n.mu.Lock()
 	n.gen++
-	n.tracked = make(map[string]Track)
-	n.trackedLinks = make(map[string]Track)
 	n.rootHandles = make(map[simnet.Addr]nfs.Handle)
 	n.replicaCache = make(map[string][]simnet.Addr)
-	gen := n.gen
 	n.mu.Unlock()
 	n.cacheMu.Lock()
 	n.dirCache = make(map[string]Place)
 	n.cacheMu.Unlock()
 	n.nsrv.Bump()
-	_ = gen
 	n.overlay = pastry.NewNode(newID, n.addr, n.net, n.cfg.LeafSize)
 	n.overlay.OnLeafSetChange(n.onLeafChange)
 	n.attach()
 	return n.Join(seed)
 }
 
+// Repl exposes the node's replication engine (tests, experiments).
+func (n *Node) Repl() *repl.Engine { return n.rep }
+
+// SyncReplicas re-establishes the replication invariant for every subtree
+// and level-1 link this node tracks (Section 4.3); see repl.Engine.Sync.
+func (n *Node) SyncReplicas() simnet.Cost { return n.rep.Sync() }
+
 // TrackedRoots returns a snapshot of the subtree roots this node holds
 // (primary or replica), for tests and experiments.
-func (n *Node) TrackedRoots() map[string]string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make(map[string]string, len(n.tracked))
-	for k, v := range n.tracked {
-		out[k] = v.PN
-	}
-	return out
-}
+func (n *Node) TrackedRoots() map[string]string { return n.rep.TrackedRoots() }
 
-// isDead reports whether this node's record for a root is a tombstone.
-func (n *Node) isDead(root string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	t, ok := n.tracked[root]
-	return ok && t.Dead
-}
+// The thin wrappers below keep core-internal call sites (and white-box
+// tests) reading as before while the implementation lives in the engine.
 
-// verOf returns this node's recorded mutation counter for a root or link.
-func (n *Node) verOf(key string) uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if t, ok := n.tracked[key]; ok {
-		return t.Ver
-	}
-	if t, ok := n.trackedLinks[key]; ok {
-		return t.Ver
-	}
-	return 0
-}
+func (n *Node) isDead(root string) bool       { return n.rep.IsDead(root) }
+func (n *Node) verOf(key string) uint64       { return n.rep.VerOf(key) }
+func (n *Node) track(t Track, op FSOp)        { n.rep.Track(t, op) }
+func (n *Node) statTree(root string) TreeStat { return n.rep.StatLocal(root) }
+func (n *Node) promoteLocal(t Track) bool     { return n.rep.PromoteLocal(t) }
+func (n *Node) demoteLocal(t Track)           { n.rep.DemoteLocal(t) }
 
-// bumpVer returns the next mutation counter value for a tracked root or
-// link without storing it; the subsequent track() call records it together
-// with the op's liveness.
-func (n *Node) bumpVer(t Track) uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if t.Link != "" {
-		return n.trackedLinks[t.Link].Ver + 1
-	}
-	if t.Root == "" {
-		return 0
-	}
-	return n.tracked[t.Root].Ver + 1
-}
-
-// --- store mutation execution ---
-
-// applyFSOp executes a path-based mutation on the local store. lenient mode
-// (replica application) auto-creates missing ancestors and tolerates
-// re-application, keeping mirrors idempotent.
-func (n *Node) applyFSOp(op FSOp, lenient bool) (localfs.Attr, simnet.Cost, error) {
-	// Path resolution against a warm name cache is much cheaper than a
-	// data-bearing disk op; charge a small fixed cost rather than a full
-	// disk operation so path-based mutations stay comparable to the
-	// handle-based NFS ones they stand in for.
-	resolveCost := simnet.Cost(50_000)
-	parentOf := func(p string) (localfs.Attr, error) {
-		dir := path.Dir(p)
-		if lenient {
-			return n.store.MkdirAll(dir)
-		}
-		return n.store.LookupPath(dir)
-	}
-	switch op.Kind {
-	case FSMkdirAll:
-		attr, err := n.store.MkdirAll(op.Path)
-		return attr, resolveCost, err
-
-	case FSMkdir:
-		pattr, err := parentOf(op.Path)
-		if err != nil {
-			return localfs.Attr{}, resolveCost, err
-		}
-		attr, cost, err := n.store.Mkdir(pattr.Ino, path.Base(op.Path), op.Mode)
-		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrExist {
-			attr, err = n.store.LookupPath(op.Path)
-		}
-		return attr, simnet.Seq(resolveCost, cost), err
-
-	case FSCreate:
-		pattr, err := parentOf(op.Path)
-		if err != nil {
-			return localfs.Attr{}, resolveCost, err
-		}
-		excl := op.Excl && !lenient
-		attr, cost, err := n.store.Create(pattr.Ino, path.Base(op.Path), op.Mode, excl)
-		return attr, simnet.Seq(resolveCost, cost), err
-
-	case FSWrite:
-		attr, err := n.store.LookupPath(op.Path)
-		if err != nil && lenient {
-			if werr := n.store.WriteFile(op.Path, nil); werr == nil {
-				attr, err = n.store.LookupPath(op.Path)
-			}
-		}
-		if err != nil {
-			return localfs.Attr{}, resolveCost, err
-		}
-		_, cost, err := n.store.Write(attr.Ino, op.Offset, op.Data)
-		if err != nil {
-			return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
-		}
-		attr, _ = n.store.LookupPath(op.Path)
-		return attr, simnet.Seq(resolveCost, cost), nil
-
-	case FSWriteFile:
-		if err := n.store.WriteFile(op.Path, op.Data); err != nil {
-			return localfs.Attr{}, resolveCost, err
-		}
-		attr, err := n.store.LookupPath(op.Path)
-		return attr, simnet.Seq(resolveCost, n.cfg.Disk.OpCost(len(op.Data))), err
-
-	case FSSetattr:
-		attr, err := n.store.LookupPath(op.Path)
-		if err != nil {
-			return localfs.Attr{}, resolveCost, err
-		}
-		attr, cost, err := n.store.Setattr(attr.Ino, op.SetAttr)
-		return attr, simnet.Seq(resolveCost, cost), err
-
-	case FSRemove:
-		pattr, err := n.store.LookupPath(path.Dir(op.Path))
-		if err != nil {
-			if lenient {
-				return localfs.Attr{}, resolveCost, nil
-			}
-			return localfs.Attr{}, resolveCost, err
-		}
-		cost, err := n.store.Remove(pattr.Ino, path.Base(op.Path))
-		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrNoEnt {
-			err = nil
-		}
-		if err == nil && op.Prune {
-			n.pruneUp(path.Dir(op.Path))
-		}
-		return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
-
-	case FSRmdir:
-		pattr, err := n.store.LookupPath(path.Dir(op.Path))
-		if err != nil {
-			if lenient {
-				return localfs.Attr{}, resolveCost, nil
-			}
-			return localfs.Attr{}, resolveCost, err
-		}
-		cost, err := n.store.Rmdir(pattr.Ino, path.Base(op.Path))
-		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrNoEnt {
-			err = nil
-		}
-		if err == nil && op.Prune {
-			n.pruneUp(path.Dir(op.Path))
-		}
-		return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
-
-	case FSRemoveAll:
-		err := n.store.RemoveAll(op.Path)
-		if err == nil && op.Prune {
-			n.pruneUp(path.Dir(op.Path))
-		}
-		return localfs.Attr{}, resolveCost, err
-
-	case FSRename:
-		spattr, err := n.store.LookupPath(path.Dir(op.Path))
-		if err != nil {
-			if lenient {
-				return localfs.Attr{}, resolveCost, nil
-			}
-			return localfs.Attr{}, resolveCost, err
-		}
-		dpattr, err := parentOf(op.Path2)
-		if err != nil {
-			return localfs.Attr{}, resolveCost, err
-		}
-		cost, err := n.store.Rename(spattr.Ino, path.Base(op.Path), dpattr.Ino, path.Base(op.Path2))
-		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrNoEnt {
-			err = nil
-		}
-		return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
-
-	case FSSymlink:
-		pattr, err := parentOf(op.Path)
-		if err != nil {
-			return localfs.Attr{}, resolveCost, err
-		}
-		attr, cost, err := n.store.Symlink(pattr.Ino, path.Base(op.Path), op.Target)
-		if lenient && err != nil && nfs.ToStatus(err) == nfs.ErrExist {
-			// Replace: mirrors converge on the latest target.
-			if _, rerr := n.store.Remove(pattr.Ino, path.Base(op.Path)); rerr == nil {
-				attr, cost, err = n.store.Symlink(pattr.Ino, path.Base(op.Path), op.Target)
-			}
-		}
-		return attr, simnet.Seq(resolveCost, cost), err
-
-	default:
-		return localfs.Attr{}, 0, fmt.Errorf("kosha: unknown FS op %v", op.Kind)
-	}
-}
-
-// pruneUp removes empty scaffolding directories above a deleted entry,
-// stopping at tracked subtree roots and the store root (Section 4.1.5: "The
-// empty hierarchy leading to the subdirectory is then deleted").
-func (n *Node) pruneUp(dir string) {
-	for dir != "/" && dir != "." {
-		n.mu.Lock()
-		_, isTracked := n.tracked[dir]
-		n.mu.Unlock()
-		if isTracked {
-			return
-		}
-		attr, err := n.store.LookupPath(dir)
-		if err != nil || attr.Type != localfs.TypeDir {
-			return
-		}
-		ents, _, err := n.store.Readdir(attr.Ino)
-		if err != nil || len(ents) > 0 {
-			return
-		}
-		parent := path.Dir(dir)
-		pattr, err := n.store.LookupPath(parent)
-		if err != nil {
-			return
-		}
-		if _, err := n.store.Rmdir(pattr.Ino, path.Base(dir)); err != nil {
-			return
-		}
-		dir = parent
-	}
-}
-
-// track records subtree/link ownership metadata shipped with a mutation.
-func (n *Node) track(t Track, op FSOp) {
-	if t.PN == "" {
-		return
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if t.Link != "" {
-		t.Dead = op.Kind == FSRemove
-		n.trackedLinks[t.Link] = t
-		return
-	}
-	if t.Root == "" {
-		return
-	}
-	// A storage-root rename (the cheap-rename path) rekeys the entry,
-	// carrying the version chain to the new root.
-	if op.Kind == FSRename && (op.Path2 == t.Root || op.Path2 == RepPath(t.Root)) {
-		old := op.Path
-		if len(old) > len(RepArea) && old[:len(RepArea)] == RepArea {
-			old = old[len(RepArea):]
-		}
-		if cur, ok := n.tracked[old]; ok {
-			if cur.Ver > t.Ver {
-				t.Ver = cur.Ver
-			}
-			delete(n.tracked, old)
-		}
-		n.tracked[t.Root] = t
-		return
-	}
-	// A removal of the hierarchy root becomes a tombstone: the entry stays
-	// with a bumped version so a node holding a stale copy can learn that
-	// deletion is the newer state, and a later re-creation continues the
-	// version chain above the tombstone.
-	t.Dead = (op.Kind == FSRmdir || op.Kind == FSRemoveAll) &&
-		(op.Path == t.Root || op.Path == RepPath(t.Root))
-	// Last writer wins: the copy now reflects the sender's version, so the
-	// record does too (a full re-push may legitimately lower it).
-	n.tracked[t.Root] = t
-}
-
-// statTree summarizes the local subtree stored at exactly this path.
-func (n *Node) statTree(root string) TreeStat {
-	var st TreeStat
-	if _, err := n.store.LookupPath(root); err != nil {
-		return st
-	}
-	st.Exists = true
-	n.store.Walk(root, func(p string, a localfs.Attr, _ string) error {
-		if a.Type == localfs.TypeDir {
-			st.Dirs++
-			return nil
-		}
-		if path.Base(p) == MigrationFlag {
-			st.Flag = true
-			return nil
-		}
-		st.Files++
-		st.Bytes += a.Size
-		return nil
-	})
-	return st
-}
-
-// localTreePath locates this node's copy of a subtree: at the primary path
-// when it owns the key, otherwise in the replica area.
-func (n *Node) localTreePath(root string) (string, bool) {
-	if _, err := n.store.LookupPath(root); err == nil {
-		return root, true
-	}
-	if _, err := n.store.LookupPath(RepPath(root)); err == nil {
-		return RepPath(root), true
-	}
-	return "", false
-}
-
-// promoteLocal moves a replica-area copy of a subtree (or level-1 special
-// link) to its primary path. Call only after confirming ownership of the
-// key; it is a no-op when the primary path already exists or no replica
-// copy is held. Reports whether it surfaced anything.
-func (n *Node) promoteLocal(t Track) bool {
-	target := t.Root
-	if t.Link != "" {
-		target = t.Link
-	}
-	if target == "" {
-		return false
-	}
-	n.mu.Lock()
-	meta, ok := n.tracked[t.Root]
-	if t.Link != "" {
-		meta, ok = n.trackedLinks[t.Link]
-	}
-	n.mu.Unlock()
-	if ok && meta.Dead {
-		// We saw the hierarchy's deletion: nothing to surface, and any
-		// leftover replica-area data is stale.
-		n.store.RemoveAll(RepPath(target))
-		return false
-	}
-	if _, err := n.store.LookupPath(target); err == nil {
-		return false
-	}
-	src := RepPath(target)
-	if _, err := n.store.LookupPath(src); err != nil {
-		return false
-	}
-	if _, err := n.store.MkdirAll(path.Dir(target)); err != nil {
-		return false
-	}
-	spar, err := n.store.LookupPath(path.Dir(src))
-	if err != nil {
-		return false
-	}
-	dpar, err := n.store.LookupPath(path.Dir(target))
-	if err != nil {
-		return false
-	}
-	if _, err := n.store.Rename(spar.Ino, path.Base(src), dpar.Ino, path.Base(target)); err != nil {
-		return false
-	}
-	n.pruneUp(path.Dir(src))
-	n.track(t, FSOp{Kind: FSMkdirAll, Path: t.Root})
-	return true
-}
-
-// --- kosha service (server side) ---
-
-func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
-	d := wire.NewDecoder(req)
-	proc := d.Uint32()
-	if d.Err() != nil {
-		return nil, 0, d.Err()
-	}
-	e := wire.NewEncoder(256)
-	switch proc {
-	case kApply:
-		r := decodeApplyReq(d)
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		// Primary check: all accesses go to the primary replica (Section
-		// 4.2). The check is active — a better candidate is pinged and
-		// purged if dead — so a node bordering a fresh failure accepts
-		// ownership immediately (Section 4.4).
-		var checkCost simnet.Cost
-		if !r.Key.IsZero() {
-			isRoot, c := n.overlay.EnsureRootFor(r.Key)
-			checkCost = c
-			if !isRoot {
-				e.PutUint32(codeNotPrimary)
-				putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{}, 0)
-				return cp(e), checkCost, nil
-			}
-			// Cold path after an ownership change: surface the local
-			// replica-area copy and adopt any newer version (or newer
-			// deletion) a current replica holds. Skipped when the primary
-			// path already exists — the warm, per-mutation case.
-			if r.Track.Root != "" {
-				if _, err := n.store.LookupPath(r.Track.Root); err != nil {
-					c, _ := n.adoptRoot(r.Track)
-					checkCost = simnet.Seq(checkCost, c)
-				}
-			}
-		}
-		attr, cost, err := n.applyFSOp(r.Op, false)
-		if err != nil {
-			e.PutUint32(codeNFSBase + uint32(nfs.ToStatus(err)))
-			putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{}, 0)
-			return cp(e), simnet.Seq(checkCost, cost), nil
-		}
-		if r.Op.Kind == FSRename && r.Op.Path2 == r.Track.Root {
-			// Storage-root rename: continue the old root's version chain.
-			n.mu.Lock()
-			r.Track.Ver = n.tracked[r.Op.Path].Ver + 1
-			n.mu.Unlock()
-		} else {
-			r.Track.Ver = n.bumpVer(r.Track)
-		}
-		n.track(r.Track, r.Op)
-		// Fan out to the K leaf-set replicas; the primary "forwards the
-		// RPC to all the replicas" (Section 4.2). Failures are tolerated:
-		// replica repair happens on membership change. Removals of a whole
-		// hierarchy (or level-1 link) additionally reach every leaf-set
-		// member: former replica candidates may still hold copies, and a
-		// deletion they miss would resurrect when ownership drifts to them.
-		targets := n.overlay.ReplicaCandidates(n.cfg.Replicas)
-		removesRoot := (r.Op.Kind == FSRmdir || r.Op.Kind == FSRemoveAll) && r.Op.Path == r.Track.Root
-		removesLink := r.Op.Kind == FSRemove && r.Track.Link != ""
-		if removesRoot || removesLink {
-			targets = n.overlay.Leaf()
-		}
-		var fanout []simnet.Cost
-		for _, rep := range targets {
-			c, _ := n.mirror(rep.Addr, r.Track, r.Op)
-			fanout = append(fanout, c)
-		}
-		if len(targets) > 0 {
-			n.repCount.Add(1)
-			n.repFanout.Add(uint64(len(targets)))
-			n.repHist.Observe(time.Duration(simnet.Par(fanout...)))
-		}
-		if n.cfg.SyncReplication {
-			cost = simnet.Seq(checkCost, cost, simnet.Par(fanout...))
-		} else {
-			cost = simnet.Seq(checkCost, cost)
-		}
-		e.PutUint32(codeOK)
-		putApplyReplyBody(e, attr, nfs.Handle{Gen: n.nsrvGen(), Ino: attr.Ino}, len(targets))
-		return cp(e), cost, nil
-
-	case kMirror:
-		r := decodeApplyReq(d)
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		// Replica copies live in the reserved replica area, outside the
-		// primary namespace ("the replicas are inaccessible to the local
-		// users", Section 4.2). A migration push addressed to this node as
-		// the key's new primary lands in the primary namespace directly.
-		if !r.Primary {
-			r.Op.Path = RepPath(r.Op.Path)
-			if r.Op.Path2 != "" {
-				r.Op.Path2 = RepPath(r.Op.Path2)
-			}
-		}
-		attr, cost, err := n.applyFSOp(r.Op, true)
-		if err != nil {
-			e.PutUint32(codeNFSBase + uint32(nfs.ToStatus(err)))
-			putApplyReplyBody(e, localfs.Attr{}, nfs.Handle{}, 0)
-			return cp(e), cost, nil
-		}
-		n.track(r.Track, r.Op)
-		e.PutUint32(codeOK)
-		putApplyReplyBody(e, attr, nfs.Handle{Gen: n.nsrvGen(), Ino: attr.Ino}, 0)
-		return cp(e), cost, nil
-
-	case kStatTree:
-		root := d.String()
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		st := n.statTree(root)
-		// Version is keyed by the primary-relative root regardless of the
-		// area being statted.
-		verKey := root
-		if len(root) > len(RepArea) && root[:len(RepArea)] == RepArea {
-			verKey = root[len(RepArea):]
-		}
-		st.Ver = n.verOf(verKey)
-		e.PutUint32(codeOK)
-		e.PutBool(st.Exists)
-		e.PutInt64(st.Files)
-		e.PutInt64(st.Dirs)
-		e.PutInt64(st.Bytes)
-		e.PutBool(st.Flag)
-		e.PutUint64(st.Ver)
-		return cp(e), n.cfg.Disk.OpCost(0), nil
-
-	case kUntrack:
-		root := d.String()
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		n.mu.Lock()
-		delete(n.tracked, root)
-		n.mu.Unlock()
-		e.PutUint32(codeOK)
-		return cp(e), 0, nil
-
-	case kReplicas:
-		var key id.ID
-		d.FixedOpaque(key[:])
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		if isRoot, cost := n.overlay.EnsureRootFor(key); !isRoot {
-			e.PutUint32(codeNotPrimary)
-			return cp(e), cost, nil
-		}
-		reps := n.overlay.ReplicaCandidates(n.cfg.Replicas)
-		e.PutUint32(codeOK)
-		e.PutUint32(uint32(len(reps)))
-		for _, rep := range reps {
-			e.PutString(string(rep.Addr))
-		}
-		return cp(e), 0, nil
-
-	case kPromote:
-		t := getTrack(d)
-		if d.Err() != nil {
-			return nil, 0, d.Err()
-		}
-		key := Key(t.PN)
-		isRoot, cost := n.overlay.EnsureRootFor(key)
-		if !isRoot {
-			e.PutUint32(codeNotPrimary)
-			return cp(e), cost, nil
-		}
-		c, changed := n.adoptRoot(t)
-		cost = simnet.Seq(cost, c)
-		e.PutUint32(codeOK)
-		e.PutBool(changed)
-		return cp(e), simnet.Seq(cost, n.cfg.Disk.OpCost(0)), nil
-
-	default:
-		return nil, 0, fmt.Errorf("kosha: unknown proc %d", proc)
-	}
-}
+func (n *Node) adoptRoot(t Track) (simnet.Cost, bool) { return n.rep.AdoptRoot(t) }
 
 func (n *Node) nsrvGen() uint64 {
 	return n.nsrv.Root().Gen
-}
-
-func putApplyReplyBody(e *wire.Encoder, attr localfs.Attr, fh nfs.Handle, fanout int) {
-	e.PutUint64(attr.Ino)
-	e.PutUint32(uint32(attr.Type))
-	e.PutUint32(attr.Mode)
-	e.PutInt64(attr.Size)
-	e.PutUint64(fh.Gen)
-	e.PutUint64(fh.Ino)
-	e.PutUint32(uint32(fanout)) // replica fan-out width, for trace records
-}
-
-func getApplyReplyBody(d *wire.Decoder) (localfs.Attr, nfs.Handle, int) {
-	var attr localfs.Attr
-	attr.Ino = d.Uint64()
-	attr.Type = localfs.FileType(d.Uint32())
-	attr.Mode = d.Uint32()
-	attr.Size = d.Int64()
-	var fh nfs.Handle
-	fh.Gen = d.Uint64()
-	fh.Ino = d.Uint64()
-	return attr, fh, int(d.Uint32())
-}
-
-func cp(e *wire.Encoder) []byte { return append([]byte(nil), e.Bytes()...) }
-
-// --- kosha service (client side) ---
-
-// apply sends a mutation to the primary for key at addr. A non-nil trace
-// records the serving node, the replica fan-out width, and an apply span.
-func (n *Node) apply(tr *obs.Trace, to simnet.Addr, key id.ID, t Track, op FSOp) (localfs.Attr, nfs.Handle, simnet.Cost, error) {
-	e := wire.NewEncoder(256 + len(op.Data))
-	e.PutUint32(kApply)
-	r := applyReq{Key: key, Track: t, Op: op}
-	r.encode(e)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
-	if err != nil {
-		return localfs.Attr{}, nfs.Handle{}, cost, n.noteErr(to, err)
-	}
-	d := wire.NewDecoder(resp)
-	code := d.Uint32()
-	attr, fh, fanout := getApplyReplyBody(d)
-	if d.Err() != nil {
-		return localfs.Attr{}, nfs.Handle{}, cost, d.Err()
-	}
-	if err := codeToError(code); err != nil {
-		return attr, fh, cost, err
-	}
-	tr.AddSpan("apply", string(to), time.Duration(cost))
-	tr.SetServedBy(string(to))
-	if fanout > 0 {
-		tr.SetReplicas(fanout)
-	}
-	return attr, fh, cost, nil
-}
-
-// mirror ships a mutation to one replica (replica area).
-func (n *Node) mirror(to simnet.Addr, t Track, op FSOp) (simnet.Cost, error) {
-	return n.mirrorArea(to, t, op, false)
-}
-
-// mirrorArea ships a mutation to another node; primary selects the
-// namespace it lands in.
-func (n *Node) mirrorArea(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
-	e := wire.NewEncoder(256 + len(op.Data))
-	e.PutUint32(kMirror)
-	r := applyReq{Track: t, Op: op, Primary: primary}
-	r.encode(e)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
-	if err != nil {
-		return cost, n.noteErr(to, err)
-	}
-	d := wire.NewDecoder(resp)
-	code := d.Uint32()
-	if d.Err() != nil {
-		return cost, d.Err()
-	}
-	return cost, codeToError(code)
-}
-
-// remoteStatTree summarizes a subtree on another node.
-func (n *Node) remoteStatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
-	e := wire.NewEncoder(64)
-	e.PutUint32(kStatTree)
-	e.PutString(root)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
-	if err != nil {
-		return TreeStat{}, cost, n.noteErr(to, err)
-	}
-	d := wire.NewDecoder(resp)
-	if code := d.Uint32(); code != codeOK {
-		return TreeStat{}, cost, codeToError(code)
-	}
-	st := TreeStat{Exists: d.Bool(), Files: d.Int64(), Dirs: d.Int64(), Bytes: d.Int64(), Flag: d.Bool(), Ver: d.Uint64()}
-	return st, cost, d.Err()
-}
-
-// replicaSet asks the primary for its current replica holders of a key,
-// caching the answer per subtree root. The cache is dropped whenever the
-// node's view of membership changes.
-func (n *Node) replicaSet(primary simnet.Addr, key id.ID, root string) ([]simnet.Addr, simnet.Cost, error) {
-	n.mu.Lock()
-	if reps, ok := n.replicaCache[root]; ok {
-		n.mu.Unlock()
-		return reps, 0, nil
-	}
-	n.mu.Unlock()
-	e := wire.NewEncoder(32)
-	e.PutUint32(kReplicas)
-	e.PutFixedOpaque(key[:])
-	resp, cost, err := n.rpc.Call(n.addr, primary, KoshaService, e.Bytes())
-	if err != nil {
-		return nil, cost, n.noteErr(primary, err)
-	}
-	d := wire.NewDecoder(resp)
-	if code := d.Uint32(); code != codeOK {
-		return nil, cost, codeToError(code)
-	}
-	cnt := d.ArrayLen()
-	reps := make([]simnet.Addr, 0, cnt)
-	for i := 0; i < cnt; i++ {
-		reps = append(reps, simnet.Addr(d.String()))
-	}
-	if d.Err() != nil {
-		return nil, cost, d.Err()
-	}
-	n.mu.Lock()
-	n.replicaCache[root] = reps
-	n.mu.Unlock()
-	return reps, cost, nil
-}
-
-// dropRootHandle forgets a cached export root handle. A node that crashed
-// and rejoined re-incarnates its store under a new handle generation, so a
-// caller observing ErrStale on a cached handle drops it and refetches.
-func (n *Node) dropRootHandle(to simnet.Addr) {
-	n.mu.Lock()
-	delete(n.rootHandles, to)
-	n.mu.Unlock()
-}
-
-// remoteFSStat fetches FSSTAT from a node's export, refreshing a stale
-// cached root handle once.
-func (n *Node) remoteFSStat(to simnet.Addr) (nfs.FSStat, simnet.Cost, error) {
-	var total simnet.Cost
-	for attempt := 0; ; attempt++ {
-		rootH, c, err := n.rootHandle(to)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return nfs.FSStat{}, total, err
-		}
-		st, c, err := n.nfsc.FSStat(to, rootH)
-		total = simnet.Seq(total, c)
-		if err != nil && nfs.IsStatus(err, nfs.ErrStale) && attempt == 0 {
-			n.dropRootHandle(to)
-			continue
-		}
-		return st, total, err
-	}
-}
-
-// rootHandle returns (and caches) the NFS root handle of a node's export.
-func (n *Node) rootHandle(to simnet.Addr) (nfs.Handle, simnet.Cost, error) {
-	n.mu.Lock()
-	h, ok := n.rootHandles[to]
-	n.mu.Unlock()
-	if ok {
-		return h, 0, nil
-	}
-	h, cost, err := n.nfsc.MountRoot(to)
-	if err != nil {
-		return nfs.Handle{}, cost, err
-	}
-	n.mu.Lock()
-	n.rootHandles[to] = h
-	n.mu.Unlock()
-	return h, cost, nil
-}
-
-// --- replica maintenance and migration (Sections 4.2-4.4) ---
-
-// SyncReplicas re-establishes the replication invariant for every subtree
-// and level-1 link this node tracks: if this node is the primary it pushes
-// to its current K leaf-set neighbors; if ownership moved (a closer node
-// joined) it migrates the subtree to the new primary, keeping its own copy
-// as a replica (Section 4.3.1). Returns the simulated cost.
-func (n *Node) SyncReplicas() (total simnet.Cost) {
-	if !n.syncing.CompareAndSwap(false, true) {
-		return 0
-	}
-	defer n.syncing.Store(false)
-	n.events.Add(obs.EvResync, string(n.addr), "")
-	defer func() {
-		n.reg.Observe("op."+obs.OpResync, time.Duration(total))
-	}()
-	// Snapshot in sorted order: map iteration order would otherwise vary the
-	// RPC sequence between runs, breaking seed-exact replay of fault
-	// schedules (the chaos harness's determinism contract).
-	type trackedRoot struct {
-		root string
-		meta Track
-	}
-	n.mu.Lock()
-	roots := make([]trackedRoot, 0, len(n.tracked))
-	for r, t := range n.tracked {
-		roots = append(roots, trackedRoot{r, t})
-	}
-	links := make([]Track, 0, len(n.trackedLinks))
-	linkKeys := make([]string, 0, len(n.trackedLinks))
-	for p := range n.trackedLinks {
-		linkKeys = append(linkKeys, p)
-	}
-	sort.Strings(linkKeys)
-	for _, p := range linkKeys {
-		links = append(links, n.trackedLinks[p])
-	}
-	n.mu.Unlock()
-	sort.Slice(roots, func(i, j int) bool { return roots[i].root < roots[j].root })
-
-	for _, tr := range roots {
-		root, meta := tr.root, tr.meta
-		key := Key(meta.PN)
-		t := Track{PN: meta.PN, Root: root, Ver: meta.Ver, Dead: meta.Dead}
-		if isRoot, c := n.overlay.EnsureRootFor(key); isRoot {
-			total = simnet.Seq(total, c)
-			if meta.Dead {
-				// Propagate the deletion to any replica still holding a
-				// copy older than the tombstone. The replicas are
-				// independent peers, so the fan-out cost is the slowest
-				// branch, not the sum.
-				var fan []simnet.Cost
-				for _, rep := range n.overlay.ReplicaCandidates(n.cfg.Replicas) {
-					st, c, err := n.remoteStatTree(rep.Addr, RepPath(root))
-					if err != nil || (!st.Exists && st.Ver >= t.Ver) {
-						fan = append(fan, c)
-						continue
-					}
-					mc, _ := n.mirror(rep.Addr, t, FSOp{Kind: FSRemoveAll, Path: root})
-					fan = append(fan, simnet.Seq(c, mc))
-				}
-				total = simnet.Seq(total, simnet.Par(fan...))
-				continue
-			}
-			// Surface any replica-area copy; if a replica holds a newer
-			// version or a newer deletion, adopt it before refreshing.
-			ac, _ := n.adoptRoot(t)
-			total = simnet.Seq(total, ac)
-			t.Ver = n.verOf(root)
-			if n.isDead(root) {
-				continue
-			}
-			var fan []simnet.Cost
-			for _, rep := range n.overlay.ReplicaCandidates(n.cfg.Replicas) {
-				c, _ := n.ensureTree(rep.Addr, t, false)
-				fan = append(fan, c)
-			}
-			total = simnet.Seq(total, simnet.Par(fan...))
-			continue
-		} else {
-			total = simnet.Seq(total, c)
-		}
-		res, err := n.overlay.Route(key)
-		total = simnet.Seq(total, res.Cost)
-		if err != nil || res.Node.Addr == n.addr {
-			continue
-		}
-		if meta.Dead {
-			// Tell the new owner about the deletion unless it already
-			// knows a state at least as new.
-			st, c, err := n.remoteStatTree(res.Node.Addr, root)
-			total = simnet.Seq(total, c)
-			if err == nil && st.Ver < t.Ver {
-				c, _ = n.mirrorArea(res.Node.Addr, t, FSOp{Kind: FSRemoveAll, Path: root, Prune: true}, true)
-				total = simnet.Seq(total, c)
-			}
-			continue
-		}
-		// Someone else owns the key now: migrate the subtree to them; our
-		// copy stays behind as one of the replicas (Section 4.3.1), parked
-		// back in the replica area.
-		c, err := n.ensureTree(res.Node.Addr, t, true)
-		total = simnet.Seq(total, c)
-		if err == nil {
-			n.demoteLocal(t)
-		}
-	}
-
-	for _, t := range links {
-		src, ok := n.localTreePath(t.Link)
-		if !ok {
-			continue
-		}
-		linkAttr, err := n.store.LookupPath(src)
-		if err != nil {
-			continue
-		}
-		tgt, _, err := n.store.Readlink(linkAttr.Ino)
-		if err != nil {
-			continue
-		}
-		op := FSOp{Kind: FSSymlink, Path: t.Link, Target: tgt}
-		key := Key(t.PN)
-		if isRoot, c := n.overlay.EnsureRootFor(key); isRoot {
-			total = simnet.Seq(total, c)
-			n.promoteLocal(t)
-			var fan []simnet.Cost
-			for _, rep := range n.overlay.ReplicaCandidates(n.cfg.Replicas) {
-				c, _ := n.mirror(rep.Addr, t, op)
-				fan = append(fan, c)
-			}
-			total = simnet.Seq(total, simnet.Par(fan...))
-			continue
-		} else {
-			total = simnet.Seq(total, c)
-		}
-		res, err := n.overlay.Route(key)
-		total = simnet.Seq(total, res.Cost)
-		if err != nil || res.Node.Addr == n.addr {
-			continue
-		}
-		c, merr := n.mirror(res.Node.Addr, t, op)
-		total = simnet.Seq(total, c)
-		_, c, perr := n.promote(res.Node.Addr, t)
-		total = simnet.Seq(total, c)
-		if merr == nil && perr == nil {
-			n.demoteLocal(t)
-		}
-	}
-	return total
-}
-
-// ensureTree makes target hold an up-to-date replica-area copy of the
-// local subtree, pushing a full copy under the MIGRATION_NOT_COMPLETE flag
-// protocol when the remote copy is missing, divergent, or was left
-// mid-migration (Section 4.4). When promote is set (the target is the new
-// primary after an ownership change) the pushed copy is promoted to the
-// primary path afterwards.
-func (n *Node) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.Cost, error) {
-	src, ok := n.localTreePath(t.Root)
-	if !ok {
-		return 0, nil
-	}
-	local := n.statTree(src)
-	if promote {
-		// Migration to the key's new primary. Versions arbitrate: a
-		// settled remote copy at least as new as ours wins; otherwise we
-		// surface the remote's replica-area copy if that is new enough, or
-		// push ours (§4.3.1, with the §4.4 flag protocol inside pushTree).
-		remote, cost, err := n.remoteStatTree(target, t.Root)
-		if err != nil {
-			return cost, err
-		}
-		if remote.Exists && !remote.Flag && remote.Ver >= t.Ver {
-			return cost, nil
-		}
-		repRemote, c, err := n.remoteStatTree(target, RepPath(t.Root))
-		cost = simnet.Seq(cost, c)
-		if err != nil {
-			return cost, err
-		}
-		if repRemote.Exists && !repRemote.Flag && repRemote.Ver >= t.Ver && !remote.Exists {
-			_, c, err := n.promote(target, t)
-			return simnet.Seq(cost, c), err
-		}
-		c, err = n.pushTree(target, t, src, true)
-		return simnet.Seq(cost, c), err
-	}
-
-	// Primary -> replica refresh: the primary's copy is authoritative for
-	// its version; an already-matching replica is left alone.
-	remote, cost, err := n.remoteStatTree(target, RepPath(t.Root))
-	if err != nil {
-		return cost, err
-	}
-	if local.Same(remote) && remote.Ver == t.Ver {
-		return cost, nil
-	}
-	c, err := n.pushTree(target, t, src, false)
-	return simnet.Seq(cost, c), err
-}
-
-// pushTree copies the local subtree at src to target's replica area. The
-// migration flag is created at the replicated-hierarchy root first and
-// removed only after the copy completes, so a primary failure mid-migration
-// is detectable (Section 4.4).
-func (n *Node) pushTree(target simnet.Addr, t Track, src string, primary bool) (simnet.Cost, error) {
-	var total simnet.Cost
-	flag := path.Join(t.Root, MigrationFlag)
-
-	step := func(op FSOp) error {
-		c, err := n.mirrorArea(target, t, op, primary)
-		total = simnet.Seq(total, c)
-		return err
-	}
-
-	if err := step(FSOp{Kind: FSRemoveAll, Path: t.Root}); err != nil {
-		return total, err
-	}
-	if err := step(FSOp{Kind: FSMkdirAll, Path: t.Root}); err != nil {
-		return total, err
-	}
-	if err := step(FSOp{Kind: FSWriteFile, Path: flag}); err != nil {
-		return total, err
-	}
-	werr := n.store.Walk(src, func(p string, a localfs.Attr, symTarget string) error {
-		dst := t.Root + p[len(src):] // translate source prefix to dest root
-		if dst == t.Root || dst == flag {
-			return nil
-		}
-		switch a.Type {
-		case localfs.TypeDir:
-			return step(FSOp{Kind: FSMkdirAll, Path: dst})
-		case localfs.TypeSymlink:
-			return step(FSOp{Kind: FSSymlink, Path: dst, Target: symTarget})
-		default:
-			data, err := n.store.ReadFile(p)
-			if err != nil {
-				return err
-			}
-			return step(FSOp{Kind: FSWriteFile, Path: dst, Data: data})
-		}
-	})
-	if werr != nil {
-		return total, werr
-	}
-	err := step(FSOp{Kind: FSRemove, Path: flag})
-	return total, err
-}
-
-// fetchTree pulls a remote replica-area copy of a subtree into this node's
-// primary namespace via plain NFS reads, adopting the remote's version.
-// Used when a freshly promoted primary discovers a replica holding a newer
-// copy than the one it surfaced.
-func (n *Node) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.Cost, error) {
-	var total simnet.Cost
-	src := RepPath(t.Root)
-	if err := n.store.RemoveAll(t.Root); err != nil {
-		return total, err
-	}
-	if _, err := n.store.MkdirAll(t.Root); err != nil {
-		return total, err
-	}
-	var walk func(remotePath, localPath string) error
-	walk = func(remotePath, localPath string) error {
-		fh, _, c, err := n.remoteLookupPath(from, remotePath)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return err
-		}
-		ents, c, err := n.nfsc.ReaddirAll(from, fh, 256)
-		total = simnet.Seq(total, c)
-		if err != nil {
-			return err
-		}
-		for _, ent := range ents {
-			rp := remotePath + "/" + ent.Name
-			lp := localPath + "/" + ent.Name
-			switch ent.Type {
-			case localfs.TypeDir:
-				if _, err := n.store.MkdirAll(lp); err != nil {
-					return err
-				}
-				if err := walk(rp, lp); err != nil {
-					return err
-				}
-			case localfs.TypeSymlink:
-				target, c, err := n.readLink(from, rp)
-				total = simnet.Seq(total, c)
-				if err != nil {
-					return err
-				}
-				attr, err := n.store.LookupPath(path.Dir(lp))
-				if err != nil {
-					return err
-				}
-				if _, _, err := n.store.Symlink(attr.Ino, ent.Name, target); err != nil {
-					return err
-				}
-			default:
-				if ent.Name == MigrationFlag {
-					continue
-				}
-				efh, eattr, c, err := n.remoteLookupPath(from, rp)
-				total = simnet.Seq(total, c)
-				if err != nil {
-					return err
-				}
-				data := make([]byte, 0, eattr.Size)
-				for off := int64(0); ; {
-					chunk, eof, c, err := n.nfsc.Read(from, efh, off, 1<<20)
-					total = simnet.Seq(total, c)
-					if err != nil {
-						return err
-					}
-					data = append(data, chunk...)
-					off += int64(len(chunk))
-					if eof {
-						break
-					}
-				}
-				if err := n.store.WriteFile(lp, data); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := walk(src, t.Root); err != nil {
-		return total, err
-	}
-	adopted := t
-	adopted.Ver = remoteVer
-	n.track(adopted, FSOp{Kind: FSMkdirAll, Path: t.Root})
-	return total, nil
-}
-
-// adoptRoot makes this node's primary-path copy of a subtree current after
-// it becomes the key's owner: surface the local replica-area copy, then
-// check the current replica candidates for a newer version and fetch it if
-// one exists. Runs on the cold path only (first access after an ownership
-// change, or replica synchronization). The second result reports whether
-// read-repair changed local state — callers holding handles into the
-// subtree must re-resolve when it did.
-func (n *Node) adoptRoot(t Track) (simnet.Cost, bool) {
-	changed := n.promoteLocal(t)
-	if t.Root == "" || t.Link != "" {
-		return 0, changed
-	}
-	var total simnet.Cost
-	myVer := n.verOf(t.Root)
-	for _, rep := range n.overlay.ReplicaCandidates(n.cfg.Replicas) {
-		st, c, err := n.remoteStatTree(rep.Addr, RepPath(t.Root))
-		total = simnet.Seq(total, c)
-		if err != nil || st.Flag || st.Ver <= myVer {
-			continue
-		}
-		if !st.Exists {
-			// The newer state is a deletion: adopt the tombstone.
-			n.store.RemoveAll(t.Root)
-			n.store.RemoveAll(RepPath(t.Root))
-			dead := t
-			dead.Ver = st.Ver
-			n.track(dead, FSOp{Kind: FSRemoveAll, Path: t.Root})
-			myVer = st.Ver
-			changed = true
-			continue
-		}
-		c, err = n.fetchTree(rep.Addr, t, st.Ver)
-		total = simnet.Seq(total, c)
-		if err == nil {
-			myVer = st.Ver
-			changed = true
-		}
-	}
-	return total, changed
-}
-
-// demoteLocal moves this node's primary-path copy of a subtree (or link)
-// back into the replica area, after ownership of the key moved elsewhere.
-// Without this, a stale primary-path leftover would shadow the fresher
-// replica-area copy the next time ownership returns here ("their copy on N
-// becomes one of the replicas", Section 4.3.1).
-func (n *Node) demoteLocal(t Track) {
-	target := t.Root
-	if t.Link != "" {
-		target = t.Link
-	}
-	if target == "" || target == "/" {
-		return
-	}
-	if _, err := n.store.LookupPath(target); err != nil {
-		return
-	}
-	dst := RepPath(target)
-	n.store.RemoveAll(dst)
-	if _, err := n.store.MkdirAll(path.Dir(dst)); err != nil {
-		return
-	}
-	spar, err := n.store.LookupPath(path.Dir(target))
-	if err != nil {
-		return
-	}
-	dpar, err := n.store.LookupPath(path.Dir(dst))
-	if err != nil {
-		return
-	}
-	if _, err := n.store.Rename(spar.Ino, path.Base(target), dpar.Ino, path.Base(dst)); err != nil {
-		return
-	}
-	n.pruneUp(path.Dir(target))
-}
-
-// promote asks target to move its replica-area copy to the primary path and
-// run read-repair against the current replica set. The changed result
-// reports whether the target's state moved — handles resolved before the
-// call may then be stale and must be re-resolved.
-func (n *Node) promote(to simnet.Addr, t Track) (changed bool, cost simnet.Cost, err error) {
-	e := wire.NewEncoder(128)
-	e.PutUint32(kPromote)
-	putTrack(e, t)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
-	if err != nil {
-		return false, cost, n.noteErr(to, err)
-	}
-	d := wire.NewDecoder(resp)
-	if cerr := codeToError(d.Uint32()); cerr != nil {
-		return false, cost, cerr
-	}
-	return d.Bool(), cost, nil
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/localfs"
+	"repro/internal/nfs"
+	"repro/internal/obs"
+	"repro/internal/pastry"
+	"repro/internal/repl"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// engineOverlay adapts the node's Pastry instance to repl.Overlay. It reads
+// n.overlay at call time because Revive replaces the overlay object.
+type engineOverlay struct{ n *Node }
+
+func (o engineOverlay) EnsureRootFor(key id.ID) (bool, simnet.Cost) {
+	return o.n.overlay.EnsureRootFor(key)
+}
+
+func (o engineOverlay) ReplicaCandidates(k int) []pastry.NodeInfo {
+	return o.n.overlay.ReplicaCandidates(k)
+}
+
+func (o engineOverlay) Route(key id.ID) (pastry.RouteResult, error) {
+	return o.n.overlay.Route(key)
+}
+
+// enginePeer adapts the node's kosha-service and NFS clients to repl.Peer.
+type enginePeer struct{ n *Node }
+
+func (p enginePeer) Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
+	return p.n.mirrorArea(to, t, op, primary)
+}
+
+func (p enginePeer) StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
+	return p.n.remoteStatTree(to, root)
+}
+
+func (p enginePeer) Promote(to simnet.Addr, t Track) (bool, simnet.Cost, error) {
+	return p.n.promote(to, t)
+}
+
+func (p enginePeer) LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
+	return p.n.remoteLookupPath(to, phys)
+}
+
+func (p enginePeer) ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
+	return p.n.nfsc.ReaddirAll(to, fh, 256)
+}
+
+func (p enginePeer) ReadAt(to simnet.Addr, fh nfs.Handle, off int64, count int) ([]byte, bool, simnet.Cost, error) {
+	return p.n.nfsc.Read(to, fh, off, count)
+}
+
+func (p enginePeer) ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error) {
+	return p.n.readLink(to, phys)
+}
+
+var _ repl.Peer = enginePeer{}
+var _ repl.Overlay = engineOverlay{}
+
+// --- kosha service (client side) ---
+
+// apply sends a mutation to the primary for key at addr. A non-nil trace
+// records the serving node, the replica fan-out width, and an apply span.
+func (n *Node) apply(tr *obs.Trace, to simnet.Addr, key id.ID, t Track, op FSOp) (localfs.Attr, nfs.Handle, simnet.Cost, error) {
+	e := wire.NewEncoder(256 + len(op.Data))
+	e.PutUint32(kApply)
+	r := applyReq{Key: key, Track: t, Op: op}
+	r.encode(e)
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	if err != nil {
+		return localfs.Attr{}, nfs.Handle{}, cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	code := d.Uint32()
+	attr, fh, fanout := getApplyReplyBody(d)
+	if d.Err() != nil {
+		return localfs.Attr{}, nfs.Handle{}, cost, d.Err()
+	}
+	if err := codeToError(code); err != nil {
+		return attr, fh, cost, err
+	}
+	tr.AddSpan("apply", string(to), time.Duration(cost))
+	tr.SetServedBy(string(to))
+	if fanout > 0 {
+		tr.SetReplicas(fanout)
+	}
+	return attr, fh, cost, nil
+}
+
+// mirror ships a mutation to one replica (replica area).
+func (n *Node) mirror(to simnet.Addr, t Track, op FSOp) (simnet.Cost, error) {
+	return n.mirrorArea(to, t, op, false)
+}
+
+// mirrorArea ships a mutation to another node; primary selects the
+// namespace it lands in.
+func (n *Node) mirrorArea(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
+	e := wire.NewEncoder(256 + len(op.Data))
+	e.PutUint32(kMirror)
+	r := applyReq{Track: t, Op: op, Primary: primary}
+	r.encode(e)
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	if err != nil {
+		return cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	code := d.Uint32()
+	if d.Err() != nil {
+		return cost, d.Err()
+	}
+	return cost, codeToError(code)
+}
+
+// remoteStatTree summarizes a subtree on another node.
+func (n *Node) remoteStatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
+	e := wire.NewEncoder(64)
+	e.PutUint32(kStatTree)
+	e.PutString(root)
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	if err != nil {
+		return TreeStat{}, cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	if code := d.Uint32(); code != codeOK {
+		return TreeStat{}, cost, codeToError(code)
+	}
+	st := TreeStat{Exists: d.Bool(), Files: d.Int64(), Dirs: d.Int64(), Bytes: d.Int64(), Flag: d.Bool(), Ver: d.Uint64()}
+	return st, cost, d.Err()
+}
+
+// replicaSet asks the primary for its current replica holders of a key,
+// caching the answer per subtree root. The cache is dropped whenever the
+// node's view of membership changes.
+func (n *Node) replicaSet(primary simnet.Addr, key id.ID, root string) ([]simnet.Addr, simnet.Cost, error) {
+	n.mu.Lock()
+	if reps, ok := n.replicaCache[root]; ok {
+		n.mu.Unlock()
+		return reps, 0, nil
+	}
+	n.mu.Unlock()
+	e := wire.NewEncoder(32)
+	e.PutUint32(kReplicas)
+	e.PutFixedOpaque(key[:])
+	resp, cost, err := n.rpc.Call(n.addr, primary, KoshaService, e.Bytes())
+	if err != nil {
+		return nil, cost, n.noteErr(primary, err)
+	}
+	d := wire.NewDecoder(resp)
+	if code := d.Uint32(); code != codeOK {
+		return nil, cost, codeToError(code)
+	}
+	cnt := d.ArrayLen()
+	reps := make([]simnet.Addr, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		reps = append(reps, simnet.Addr(d.String()))
+	}
+	if d.Err() != nil {
+		return nil, cost, d.Err()
+	}
+	n.mu.Lock()
+	n.replicaCache[root] = reps
+	n.mu.Unlock()
+	return reps, cost, nil
+}
+
+// dropRootHandle forgets a cached export root handle. A node that crashed
+// and rejoined re-incarnates its store under a new handle generation, so a
+// caller observing ErrStale on a cached handle drops it and refetches.
+func (n *Node) dropRootHandle(to simnet.Addr) {
+	n.mu.Lock()
+	delete(n.rootHandles, to)
+	n.mu.Unlock()
+}
+
+// remoteFSStat fetches FSSTAT from a node's export, refreshing a stale
+// cached root handle once.
+func (n *Node) remoteFSStat(to simnet.Addr) (nfs.FSStat, simnet.Cost, error) {
+	var total simnet.Cost
+	for attempt := 0; ; attempt++ {
+		rootH, c, err := n.rootHandle(to)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return nfs.FSStat{}, total, err
+		}
+		st, c, err := n.nfsc.FSStat(to, rootH)
+		total = simnet.Seq(total, c)
+		if err != nil && nfs.IsStatus(err, nfs.ErrStale) && attempt == 0 {
+			n.dropRootHandle(to)
+			continue
+		}
+		return st, total, err
+	}
+}
+
+// rootHandle returns (and caches) the NFS root handle of a node's export.
+func (n *Node) rootHandle(to simnet.Addr) (nfs.Handle, simnet.Cost, error) {
+	n.mu.Lock()
+	h, ok := n.rootHandles[to]
+	n.mu.Unlock()
+	if ok {
+		return h, 0, nil
+	}
+	h, cost, err := n.nfsc.MountRoot(to)
+	if err != nil {
+		return nfs.Handle{}, cost, err
+	}
+	n.mu.Lock()
+	n.rootHandles[to] = h
+	n.mu.Unlock()
+	return h, cost, nil
+}
+
+// promote asks target to move its replica-area copy to the primary path and
+// run read-repair against the current replica set. The changed result
+// reports whether the target's state moved — handles resolved before the
+// call may then be stale and must be re-resolved.
+func (n *Node) promote(to simnet.Addr, t Track) (changed bool, cost simnet.Cost, err error) {
+	e := wire.NewEncoder(128)
+	e.PutUint32(kPromote)
+	putTrack(e, t)
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	if err != nil {
+		return false, cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	if cerr := codeToError(d.Uint32()); cerr != nil {
+		return false, cost, cerr
+	}
+	return d.Bool(), cost, nil
+}

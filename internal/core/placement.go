@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/id"
+	"repro/internal/repl"
 )
 
 // SaltSep separates a directory name from its redirection salt in placement
@@ -33,9 +34,8 @@ import (
 const SaltSep = "#"
 
 // MigrationFlag is the sentinel file created at the root of a replicated
-// hierarchy while content migration is in flight; its presence on a replica
-// after a primary failure triggers re-migration (Section 4.4).
-const MigrationFlag = "MIGRATION_NOT_COMPLETE"
+// hierarchy while content migration is in flight (see repl.MigrationFlag).
+const MigrationFlag = repl.MigrationFlag
 
 // saltLen is the number of hex digits in a redirection salt.
 const saltLen = 8
@@ -178,22 +178,13 @@ func ParseLinkTarget(target string) (pn, storeRoot string, ok bool) {
 	return rest[:i], rest[i+len(linkSep):], true
 }
 
-// RepArea is the reserved store subtree holding replica copies. The paper
-// keeps replicas "inaccessible to the local users" (Section 4.2); parking
-// them outside the primary namespace also keeps a replica's scaffolding
-// from colliding with the special links resolution probes. When a node is
-// promoted to primary for a key it moves the copy from the replica area to
-// the primary path (Sections 4.3-4.4).
-const RepArea = "/.rep"
+// RepArea is the reserved store subtree holding replica copies (see
+// repl.RepArea).
+const RepArea = repl.RepArea
 
 // RepPath translates a primary-relative physical path into the replica
 // area.
-func RepPath(p string) string {
-	if p == "/" || p == "" {
-		return RepArea
-	}
-	return RepArea + p
-}
+func RepPath(p string) string { return repl.RepPath(p) }
 
 // ValidName reports whether a name may be created in the virtual file
 // system. Besides the usual component rules, names matching the salted

@@ -2,12 +2,12 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/id"
 	"repro/internal/localfs"
 	"repro/internal/nfs"
+	"repro/internal/repl"
 	"repro/internal/wire"
 )
 
@@ -42,68 +42,36 @@ var ErrNotPrimary = errors.New("kosha: node is not the primary replica for key")
 // RPC proper).
 const procKosha = nfs.Proc(200)
 
-// FSOpKind enumerates the path-based store mutations replicated to mirrors.
-type FSOpKind uint32
-
-const (
-	FSMkdirAll FSOpKind = iota + 1
-	FSMkdir             // strict: fails if the directory exists
-	FSCreate
-	FSWrite
-	FSSetattr
-	FSRemove
-	FSRmdir
-	FSRemoveAll // recursive removal (migration resync, forced deletes)
-	FSRename
-	FSSymlink
-	FSWriteFile // create-or-truncate plus full contents, used by migration
+// The replication data model (mutation records, subtree-ownership tracking,
+// tree summaries) lives in internal/repl; core aliases the types so the rest
+// of the package — and external consumers — keep their spelling.
+type (
+	// FSOpKind enumerates the path-based store mutations replicated to
+	// mirrors.
+	FSOpKind = repl.FSOpKind
+	// FSOp is one path-based store mutation (see repl.FSOp).
+	FSOp = repl.FSOp
+	// Track carries subtree-ownership metadata alongside mutations (see
+	// repl.Track).
+	Track = repl.Track
+	// TreeStat summarizes a replicated hierarchy for cheap divergence
+	// checks (see repl.TreeStat).
+	TreeStat = repl.TreeStat
 )
 
-func (k FSOpKind) String() string {
-	switch k {
-	case FSMkdirAll:
-		return "mkdirall"
-	case FSCreate:
-		return "create"
-	case FSWrite:
-		return "write"
-	case FSSetattr:
-		return "setattr"
-	case FSRemove:
-		return "remove"
-	case FSRmdir:
-		return "rmdir"
-	case FSMkdir:
-		return "mkdir"
-	case FSRemoveAll:
-		return "removeall"
-	case FSRename:
-		return "rename"
-	case FSSymlink:
-		return "symlink"
-	case FSWriteFile:
-		return "writefile"
-	default:
-		return fmt.Sprintf("fsop(%d)", uint32(k))
-	}
-}
-
-// FSOp is one path-based store mutation. Path/Path2 are physical store
-// paths. The same structure is executed at the primary (Apply) and shipped
-// verbatim to replicas (Mirror), which keeps replica stores byte-identical
-// mirrors of the primary's hierarchy (Section 4.2).
-type FSOp struct {
-	Kind    FSOpKind
-	Path    string
-	Path2   string // rename destination
-	Data    []byte // write / writefile payload
-	Offset  int64
-	Mode    uint32
-	Excl    bool
-	Target  string // symlink target
-	SetAttr localfs.SetAttr
-	Prune   bool // rmdir/remove: prune empty scaffolding above
-}
+const (
+	FSMkdirAll  = repl.FSMkdirAll
+	FSMkdir     = repl.FSMkdir
+	FSCreate    = repl.FSCreate
+	FSWrite     = repl.FSWrite
+	FSSetattr   = repl.FSSetattr
+	FSRemove    = repl.FSRemove
+	FSRmdir     = repl.FSRmdir
+	FSRemoveAll = repl.FSRemoveAll
+	FSRename    = repl.FSRename
+	FSSymlink   = repl.FSSymlink
+	FSWriteFile = repl.FSWriteFile
+)
 
 func putFSOp(e *wire.Encoder, op FSOp) {
 	e.PutUint32(uint32(op.Kind))
@@ -214,21 +182,6 @@ func getSetAttr(d *wire.Decoder) localfs.SetAttr {
 	return sa
 }
 
-// Track carries subtree-ownership metadata alongside mutations so replicas
-// know which hierarchies they hold and for which keys, enabling them to act
-// when they are promoted to primary (Section 4.4). Ver is the subtree's
-// mutation counter: the primary bumps it on every apply, replicas record
-// the value shipped with each mirror, and replica maintenance uses it to
-// tell a fresh copy from one left behind by an old membership — higher
-// version wins.
-type Track struct {
-	PN   string // controlling placement name; Key(PN) is the DHT key
-	Root string // physical path of the replicated hierarchy root
-	Link string // for level-1 special links: the link's name ("" if none)
-	Ver  uint64 // subtree mutation counter
-	Dead bool   // tombstone: the hierarchy was deleted at this version
-}
-
 func putTrack(e *wire.Encoder, t Track) {
 	e.PutString(t.PN)
 	e.PutString(t.Root)
@@ -273,23 +226,6 @@ type applyReply struct {
 	Code uint32
 	Attr localfs.Attr
 	FH   nfs.Handle
-}
-
-// TreeStat summarizes a replicated hierarchy for cheap divergence checks
-// during replica maintenance.
-type TreeStat struct {
-	Exists bool
-	Files  int64
-	Dirs   int64
-	Bytes  int64
-	Flag   bool   // MIGRATION_NOT_COMPLETE present
-	Ver    uint64 // the holder's recorded mutation counter for the root
-}
-
-// Same reports whether two summaries describe equivalent, settled trees.
-func (t TreeStat) Same(o TreeStat) bool {
-	return t.Exists == o.Exists && !t.Flag && !o.Flag &&
-		t.Files == o.Files && t.Dirs == o.Dirs && t.Bytes == o.Bytes
 }
 
 func codeToError(code uint32) error {

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// vtShards is the shard count of the virtual-handle table. Shards are
+// selected by VH & (vtShards-1), so the count must be a power of two.
+const vtShards = 16
+
+// vtShard is one shard of the table: an RWMutex plus its slice of rows.
+// Lookups — by far the hottest path, every Mount operation starts with one —
+// take only the shard's read lock.
+type vtShard struct {
+	mu sync.RWMutex
+	m  map[VH]*ventry
+}
+
+// vtable is the sharded virtual-handle table (Section 4.1.2): virtual handle
+// → full path, storage node, and real handle. Handles are allocated from an
+// atomic counter, so consecutive handles land on consecutive shards and
+// operations on different files contend only on handle-space collisions, not
+// on one global mutex.
+//
+// Rows are immutable once published: rebinding a handle after failover
+// installs a fresh *ventry (set), never mutates the old one, so a *ventry
+// fetched under the read lock stays safe to use after the lock is dropped.
+type vtable struct {
+	next   atomic.Uint64
+	shards [vtShards]vtShard
+}
+
+// init readies the shards and installs the permanent root row.
+func (t *vtable) init(root *ventry) {
+	for i := range t.shards {
+		t.shards[i].m = make(map[VH]*ventry)
+	}
+	t.next.Store(uint64(RootVH) + 1)
+	t.set(RootVH, root)
+}
+
+func (t *vtable) shard(vh VH) *vtShard { return &t.shards[uint64(vh)&(vtShards-1)] }
+
+// get returns the row behind a handle.
+func (t *vtable) get(vh VH) (*ventry, error) {
+	s := t.shard(vh)
+	s.mu.RLock()
+	de, ok := s.m[vh]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, vh)
+	}
+	return de, nil
+}
+
+// insert allocates a fresh handle for a row.
+func (t *vtable) insert(de *ventry) VH {
+	vh := VH(t.next.Add(1) - 1)
+	t.set(vh, de)
+	return vh
+}
+
+// set publishes (or rebinds) the row behind a handle.
+func (t *vtable) set(vh VH, de *ventry) {
+	s := t.shard(vh)
+	s.mu.Lock()
+	s.m[vh] = de
+	s.mu.Unlock()
+}
+
+// delete drops a handle.
+func (t *vtable) delete(vh VH) {
+	s := t.shard(vh)
+	s.mu.Lock()
+	delete(s.m, vh)
+	s.mu.Unlock()
+}

@@ -162,7 +162,9 @@ func (t *Tracer) Finish(tr *Trace, total time.Duration, err error) {
 }
 
 // Recent returns up to n of the most recent traces, newest first. n <= 0
-// means all retained traces.
+// means all retained traces. The result is a deep copy: Hops and Spans are
+// cloned so callers can hold or mutate a snapshot without aliasing the ring
+// (a shallow struct copy would share the slices' backing arrays).
 func (t *Tracer) Recent(n int) []Trace {
 	if t == nil || t.cap <= 0 {
 		return nil
@@ -182,7 +184,10 @@ func (t *Tracer) Recent(n int) []Trace {
 		if idx < 0 {
 			idx += t.cap
 		}
-		out = append(out, t.ring[idx])
+		tr := t.ring[idx]
+		tr.Hops = append([]Hop(nil), tr.Hops...)
+		tr.Spans = append([]Span(nil), tr.Spans...)
+		out = append(out, tr)
 	}
 	return out
 }

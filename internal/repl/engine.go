@@ -1,0 +1,736 @@
+package repl
+
+import (
+	"path"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/localfs"
+	"repro/internal/nfs"
+	"repro/internal/obs"
+	"repro/internal/pastry"
+	"repro/internal/simnet"
+)
+
+// Overlay is the engine's view of the p2p substrate: key ownership checks,
+// the current replica candidates, and raw routing. The core node adapts its
+// Pastry instance to this (re-reading it across Revive incarnations).
+type Overlay interface {
+	// EnsureRootFor actively verifies whether this node owns key (pinging
+	// and purging a better candidate if it is dead).
+	EnsureRootFor(key id.ID) (bool, simnet.Cost)
+	// ReplicaCandidates returns the K leaf-set neighbors that should hold
+	// replicas for this node's keys.
+	ReplicaCandidates(k int) []pastry.NodeInfo
+	// Route resolves the node currently owning key.
+	Route(key id.ID) (pastry.RouteResult, error)
+}
+
+// Peer is the engine's view of other nodes: the kosha-service RPCs used for
+// replica maintenance plus the plain NFS reads tree fetches are built from.
+type Peer interface {
+	// Mirror ships one mutation to another node; primary selects whether it
+	// lands in the primary namespace (migration push) or the replica area.
+	Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error)
+	// StatTree summarizes the subtree stored at exactly root on to.
+	StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error)
+	// Promote asks to, as the new owner of t's key, to surface its
+	// replica-area copy; reports whether remote state changed.
+	Promote(to simnet.Addr, t Track) (bool, simnet.Cost, error)
+	// LookupPath resolves a physical path on a remote store.
+	LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error)
+	// ReadDir lists a remote directory.
+	ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error)
+	// ReadAt reads one chunk of a remote file, reporting EOF.
+	ReadAt(to simnet.Addr, fh nfs.Handle, off int64, count int) ([]byte, bool, simnet.Cost, error)
+	// ReadLink reads a remote symlink target by physical path.
+	ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error)
+}
+
+// Options configures an Engine.
+type Options struct {
+	Self     simnet.Addr        // this node's address (event attribution)
+	Store    localfs.FileSystem // the contributed partition
+	Overlay  Overlay
+	Peer     Peer
+	Replicas int                   // K
+	Key      func(pn string) id.ID // placement-name hash
+	Events   *obs.EventLog         // may be nil-safe consumers only if non-nil
+	Registry *obs.Registry
+}
+
+// Engine tracks the replicated hierarchies this node holds and re-establishes
+// the K-replica invariant after membership changes (Sections 4.2-4.4). All
+// methods are safe for concurrent use; Sync is additionally self-excluding
+// (overlapping calls collapse to one).
+type Engine struct {
+	self     simnet.Addr
+	store    localfs.FileSystem
+	ov       Overlay
+	peer     Peer
+	replicas int
+	key      func(pn string) id.ID
+	events   *obs.EventLog
+	reg      *obs.Registry
+
+	mu           sync.Mutex
+	tracked      map[string]Track // physical subtree root -> metadata (PN, version)
+	trackedLinks map[string]Track // level-1 special link path -> metadata
+
+	syncing atomic.Bool
+}
+
+// New builds an engine with empty tracking state.
+func New(o Options) *Engine {
+	return &Engine{
+		self:         o.Self,
+		store:        o.Store,
+		ov:           o.Overlay,
+		peer:         o.Peer,
+		replicas:     o.Replicas,
+		key:          o.Key,
+		events:       o.Events,
+		reg:          o.Registry,
+		tracked:      make(map[string]Track),
+		trackedLinks: make(map[string]Track),
+	}
+}
+
+// Reset discards all tracking state (node revival purges all Kosha data,
+// Section 4.3.2).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.tracked = make(map[string]Track)
+	e.trackedLinks = make(map[string]Track)
+	e.mu.Unlock()
+}
+
+// TrackedRoots returns a snapshot (fresh map) of root -> placement name.
+func (e *Engine) TrackedRoots() map[string]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]string, len(e.tracked))
+	for k, v := range e.tracked {
+		out[k] = v.PN
+	}
+	return out
+}
+
+// IsDead reports whether this node's record for a root is a tombstone.
+func (e *Engine) IsDead(root string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tracked[root]
+	return ok && t.Dead
+}
+
+// VerOf returns this node's recorded mutation counter for a root or link.
+func (e *Engine) VerOf(key string) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tracked[key]; ok {
+		return t.Ver
+	}
+	if t, ok := e.trackedLinks[key]; ok {
+		return t.Ver
+	}
+	return 0
+}
+
+// Untrack drops the record for a root (remote-initiated cleanup).
+func (e *Engine) Untrack(root string) {
+	e.mu.Lock()
+	delete(e.tracked, root)
+	e.mu.Unlock()
+}
+
+// Stamp assigns the next mutation counter value for the op being applied at
+// the primary; Track records it afterwards together with the op's liveness.
+// A storage-root rename continues the old root's version chain.
+func (e *Engine) Stamp(t Track, op FSOp) Track {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if op.Kind == FSRename && op.Path2 == t.Root {
+		t.Ver = e.tracked[op.Path].Ver + 1
+		return t
+	}
+	if t.Link != "" {
+		t.Ver = e.trackedLinks[t.Link].Ver + 1
+		return t
+	}
+	if t.Root == "" {
+		t.Ver = 0
+		return t
+	}
+	t.Ver = e.tracked[t.Root].Ver + 1
+	return t
+}
+
+// Track records subtree/link ownership metadata shipped with a mutation.
+func (e *Engine) Track(t Track, op FSOp) {
+	if t.PN == "" {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.Link != "" {
+		t.Dead = op.Kind == FSRemove
+		e.trackedLinks[t.Link] = t
+		return
+	}
+	if t.Root == "" {
+		return
+	}
+	// A storage-root rename (the cheap-rename path) rekeys the entry,
+	// carrying the version chain to the new root.
+	if op.Kind == FSRename && (op.Path2 == t.Root || op.Path2 == RepPath(t.Root)) {
+		old := PrimaryRoot(op.Path)
+		if cur, ok := e.tracked[old]; ok {
+			if cur.Ver > t.Ver {
+				t.Ver = cur.Ver
+			}
+			delete(e.tracked, old)
+		}
+		e.tracked[t.Root] = t
+		return
+	}
+	// A removal of the hierarchy root becomes a tombstone: the entry stays
+	// with a bumped version so a node holding a stale copy can learn that
+	// deletion is the newer state, and a later re-creation continues the
+	// version chain above the tombstone.
+	t.Dead = (op.Kind == FSRmdir || op.Kind == FSRemoveAll) &&
+		(op.Path == t.Root || op.Path == RepPath(t.Root))
+	// Last writer wins: the copy now reflects the sender's version, so the
+	// record does too (a full re-push may legitimately lower it).
+	e.tracked[t.Root] = t
+}
+
+// PruneUp removes empty scaffolding directories above a deleted entry,
+// stopping at tracked subtree roots and the store root (Section 4.1.5: "The
+// empty hierarchy leading to the subdirectory is then deleted").
+func (e *Engine) PruneUp(dir string) {
+	for dir != "/" && dir != "." {
+		e.mu.Lock()
+		_, isTracked := e.tracked[dir]
+		e.mu.Unlock()
+		if isTracked {
+			return
+		}
+		attr, err := e.store.LookupPath(dir)
+		if err != nil || attr.Type != localfs.TypeDir {
+			return
+		}
+		ents, _, err := e.store.Readdir(attr.Ino)
+		if err != nil || len(ents) > 0 {
+			return
+		}
+		parent := path.Dir(dir)
+		pattr, err := e.store.LookupPath(parent)
+		if err != nil {
+			return
+		}
+		if _, err := e.store.Rmdir(pattr.Ino, path.Base(dir)); err != nil {
+			return
+		}
+		dir = parent
+	}
+}
+
+// StatLocal summarizes the local subtree stored at exactly this path.
+func (e *Engine) StatLocal(root string) TreeStat {
+	var st TreeStat
+	if _, err := e.store.LookupPath(root); err != nil {
+		return st
+	}
+	st.Exists = true
+	e.store.Walk(root, func(p string, a localfs.Attr, _ string) error {
+		if a.Type == localfs.TypeDir {
+			st.Dirs++
+			return nil
+		}
+		if path.Base(p) == MigrationFlag {
+			st.Flag = true
+			return nil
+		}
+		st.Files++
+		st.Bytes += a.Size
+		return nil
+	})
+	return st
+}
+
+// LocalTreePath locates this node's copy of a subtree: at the primary path
+// when it owns the key, otherwise in the replica area.
+func (e *Engine) LocalTreePath(root string) (string, bool) {
+	if _, err := e.store.LookupPath(root); err == nil {
+		return root, true
+	}
+	if _, err := e.store.LookupPath(RepPath(root)); err == nil {
+		return RepPath(root), true
+	}
+	return "", false
+}
+
+// PromoteLocal moves a replica-area copy of a subtree (or level-1 special
+// link) to its primary path. Call only after confirming ownership of the
+// key; it is a no-op when the primary path already exists or no replica
+// copy is held. Reports whether it surfaced anything.
+func (e *Engine) PromoteLocal(t Track) bool {
+	target := t.Root
+	if t.Link != "" {
+		target = t.Link
+	}
+	if target == "" {
+		return false
+	}
+	e.mu.Lock()
+	meta, ok := e.tracked[t.Root]
+	if t.Link != "" {
+		meta, ok = e.trackedLinks[t.Link]
+	}
+	e.mu.Unlock()
+	if ok && meta.Dead {
+		// We saw the hierarchy's deletion: nothing to surface, and any
+		// leftover replica-area data is stale.
+		e.store.RemoveAll(RepPath(target))
+		return false
+	}
+	if _, err := e.store.LookupPath(target); err == nil {
+		return false
+	}
+	src := RepPath(target)
+	if _, err := e.store.LookupPath(src); err != nil {
+		return false
+	}
+	if _, err := e.store.MkdirAll(path.Dir(target)); err != nil {
+		return false
+	}
+	spar, err := e.store.LookupPath(path.Dir(src))
+	if err != nil {
+		return false
+	}
+	dpar, err := e.store.LookupPath(path.Dir(target))
+	if err != nil {
+		return false
+	}
+	if _, err := e.store.Rename(spar.Ino, path.Base(src), dpar.Ino, path.Base(target)); err != nil {
+		return false
+	}
+	e.PruneUp(path.Dir(src))
+	e.Track(t, FSOp{Kind: FSMkdirAll, Path: t.Root})
+	return true
+}
+
+// DemoteLocal moves this node's primary-path copy of a subtree (or link)
+// back into the replica area, after ownership of the key moved elsewhere.
+// Without this, a stale primary-path leftover would shadow the fresher
+// replica-area copy the next time ownership returns here ("their copy on N
+// becomes one of the replicas", Section 4.3.1).
+func (e *Engine) DemoteLocal(t Track) {
+	target := t.Root
+	if t.Link != "" {
+		target = t.Link
+	}
+	if target == "" || target == "/" {
+		return
+	}
+	if _, err := e.store.LookupPath(target); err != nil {
+		return
+	}
+	dst := RepPath(target)
+	e.store.RemoveAll(dst)
+	if _, err := e.store.MkdirAll(path.Dir(dst)); err != nil {
+		return
+	}
+	spar, err := e.store.LookupPath(path.Dir(target))
+	if err != nil {
+		return
+	}
+	dpar, err := e.store.LookupPath(path.Dir(dst))
+	if err != nil {
+		return
+	}
+	if _, err := e.store.Rename(spar.Ino, path.Base(target), dpar.Ino, path.Base(dst)); err != nil {
+		return
+	}
+	e.PruneUp(path.Dir(target))
+}
+
+// Sync re-establishes the replication invariant for every subtree and
+// level-1 link this node tracks: if this node is the primary it pushes to
+// its current K leaf-set neighbors; if ownership moved (a closer node
+// joined) it migrates the subtree to the new primary, keeping its own copy
+// as a replica (Section 4.3.1). Returns the simulated cost.
+func (e *Engine) Sync() (total simnet.Cost) {
+	if !e.syncing.CompareAndSwap(false, true) {
+		return 0
+	}
+	defer e.syncing.Store(false)
+	e.events.Add(obs.EvResync, string(e.self), "")
+	defer func() {
+		e.reg.Observe("op."+obs.OpResync, time.Duration(total))
+	}()
+	// Snapshot in sorted order: map iteration order would otherwise vary the
+	// RPC sequence between runs, breaking seed-exact replay of fault
+	// schedules (the chaos harness's determinism contract).
+	type trackedRoot struct {
+		root string
+		meta Track
+	}
+	e.mu.Lock()
+	roots := make([]trackedRoot, 0, len(e.tracked))
+	for r, t := range e.tracked {
+		roots = append(roots, trackedRoot{r, t})
+	}
+	links := make([]Track, 0, len(e.trackedLinks))
+	linkKeys := make([]string, 0, len(e.trackedLinks))
+	for p := range e.trackedLinks {
+		linkKeys = append(linkKeys, p)
+	}
+	sort.Strings(linkKeys)
+	for _, p := range linkKeys {
+		links = append(links, e.trackedLinks[p])
+	}
+	e.mu.Unlock()
+	sort.Slice(roots, func(i, j int) bool { return roots[i].root < roots[j].root })
+
+	for _, tr := range roots {
+		root, meta := tr.root, tr.meta
+		key := e.key(meta.PN)
+		t := Track{PN: meta.PN, Root: root, Ver: meta.Ver, Dead: meta.Dead}
+		if isRoot, c := e.ov.EnsureRootFor(key); isRoot {
+			total = simnet.Seq(total, c)
+			if meta.Dead {
+				// Propagate the deletion to any replica still holding a
+				// copy older than the tombstone. The replicas are
+				// independent peers, so the fan-out cost is the slowest
+				// branch, not the sum.
+				var fan []simnet.Cost
+				for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
+					st, c, err := e.peer.StatTree(rep.Addr, RepPath(root))
+					if err != nil || (!st.Exists && st.Ver >= t.Ver) {
+						fan = append(fan, c)
+						continue
+					}
+					mc, _ := e.peer.Mirror(rep.Addr, t, FSOp{Kind: FSRemoveAll, Path: root}, false)
+					fan = append(fan, simnet.Seq(c, mc))
+				}
+				total = simnet.Seq(total, simnet.Par(fan...))
+				continue
+			}
+			// Surface any replica-area copy; if a replica holds a newer
+			// version or a newer deletion, adopt it before refreshing.
+			ac, _ := e.AdoptRoot(t)
+			total = simnet.Seq(total, ac)
+			t.Ver = e.VerOf(root)
+			if e.IsDead(root) {
+				continue
+			}
+			var fan []simnet.Cost
+			for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
+				c, _ := e.ensureTree(rep.Addr, t, false)
+				fan = append(fan, c)
+			}
+			total = simnet.Seq(total, simnet.Par(fan...))
+			continue
+		} else {
+			total = simnet.Seq(total, c)
+		}
+		res, err := e.ov.Route(key)
+		total = simnet.Seq(total, res.Cost)
+		if err != nil || res.Node.Addr == e.self {
+			continue
+		}
+		if meta.Dead {
+			// Tell the new owner about the deletion unless it already
+			// knows a state at least as new.
+			st, c, err := e.peer.StatTree(res.Node.Addr, root)
+			total = simnet.Seq(total, c)
+			if err == nil && st.Ver < t.Ver {
+				c, _ = e.peer.Mirror(res.Node.Addr, t, FSOp{Kind: FSRemoveAll, Path: root, Prune: true}, true)
+				total = simnet.Seq(total, c)
+			}
+			continue
+		}
+		// Someone else owns the key now: migrate the subtree to them; our
+		// copy stays behind as one of the replicas (Section 4.3.1), parked
+		// back in the replica area.
+		c, err := e.ensureTree(res.Node.Addr, t, true)
+		total = simnet.Seq(total, c)
+		if err == nil {
+			e.DemoteLocal(t)
+		}
+	}
+
+	for _, t := range links {
+		src, ok := e.LocalTreePath(t.Link)
+		if !ok {
+			continue
+		}
+		linkAttr, err := e.store.LookupPath(src)
+		if err != nil {
+			continue
+		}
+		tgt, _, err := e.store.Readlink(linkAttr.Ino)
+		if err != nil {
+			continue
+		}
+		op := FSOp{Kind: FSSymlink, Path: t.Link, Target: tgt}
+		key := e.key(t.PN)
+		if isRoot, c := e.ov.EnsureRootFor(key); isRoot {
+			total = simnet.Seq(total, c)
+			e.PromoteLocal(t)
+			var fan []simnet.Cost
+			for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
+				c, _ := e.peer.Mirror(rep.Addr, t, op, false)
+				fan = append(fan, c)
+			}
+			total = simnet.Seq(total, simnet.Par(fan...))
+			continue
+		} else {
+			total = simnet.Seq(total, c)
+		}
+		res, err := e.ov.Route(key)
+		total = simnet.Seq(total, res.Cost)
+		if err != nil || res.Node.Addr == e.self {
+			continue
+		}
+		c, merr := e.peer.Mirror(res.Node.Addr, t, op, false)
+		total = simnet.Seq(total, c)
+		_, c, perr := e.peer.Promote(res.Node.Addr, t)
+		total = simnet.Seq(total, c)
+		if merr == nil && perr == nil {
+			e.DemoteLocal(t)
+		}
+	}
+	return total
+}
+
+// ensureTree makes target hold an up-to-date replica-area copy of the
+// local subtree, pushing a full copy under the MIGRATION_NOT_COMPLETE flag
+// protocol when the remote copy is missing, divergent, or was left
+// mid-migration (Section 4.4). When promote is set (the target is the new
+// primary after an ownership change) the pushed copy is promoted to the
+// primary path afterwards.
+func (e *Engine) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.Cost, error) {
+	src, ok := e.LocalTreePath(t.Root)
+	if !ok {
+		return 0, nil
+	}
+	local := e.StatLocal(src)
+	if promote {
+		// Migration to the key's new primary. Versions arbitrate: a
+		// settled remote copy at least as new as ours wins; otherwise we
+		// surface the remote's replica-area copy if that is new enough, or
+		// push ours (§4.3.1, with the §4.4 flag protocol inside pushTree).
+		remote, cost, err := e.peer.StatTree(target, t.Root)
+		if err != nil {
+			return cost, err
+		}
+		if remote.Exists && !remote.Flag && remote.Ver >= t.Ver {
+			return cost, nil
+		}
+		repRemote, c, err := e.peer.StatTree(target, RepPath(t.Root))
+		cost = simnet.Seq(cost, c)
+		if err != nil {
+			return cost, err
+		}
+		if repRemote.Exists && !repRemote.Flag && repRemote.Ver >= t.Ver && !remote.Exists {
+			_, c, err := e.peer.Promote(target, t)
+			return simnet.Seq(cost, c), err
+		}
+		c, err = e.pushTree(target, t, src, true)
+		return simnet.Seq(cost, c), err
+	}
+
+	// Primary -> replica refresh: the primary's copy is authoritative for
+	// its version; an already-matching replica is left alone.
+	remote, cost, err := e.peer.StatTree(target, RepPath(t.Root))
+	if err != nil {
+		return cost, err
+	}
+	if local.Same(remote) && remote.Ver == t.Ver {
+		return cost, nil
+	}
+	c, err := e.pushTree(target, t, src, false)
+	return simnet.Seq(cost, c), err
+}
+
+// pushTree copies the local subtree at src to target's replica area. The
+// migration flag is created at the replicated-hierarchy root first and
+// removed only after the copy completes, so a primary failure mid-migration
+// is detectable (Section 4.4).
+func (e *Engine) pushTree(target simnet.Addr, t Track, src string, primary bool) (simnet.Cost, error) {
+	var total simnet.Cost
+	flag := path.Join(t.Root, MigrationFlag)
+
+	step := func(op FSOp) error {
+		c, err := e.peer.Mirror(target, t, op, primary)
+		total = simnet.Seq(total, c)
+		return err
+	}
+
+	if err := step(FSOp{Kind: FSRemoveAll, Path: t.Root}); err != nil {
+		return total, err
+	}
+	if err := step(FSOp{Kind: FSMkdirAll, Path: t.Root}); err != nil {
+		return total, err
+	}
+	if err := step(FSOp{Kind: FSWriteFile, Path: flag}); err != nil {
+		return total, err
+	}
+	werr := e.store.Walk(src, func(p string, a localfs.Attr, symTarget string) error {
+		dst := t.Root + p[len(src):] // translate source prefix to dest root
+		if dst == t.Root || dst == flag {
+			return nil
+		}
+		switch a.Type {
+		case localfs.TypeDir:
+			return step(FSOp{Kind: FSMkdirAll, Path: dst})
+		case localfs.TypeSymlink:
+			return step(FSOp{Kind: FSSymlink, Path: dst, Target: symTarget})
+		default:
+			data, err := e.store.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return step(FSOp{Kind: FSWriteFile, Path: dst, Data: data})
+		}
+	})
+	if werr != nil {
+		return total, werr
+	}
+	err := step(FSOp{Kind: FSRemove, Path: flag})
+	return total, err
+}
+
+// fetchTree pulls a remote replica-area copy of a subtree into this node's
+// primary namespace via plain NFS reads, adopting the remote's version.
+// Used when a freshly promoted primary discovers a replica holding a newer
+// copy than the one it surfaced.
+func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.Cost, error) {
+	var total simnet.Cost
+	src := RepPath(t.Root)
+	if err := e.store.RemoveAll(t.Root); err != nil {
+		return total, err
+	}
+	if _, err := e.store.MkdirAll(t.Root); err != nil {
+		return total, err
+	}
+	var walk func(remotePath, localPath string) error
+	walk = func(remotePath, localPath string) error {
+		fh, _, c, err := e.peer.LookupPath(from, remotePath)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return err
+		}
+		ents, c, err := e.peer.ReadDir(from, fh)
+		total = simnet.Seq(total, c)
+		if err != nil {
+			return err
+		}
+		for _, ent := range ents {
+			rp := remotePath + "/" + ent.Name
+			lp := localPath + "/" + ent.Name
+			switch ent.Type {
+			case localfs.TypeDir:
+				if _, err := e.store.MkdirAll(lp); err != nil {
+					return err
+				}
+				if err := walk(rp, lp); err != nil {
+					return err
+				}
+			case localfs.TypeSymlink:
+				target, c, err := e.peer.ReadLink(from, rp)
+				total = simnet.Seq(total, c)
+				if err != nil {
+					return err
+				}
+				attr, err := e.store.LookupPath(path.Dir(lp))
+				if err != nil {
+					return err
+				}
+				if _, _, err := e.store.Symlink(attr.Ino, ent.Name, target); err != nil {
+					return err
+				}
+			default:
+				if ent.Name == MigrationFlag {
+					continue
+				}
+				efh, eattr, c, err := e.peer.LookupPath(from, rp)
+				total = simnet.Seq(total, c)
+				if err != nil {
+					return err
+				}
+				data := make([]byte, 0, eattr.Size)
+				for off := int64(0); ; {
+					chunk, eof, c, err := e.peer.ReadAt(from, efh, off, 1<<20)
+					total = simnet.Seq(total, c)
+					if err != nil {
+						return err
+					}
+					data = append(data, chunk...)
+					off += int64(len(chunk))
+					if eof {
+						break
+					}
+				}
+				if err := e.store.WriteFile(lp, data); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(src, t.Root); err != nil {
+		return total, err
+	}
+	adopted := t
+	adopted.Ver = remoteVer
+	e.Track(adopted, FSOp{Kind: FSMkdirAll, Path: t.Root})
+	return total, nil
+}
+
+// AdoptRoot makes this node's primary-path copy of a subtree current after
+// it becomes the key's owner: surface the local replica-area copy, then
+// check the current replica candidates for a newer version and fetch it if
+// one exists. Runs on the cold path only (first access after an ownership
+// change, or replica synchronization). The second result reports whether
+// read-repair changed local state — callers holding handles into the
+// subtree must re-resolve when it did.
+func (e *Engine) AdoptRoot(t Track) (simnet.Cost, bool) {
+	changed := e.PromoteLocal(t)
+	if t.Root == "" || t.Link != "" {
+		return 0, changed
+	}
+	var total simnet.Cost
+	myVer := e.VerOf(t.Root)
+	for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
+		st, c, err := e.peer.StatTree(rep.Addr, RepPath(t.Root))
+		total = simnet.Seq(total, c)
+		if err != nil || st.Flag || st.Ver <= myVer {
+			continue
+		}
+		if !st.Exists {
+			// The newer state is a deletion: adopt the tombstone.
+			e.store.RemoveAll(t.Root)
+			e.store.RemoveAll(RepPath(t.Root))
+			dead := t
+			dead.Ver = st.Ver
+			e.Track(dead, FSOp{Kind: FSRemoveAll, Path: t.Root})
+			myVer = st.Ver
+			changed = true
+			continue
+		}
+		c, err = e.fetchTree(rep.Addr, t, st.Ver)
+		total = simnet.Seq(total, c)
+		if err == nil {
+			myVer = st.Ver
+			changed = true
+		}
+	}
+	return total, changed
+}

@@ -148,27 +148,31 @@ func (n *Net) Call(from, to simnet.Addr, service string, req []byte) ([]byte, si
 	return resp, simnet.Seq(wireCost, procCost), nil
 }
 
-func (n *Net) getConn(to simnet.Addr) (*conn, error) {
+// getConn returns the pooled connection to a peer, dialing if none is
+// cached. fresh reports whether the connection was just dialed: an IO error
+// on a fresh connection is a real reachability problem, while one on a
+// cached connection may just mean the peer closed it while idle.
+func (n *Net) getConn(to simnet.Addr) (c *conn, fresh bool, err error) {
 	n.mu.Lock()
-	c := n.conns[to]
+	c = n.conns[to]
 	n.mu.Unlock()
 	if c != nil {
-		return c, nil
+		return c, false, nil
 	}
 	raw, err := net.DialTimeout("tcp", string(to), n.Timeout)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s -> %s: %v", simnet.ErrUnreachable, n.local, to, err)
+		return nil, false, fmt.Errorf("%w: %s -> %s: %v", simnet.ErrUnreachable, n.local, to, err)
 	}
 	c = &conn{c: raw}
 	n.mu.Lock()
 	if existing := n.conns[to]; existing != nil {
 		n.mu.Unlock()
 		raw.Close()
-		return existing, nil
+		return existing, false, nil
 	}
 	n.conns[to] = c
 	n.mu.Unlock()
-	return c, nil
+	return c, true, nil
 }
 
 func (n *Net) dropConn(to simnet.Addr, c *conn) {
@@ -182,28 +186,25 @@ func (n *Net) dropConn(to simnet.Addr, c *conn) {
 
 // roundTrip sends one framed request on the pooled connection and reads the
 // response. One in-flight request per connection keeps framing trivial.
+// A cached connection can have been closed by the peer while idle (server
+// restart, keepalive timeout); an IO failure on one evicts it and redials
+// once before the failure is reported as unreachability.
 func (n *Net) roundTrip(to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
-	c, err := n.getConn(to)
-	if err != nil {
-		return nil, 0, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
-	e := wire.NewEncoder(64 + len(req))
-	e.PutString(string(n.local))
-	e.PutString(service)
-	e.PutOpaque(req)
-
-	c.c.SetDeadline(time.Now().Add(n.Timeout))
-	if err := writeFrame(c.c, e.Bytes()); err != nil {
-		n.dropConn(to, c)
-		return nil, 0, fmt.Errorf("%w: %s -> %s: %v", simnet.ErrUnreachable, n.local, to, err)
-	}
-	frame, err := readFrame(c.c)
-	if err != nil {
-		n.dropConn(to, c)
-		return nil, 0, fmt.Errorf("%w: %s -> %s: %v", simnet.ErrUnreachable, n.local, to, err)
+	var frame []byte
+	for attempt := 0; ; attempt++ {
+		c, fresh, err := n.getConn(to)
+		if err != nil {
+			return nil, 0, err
+		}
+		frame, err = n.exchange(c, service, req)
+		if err != nil {
+			n.dropConn(to, c)
+			if !fresh && attempt == 0 {
+				continue // stale pooled connection; retry on a fresh dial
+			}
+			return nil, 0, fmt.Errorf("%w: %s -> %s: %v", simnet.ErrUnreachable, n.local, to, err)
+		}
+		break
 	}
 	d := wire.NewDecoder(frame)
 	ok := d.Bool()
@@ -220,6 +221,23 @@ func (n *Net) roundTrip(to simnet.Addr, service string, req []byte) ([]byte, sim
 		return nil, cost, d.Err()
 	}
 	return resp, cost, nil
+}
+
+// exchange performs one framed request/response on a connection.
+func (n *Net) exchange(c *conn, service string, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	e := wire.NewEncoder(64 + len(req))
+	e.PutString(string(n.local))
+	e.PutString(service)
+	e.PutOpaque(req)
+
+	c.c.SetDeadline(time.Now().Add(n.Timeout))
+	if err := writeFrame(c.c, e.Bytes()); err != nil {
+		return nil, err
+	}
+	return readFrame(c.c)
 }
 
 // decodeRemoteError rehydrates sentinel errors that cross the wire as

@@ -206,3 +206,71 @@ func TestKoshaClusterOverTCP(t *testing.T) {
 		t.Fatal("stat of removed dir should fail")
 	}
 }
+
+// TestStalePooledConnRedials covers the pool-staleness path: a peer that
+// closed an idle pooled connection (restart, keepalive timeout) must not
+// surface as unreachable when a fresh dial would succeed. The test warms
+// the pool, kills the pooled socket out from under the client, and expects
+// the next call to transparently evict, redial, and succeed.
+func TestStalePooledConnRedials(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Register(srv.Addr(), "echo", func(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
+		return req, simnet.Cost(1), nil
+	})
+
+	cli := Dialer("client", simnet.LAN100)
+	defer cli.Close()
+	if _, _, err := cli.Call("client", srv.Addr(), "echo", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the pooled socket the way a restarted peer would: the cached
+	// conn object survives in the pool but its transport is dead.
+	cli.mu.Lock()
+	pooled := cli.conns[srv.Addr()]
+	cli.mu.Unlock()
+	if pooled == nil {
+		t.Fatal("no pooled connection after first call")
+	}
+	pooled.c.Close()
+
+	resp, _, err := cli.Call("client", srv.Addr(), "echo", []byte("after"))
+	if err != nil {
+		t.Fatalf("call after pooled-conn death: %v", err)
+	}
+	if string(resp) != "after" {
+		t.Fatalf("resp = %q", resp)
+	}
+
+	// The dead conn must have been evicted, not resurrected.
+	cli.mu.Lock()
+	repooled := cli.conns[srv.Addr()]
+	cli.mu.Unlock()
+	if repooled == pooled {
+		t.Fatal("stale connection still pooled")
+	}
+}
+
+// TestFreshDialFailureIsUnreachable ensures the redial loop does not spin:
+// an IO failure on a connection that was just dialed reports unreachability
+// immediately.
+func TestFreshDialFailureIsUnreachable(t *testing.T) {
+	// A listener that accepts and instantly closes: dials succeed but the
+	// first exchange always fails, so every attempt is on a "fresh" conn.
+	ln, err := Listen("127.0.0.1:0", simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	ln.Close() // nothing is listening anymore
+
+	cli := Dialer("client", simnet.LAN100)
+	defer cli.Close()
+	if _, _, err := cli.Call("client", addr, "echo", []byte("x")); !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
