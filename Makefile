@@ -29,6 +29,11 @@ smoke:
 		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
 	done; \
 	echo "smoke: koshabench latency JSON ok"
+	@out=$$($(GO) run ./cmd/koshabench -exp sync -quick -format json); \
+	for f in full_bytes delta_bytes delta_pct files_sent; do \
+		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
+	done; \
+	echo "smoke: koshabench sync JSON ok"
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -46,10 +51,12 @@ test:
 	$(GO) test -short -race ./...
 
 # bench runs the concurrency-scaling benchmark (sweep goroutine counts to
-# see the sharded hot path scale) alongside the cache-ablation benchmark.
+# see the sharded hot path scale) alongside the cache-ablation benchmark
+# and the full-vs-delta replica sync comparison.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallelMetadata' -cpu=1,2,4,8 -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkAblationMetadataCache' -short -benchtime=1x .
+	$(GO) run ./cmd/koshabench -exp sync
 
 bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x ./...

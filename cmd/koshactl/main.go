@@ -345,6 +345,12 @@ func printStats(title string, p core.StatsPayload) {
 	fmt.Printf("  ops %d (%d errors)   nfs rpcs %d (%d bytes)\n",
 		s.Counters["ops.total"], s.Counters["ops.errors"],
 		s.Counters["nfs.rpcs"], s.Counters["nfs.bytes"])
+	if hits, misses := s.Counters["repl.sync.digest.hits"], s.Counters["repl.sync.digest.misses"]; hits+misses > 0 {
+		fmt.Printf("  replica sync: %d bytes, %d files sent, %d skipped, digest hit %.1f%% (%d/%d)\n",
+			s.Counters["repl.sync.bytes"], s.Counters["repl.sync.files.sent"],
+			s.Counters["repl.sync.files.skipped"],
+			float64(hits)/float64(hits+misses)*100, hits, hits+misses)
+	}
 	if len(p.Events.Counts) > 0 {
 		kinds := make([]string, 0, len(p.Events.Counts))
 		for k := range p.Events.Counts {

@@ -371,6 +371,11 @@ func ReplicaConvergence(c *cluster.Cluster, model *Oracle, k int) error {
 		byAddr[nd.Addr()] = nd
 	}
 	resolver := c.Nodes[0]
+	type rootKey struct {
+		primary simnet.Addr
+		root    string
+	}
+	checkedRoots := map[rootKey]bool{}
 	for _, f := range model.Files() {
 		want := model.files[f]
 		pl, _, err := resolver.ResolvePath(path.Dir(f))
@@ -407,6 +412,34 @@ func ReplicaConvergence(c *cluster.Cluster, model *Oracle, k int) error {
 			}
 			if !bytes.Equal(got, want) {
 				return fmt.Errorf("replica %s holds stale %s (%d bytes, want %d)", rc.Addr, f, len(got), len(want))
+			}
+		}
+
+		// Beyond per-file bytes: every replica's copy of the whole hierarchy
+		// must be byte-identical to the primary's, which the Merkle root
+		// digests certify in one comparison per (primary, root) pair.
+		root := pl.SubtreeRoot()
+		if root == "/" || root == "" || checkedRoots[rootKey{pl.Node, root}] {
+			continue
+		}
+		checkedRoots[rootKey{pl.Node, root}] = true
+		ptd := primary.Repl().DigestLocal(root)
+		if !ptd.Exists {
+			return fmt.Errorf("primary %s has no subtree at %s", pl.Node, root)
+		}
+		if ptd.Flag {
+			return fmt.Errorf("primary %s left the migration sentinel at %s", pl.Node, root)
+		}
+		for _, rc := range cands {
+			rtd := byAddr[rc.Addr].Repl().DigestLocal(core.RepPath(root))
+			if !rtd.Exists {
+				return fmt.Errorf("replica %s holds no copy of %s", rc.Addr, root)
+			}
+			if rtd.Flag {
+				return fmt.Errorf("replica %s stuck mid-migration at %s", rc.Addr, root)
+			}
+			if rtd.Root != ptd.Root {
+				return fmt.Errorf("replica %s digest diverges from primary %s at %s", rc.Addr, pl.Node, root)
 			}
 		}
 	}

@@ -69,6 +69,10 @@ type Config struct {
 	AutoSync bool
 	// noAutoSyncSet distinguishes "zero value = default on" from off.
 	NoAutoSync bool
+	// FullTreePush restores the legacy remove-and-recopy replica push in
+	// place of the Merkle delta protocol. Kept as the baseline arm of the
+	// sync experiment (koshabench -exp sync).
+	FullTreePush bool
 	// AttrCacheTTL bounds how long a mount may serve cached attributes
 	// without revalidating, mirroring the kernel NFS client's
 	// acregmin/acdirmin window the paper relies on for its low overhead
@@ -333,6 +337,7 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 		Key:      Key,
 		Events:   n.events,
 		Registry: n.reg,
+		FullPush: cfg.FullTreePush,
 	})
 	n.overlay = pastry.NewNode(nodeID, addr, net, cfg.LeafSize)
 	n.overlay.OnLeafSetChange(n.onLeafChange)

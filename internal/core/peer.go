@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/id"
 	"repro/internal/localfs"
+	"repro/internal/merkle"
 	"repro/internal/nfs"
 	"repro/internal/obs"
 	"repro/internal/pastry"
@@ -42,6 +43,14 @@ func (p enginePeer) StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost
 
 func (p enginePeer) Promote(to simnet.Addr, t Track) (bool, simnet.Cost, error) {
 	return p.n.promote(to, t)
+}
+
+func (p enginePeer) DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+	return p.n.remoteDigestTree(to, root)
+}
+
+func (p enginePeer) DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+	return p.n.remoteDirDigests(to, dir)
 }
 
 func (p enginePeer) LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
@@ -132,6 +141,43 @@ func (n *Node) remoteStatTree(to simnet.Addr, root string) (TreeStat, simnet.Cos
 	}
 	st := TreeStat{Exists: d.Bool(), Files: d.Int64(), Dirs: d.Int64(), Bytes: d.Int64(), Flag: d.Bool(), Ver: d.Uint64()}
 	return st, cost, d.Err()
+}
+
+// remoteDigestTree fetches the Merkle digest summary of a subtree on
+// another node.
+func (n *Node) remoteDigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+	e := wire.NewEncoder(64)
+	e.PutUint32(kTreeDigest)
+	e.PutString(root)
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	if err != nil {
+		return TreeDigest{}, cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	if code := d.Uint32(); code != codeOK {
+		return TreeDigest{}, cost, codeToError(code)
+	}
+	td := TreeDigest{Exists: d.Bool(), Flag: d.Bool(), Ver: d.Uint64(), Root: merkle.GetDigest(d)}
+	return td, cost, d.Err()
+}
+
+// remoteDirDigests lists the immediate children of a remote directory with
+// their subtree digests; ok is false when the directory is missing.
+func (n *Node) remoteDirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+	e := wire.NewEncoder(64)
+	e.PutUint32(kDirDigests)
+	e.PutString(dir)
+	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	if err != nil {
+		return nil, false, cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	if code := d.Uint32(); code != codeOK {
+		return nil, false, cost, codeToError(code)
+	}
+	ok := d.Bool()
+	ents := merkle.GetEntries(d)
+	return ents, ok, cost, d.Err()
 }
 
 // replicaSet asks the primary for its current replica holders of a key,

@@ -18,12 +18,14 @@ const KoshaService = "kosha"
 
 // kosha service procedure numbers.
 const (
-	kApply    = 1 // execute an FS op at the primary; primary fans out
-	kMirror   = 2 // execute an FS op at a replica; no fan-out
-	kStatTree = 3 // summarize a subtree (existence, files, bytes, flag)
-	kUntrack  = 4 // drop root-tracking metadata for a removed subtree
-	kPromote  = 5 // move a replica-area copy to the primary path
-	kReplicas = 6 // report the primary's current replica holders for a key
+	kApply      = 1 // execute an FS op at the primary; primary fans out
+	kMirror     = 2 // execute an FS op at a replica; no fan-out
+	kStatTree   = 3 // summarize a subtree (existence, files, bytes, flag)
+	kUntrack    = 4 // drop root-tracking metadata for a removed subtree
+	kPromote    = 5 // move a replica-area copy to the primary path
+	kReplicas   = 6 // report the primary's current replica holders for a key
+	kTreeDigest = 7 // Merkle root digest of a subtree (anti-entropy check)
+	kDirDigests = 8 // immediate children of a directory with subtree digests
 )
 
 // kosha reply codes beyond NFS statuses.
@@ -57,6 +59,9 @@ type (
 	// TreeStat summarizes a replicated hierarchy for cheap divergence
 	// checks (see repl.TreeStat).
 	TreeStat = repl.TreeStat
+	// TreeDigest summarizes a replicated hierarchy by its Merkle root
+	// digest (see repl.TreeDigest).
+	TreeDigest = repl.TreeDigest
 )
 
 const (

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/id"
 	"repro/internal/localfs"
+	"repro/internal/merkle"
 	"repro/internal/nfs"
 	"repro/internal/repl"
 	"repro/internal/simnet"
@@ -46,12 +47,14 @@ func (n *Node) dispatch(table serviceTable, service string, from simnet.Addr, re
 
 // koshaProcs is the kosha replication service (Sections 4.2-4.4).
 var koshaProcs = serviceTable{
-	kApply:    (*Node).serveApply,
-	kMirror:   (*Node).serveMirror,
-	kStatTree: (*Node).serveStatTree,
-	kUntrack:  (*Node).serveUntrack,
-	kPromote:  (*Node).servePromote,
-	kReplicas: (*Node).serveReplicas,
+	kApply:      (*Node).serveApply,
+	kMirror:     (*Node).serveMirror,
+	kStatTree:   (*Node).serveStatTree,
+	kUntrack:    (*Node).serveUntrack,
+	kPromote:    (*Node).servePromote,
+	kReplicas:   (*Node).serveReplicas,
+	kTreeDigest: (*Node).serveTreeDigest,
+	kDirDigests: (*Node).serveDirDigests,
 }
 
 func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
@@ -174,6 +177,44 @@ func (n *Node) serveStatTree(from simnet.Addr, d *wire.Decoder, e *wire.Encoder)
 	e.PutBool(st.Flag)
 	e.PutUint64(st.Ver)
 	return n.cfg.Disk.OpCost(0), nil
+}
+
+// serveTreeDigest reports the Merkle digest summary of the local subtree at
+// a path: the anti-entropy fast path ("has anything changed?") answered in
+// one exchange.
+func (n *Node) serveTreeDigest(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	root := d.String()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	td := n.rep.DigestLocal(root)
+	// Version is keyed by the primary-relative root regardless of the
+	// area being digested.
+	td.Ver = n.rep.VerOf(repl.PrimaryRoot(root))
+	e.PutUint32(codeOK)
+	e.PutBool(td.Exists)
+	e.PutBool(td.Flag)
+	e.PutUint64(td.Ver)
+	e.PutDigest(td.Root)
+	return n.cfg.Disk.OpCost(0), nil
+}
+
+// serveDirDigests lists the immediate children of a local directory with
+// their subtree digests — one level of the delta walk.
+func (n *Node) serveDirDigests(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	dir := d.String()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	ents, ok, err := n.rep.DirDigestsLocal(dir)
+	if err != nil {
+		e.PutUint32(codeNFSBase + uint32(nfs.ToStatus(err)))
+		return n.cfg.Disk.OpCost(0), nil
+	}
+	e.PutUint32(codeOK)
+	e.PutBool(ok)
+	merkle.PutEntries(e, ents)
+	return n.cfg.Disk.OpCost(len(ents) * 64), nil
 }
 
 // serveUntrack drops root-tracking metadata for a removed subtree.

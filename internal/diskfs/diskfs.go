@@ -41,6 +41,8 @@ type FS struct {
 	pathOf  map[uint64]string // ino -> relpath
 
 	owners map[string][2]uint32 // uid/gid overrides (chown needs privileges)
+
+	notify []func(path string) // mutation hooks; run with f.mu held
 }
 
 var _ localfs.FileSystem = (*FS)(nil)
@@ -233,6 +235,22 @@ func checkName(name string) error {
 	return nil
 }
 
+// OnMutation registers fn to be called with the store-relative path of every
+// mutated entry. fn runs while the store's lock is held: it must be fast and
+// must not call back into the store. Implements localfs.MutationNotifier.
+func (f *FS) OnMutation(fn func(path string)) {
+	f.mu.Lock()
+	f.notify = append(f.notify, fn)
+	f.mu.Unlock()
+}
+
+// noteMutation invokes the registered hooks. Caller holds f.mu.
+func (f *FS) noteMutation(rel string) {
+	for _, fn := range f.notify {
+		fn(rel)
+	}
+}
+
 // charge reserves n additional bytes against capacity. Caller holds f.mu.
 func (f *FS) charge(n int64) error {
 	if f.capacity > 0 && n > 0 && f.used+n > f.capacity {
@@ -320,6 +338,7 @@ func (f *FS) Setattr(ino uint64, sa localfs.SetAttr) (localfs.Attr, simnet.Cost,
 		}
 		f.owners[rel] = o
 	}
+	f.noteMutation(rel)
 	a, err := f.attrAt(rel)
 	return a, cost, err
 }
@@ -368,6 +387,7 @@ func (f *FS) Create(dirIno uint64, name string, mode uint32, exclusive bool) (lo
 			return localfs.Attr{}, cost, mapErr(err)
 		}
 		f.used -= cur.Size
+		f.noteMutation(rel)
 		a, err := f.attrAt(rel)
 		return a, cost, err
 	}
@@ -377,6 +397,7 @@ func (f *FS) Create(dirIno uint64, name string, mode uint32, exclusive bool) (lo
 	}
 	fh.Close()
 	f.files++
+	f.noteMutation(rel)
 	a, err := f.attrAt(rel)
 	return a, cost, err
 }
@@ -400,6 +421,7 @@ func (f *FS) Mkdir(dirIno uint64, name string, mode uint32) (localfs.Attr, simne
 	if err := os.Mkdir(f.host(rel), fs.FileMode(mode&0o777)); err != nil {
 		return localfs.Attr{}, cost, mapErr(err)
 	}
+	f.noteMutation(rel)
 	a, err := f.attrAt(rel)
 	return a, cost, err
 }
@@ -427,6 +449,7 @@ func (f *FS) Symlink(dirIno uint64, name, target string) (localfs.Attr, simnet.C
 		f.used -= int64(len(target))
 		return localfs.Attr{}, cost, mapErr(err)
 	}
+	f.noteMutation(rel)
 	a, err := f.attrAt(rel)
 	return a, cost, err
 }
@@ -521,6 +544,7 @@ func (f *FS) Write(ino uint64, offset int64, data []byte) (int, simnet.Cost, err
 	if _, err := fh.WriteAt(data, offset); err != nil {
 		return 0, f.disk.OpCost(0), mapErr(err)
 	}
+	f.noteMutation(rel)
 	return len(data), cost, nil
 }
 
@@ -550,6 +574,7 @@ func (f *FS) Remove(dirIno uint64, name string) (simnet.Cost, error) {
 	}
 	f.dropPath(rel)
 	delete(f.owners, rel)
+	f.noteMutation(rel)
 	return cost, nil
 }
 
@@ -577,6 +602,7 @@ func (f *FS) Rmdir(dirIno uint64, name string) (simnet.Cost, error) {
 		return cost, mapErr(err)
 	}
 	f.dropPath(rel)
+	f.noteMutation(rel)
 	return cost, nil
 }
 
@@ -632,6 +658,8 @@ func (f *FS) Rename(srcDir uint64, srcName string, dstDir uint64, dstName string
 		delete(f.owners, from)
 		f.owners[to] = o
 	}
+	f.noteMutation(from)
+	f.noteMutation(to)
 	return cost, nil
 }
 
@@ -702,8 +730,14 @@ func (f *FS) MkdirAll(p string) (localfs.Attr, error) {
 			return localfs.Attr{}, localfs.ErrNotDir
 		}
 	}
+	_, statErr := f.attrAt(rel)
 	if err := os.MkdirAll(f.host(rel), 0o755); err != nil {
 		return localfs.Attr{}, mapErr(err)
+	}
+	if statErr != nil {
+		// Only an actual creation is a mutation; lenient replica apply calls
+		// MkdirAll on every op's parent and must not thrash digest caches.
+		f.noteMutation(rel)
 	}
 	return f.attrAt(rel)
 }
@@ -726,12 +760,19 @@ func (f *FS) RemoveAll(p string) error {
 			}
 			f.dropPath("/" + e.Name())
 		}
+		if len(ents) > 0 {
+			f.noteMutation("/")
+		}
 		return nil
 	}
+	_, statErr := f.attrAt(rel)
 	if err := os.RemoveAll(f.host(rel)); err != nil {
 		return mapErr(err)
 	}
 	f.dropPath(rel)
+	if statErr == nil {
+		f.noteMutation(rel)
+	}
 	return nil
 }
 
@@ -828,6 +869,7 @@ func (f *FS) WriteFile(p string, data []byte) error {
 	if !existed {
 		f.files++
 	}
+	f.noteMutation(rel)
 	return nil
 }
 

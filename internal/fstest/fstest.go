@@ -32,6 +32,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("RemoveAllAccounting", func(t *testing.T) { testRemoveAllAccounting(t, factory) })
 	t.Run("Statfs", func(t *testing.T) { testStatfs(t, factory) })
 	t.Run("BadNames", func(t *testing.T) { testBadNames(t, factory) })
+	t.Run("MerkleDigestStability", func(t *testing.T) { testMerkleDigest(t, factory) })
 }
 
 func testCreateWriteRead(t *testing.T, factory Factory) {

@@ -1,0 +1,76 @@
+package fstest
+
+import (
+	"testing"
+
+	"repro/internal/localfs"
+	"repro/internal/merkle"
+)
+
+// testMerkleDigest verifies the digest contract every backend must honor:
+// digests are content-structural — equal trees digest equal regardless of
+// backend or position in the store — and a cached digest tracks mutations.
+func testMerkleDigest(t *testing.T, factory Factory) {
+	build := func(f localfs.FileSystem, root string) {
+		if err := f.WriteFile(root+"/a.txt", []byte("alpha")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteFile(root+"/sub/b.txt", []byte("beta")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.MkdirAll(root + "/empty"); err != nil {
+			t.Fatal(err)
+		}
+		dir, err := f.LookupPath(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := f.Symlink(dir.Ino, "link", "sub/b.txt"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f := factory(t, 0)
+	build(f, "/data")
+	build(f, "/.rep/data")
+
+	d1, err := merkle.DigestPath(f, "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := merkle.DigestPath(f, "/.rep/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("identical trees at different positions digest differently")
+	}
+	if d1.IsZero() {
+		t.Fatal("digest of a non-empty tree is zero")
+	}
+
+	// A cache over the same store must agree with the uncached oracle, both
+	// before and after a mutation (hook-driven invalidation where the
+	// backend supports it, recomputation otherwise).
+	cache := merkle.NewCache(f)
+	if got, err := cache.DigestOf("/data"); err != nil || got != d1 {
+		t.Fatalf("cached digest diverges from oracle: %v err=%v", got, err)
+	}
+	if err := f.WriteFile("/data/sub/b.txt", []byte("BETA!")); err != nil {
+		t.Fatal(err)
+	}
+	want, err := merkle.DigestPath(f, "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == d1 {
+		t.Fatal("mutating a nested file did not change the root digest")
+	}
+	if got, err := cache.DigestOf("/data"); err != nil || got != want {
+		t.Fatalf("cache did not track the mutation: got %v want %v err=%v", got, want, err)
+	}
+	// The untouched copy keeps its digest.
+	if got, err := merkle.DigestPath(f, "/.rep/data"); err != nil || got != d1 {
+		t.Fatalf("unrelated subtree's digest moved: err=%v", err)
+	}
+}

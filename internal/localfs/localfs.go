@@ -151,6 +151,20 @@ type FS struct {
 	// metadata blocks. Zero by default to match the paper's accounting,
 	// which counts file bytes against contributed gigabytes.
 	inodeOverhead int64
+
+	// notify holds mutation subscribers (OnMutation). Hooks run with f.mu
+	// held, so they must not call back into the file system.
+	notify []func(path string)
+}
+
+// MutationNotifier is implemented by stores that report successful
+// mutations by path. Digest caches (internal/merkle) subscribe so their
+// memoized hashes are invalidated exactly when content changes.
+type MutationNotifier interface {
+	// OnMutation registers fn to be called with the affected store path
+	// after every successful mutating operation. fn runs under the store's
+	// internal lock: it must be fast and must not call back into the store.
+	OnMutation(fn func(path string))
 }
 
 // Option configures an FS.
@@ -265,6 +279,42 @@ func checkName(name string) error {
 	return nil
 }
 
+// OnMutation registers a mutation subscriber; see MutationNotifier.
+func (f *FS) OnMutation(fn func(path string)) {
+	f.mu.Lock()
+	f.notify = append(f.notify, fn)
+	f.mu.Unlock()
+}
+
+// noteMutation reports a successful mutation at p. Caller holds f.mu.
+func (f *FS) noteMutation(p string) {
+	for _, fn := range f.notify {
+		fn(p)
+	}
+}
+
+// pathOf reconstructs an inode's absolute path from its parent/name
+// backpointers, for mutation notifications on handle-based ops. Caller
+// holds f.mu. Returns "" for unlinked inodes.
+func (f *FS) pathOf(in *inode) string {
+	if in == f.root {
+		return "/"
+	}
+	var parts []string
+	for cur := in; cur != f.root; cur = cur.parent {
+		if cur == nil {
+			return ""
+		}
+		parts = append(parts, cur.name)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
 // charge reserves n additional bytes against capacity (n may be negative).
 func (f *FS) charge(n int64) error {
 	if f.capacity > 0 && n > 0 && f.used+n > f.capacity {
@@ -333,6 +383,7 @@ func (f *FS) Setattr(ino uint64, sa SetAttr) (Attr, simnet.Cost, error) {
 		in.atime = *sa.Atime
 	}
 	in.ctime = f.now()
+	f.noteMutation(f.pathOf(in))
 	return f.attrOf(in), cost, nil
 }
 
@@ -383,6 +434,7 @@ func (f *FS) Create(dirIno uint64, name string, mode uint32, exclusive bool) (At
 		f.used -= int64(len(existing.data))
 		existing.data = nil
 		existing.mtime = f.now()
+		f.noteMutation(f.pathOf(existing))
 		return f.attrOf(existing), cost, nil
 	}
 	if err := f.charge(f.inodeOverhead); err != nil {
@@ -399,6 +451,7 @@ func (f *FS) Create(dirIno uint64, name string, mode uint32, exclusive bool) (At
 	dir.children[name] = in
 	dir.mtime = t
 	f.files++
+	f.noteMutation(f.pathOf(in))
 	return f.attrOf(in), cost, nil
 }
 
@@ -431,6 +484,7 @@ func (f *FS) Mkdir(dirIno uint64, name string, mode uint32) (Attr, simnet.Cost, 
 	f.inodes[in.ino] = in
 	dir.children[name] = in
 	dir.mtime = t
+	f.noteMutation(f.pathOf(in))
 	return f.attrOf(in), cost, nil
 }
 
@@ -463,6 +517,7 @@ func (f *FS) Symlink(dirIno uint64, name, target string) (Attr, simnet.Cost, err
 	f.inodes[in.ino] = in
 	dir.children[name] = in
 	dir.mtime = t
+	f.noteMutation(f.pathOf(in))
 	return f.attrOf(in), cost, nil
 }
 
@@ -542,6 +597,7 @@ func (f *FS) Write(ino uint64, offset int64, data []byte) (int, simnet.Cost, err
 	}
 	copy(in.data[offset:end], data)
 	in.mtime = f.now()
+	f.noteMutation(f.pathOf(in))
 	return len(data), cost, nil
 }
 
@@ -591,6 +647,7 @@ func (f *FS) Rmdir(dirIno uint64, name string) (simnet.Cost, error) {
 // unlink detaches in from dir and releases its storage. Caller holds f.mu
 // and has verified membership.
 func (f *FS) unlink(dir, in *inode) {
+	p := f.pathOf(in)
 	delete(dir.children, in.name)
 	delete(f.inodes, in.ino)
 	f.used -= in.size() + f.inodeOverhead
@@ -599,6 +656,9 @@ func (f *FS) unlink(dir, in *inode) {
 	}
 	in.parent = nil
 	dir.mtime = f.now()
+	if p != "" {
+		f.noteMutation(p)
+	}
 }
 
 // Rename moves srcName in srcDir to dstName in dstDir, overwriting a
@@ -641,12 +701,17 @@ func (f *FS) Rename(srcDir uint64, srcName string, dstDir uint64, dstName string
 		}
 		f.unlink(dd, existing)
 	}
+	oldPath := f.pathOf(in)
 	delete(sd.children, in.name)
 	in.name = dstName
 	in.parent = dd
 	dd.children[dstName] = in
 	t := f.now()
 	sd.mtime, dd.mtime, in.ctime = t, t, t
+	if oldPath != "" {
+		f.noteMutation(oldPath)
+	}
+	f.noteMutation(f.pathOf(in))
 	return cost, nil
 }
 
@@ -732,6 +797,7 @@ func (f *FS) MkdirAll(p string) (Attr, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	cur := f.root
+	created := false
 	for _, part := range parts {
 		if cur.typ != TypeDir {
 			return Attr{}, ErrNotDir
@@ -752,10 +818,14 @@ func (f *FS) MkdirAll(p string) (Attr, error) {
 			f.inodes[next.ino] = next
 			cur.children[part] = next
 			cur.mtime = t
+			created = true
 		} else if next.typ != TypeDir {
 			return Attr{}, fmt.Errorf("%w: %q", ErrNotDir, part)
 		}
 		cur = next
+	}
+	if created {
+		f.noteMutation(f.pathOf(cur))
 	}
 	return f.attrOf(cur), nil
 }
@@ -776,6 +846,7 @@ func (f *FS) RemoveAll(p string) error {
 			f.release(c)
 		}
 		f.root.children = make(map[string]*inode)
+		f.noteMutation("/")
 		return nil
 	}
 	f.mu.Lock()
@@ -796,6 +867,7 @@ func (f *FS) RemoveAll(p string) error {
 	f.release(in)
 	delete(cur.children, name)
 	cur.mtime = f.now()
+	f.noteMutation(path.Clean("/" + p))
 	return nil
 }
 

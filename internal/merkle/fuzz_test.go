@@ -1,0 +1,47 @@
+package merkle
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzEntriesCodec feeds arbitrary bytes to the entry-list decoder: it must
+// never panic, and anything it accepts must re-encode to a value that
+// decodes back equal (decode is a partial inverse of encode).
+func FuzzEntriesCodec(f *testing.F) {
+	seed := wire.NewEncoder(64)
+	PutEntries(seed, []Entry{
+		{Name: "a.txt", Type: 1, Digest: FileDigest([]byte("a"))},
+		{Name: "d", Type: 2, Digest: DirDigest(nil)},
+	})
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := wire.NewDecoder(data)
+		ents := GetEntries(d)
+		if d.Err() != nil || ents == nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		e := wire.NewEncoder(len(data))
+		PutEntries(e, ents)
+		d2 := wire.NewDecoder(e.Bytes())
+		ents2 := GetEntries(d2)
+		if d2.Err() != nil {
+			t.Fatalf("re-encoded entries failed to decode: %v", d2.Err())
+		}
+		if len(ents2) != len(ents) {
+			t.Fatalf("round-trip length %d != %d", len(ents2), len(ents))
+		}
+		for i := range ents {
+			if ents2[i] != ents[i] {
+				t.Fatalf("entry %d changed across round-trip", i)
+			}
+		}
+		if d2.Done() != nil {
+			t.Fatal("re-encode left trailing bytes")
+		}
+	})
+}

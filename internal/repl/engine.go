@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/id"
 	"repro/internal/localfs"
+	"repro/internal/merkle"
 	"repro/internal/nfs"
 	"repro/internal/obs"
 	"repro/internal/pastry"
@@ -40,6 +41,13 @@ type Peer interface {
 	// Promote asks to, as the new owner of t's key, to surface its
 	// replica-area copy; reports whether remote state changed.
 	Promote(to simnet.Addr, t Track) (bool, simnet.Cost, error)
+	// DigestTree returns the Merkle digest summary of the subtree stored at
+	// exactly root on to.
+	DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error)
+	// DirDigests lists the immediate children of a remote directory with
+	// their subtree digests; ok is false when dir is missing or not a
+	// directory.
+	DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error)
 	// LookupPath resolves a physical path on a remote store.
 	LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error)
 	// ReadDir lists a remote directory.
@@ -60,6 +68,9 @@ type Options struct {
 	Key      func(pn string) id.ID // placement-name hash
 	Events   *obs.EventLog         // may be nil-safe consumers only if non-nil
 	Registry *obs.Registry
+	// FullPush disables the Merkle delta protocol and restores the legacy
+	// remove-and-recopy push. Kept for the sync experiment's baseline arm.
+	FullPush bool
 }
 
 // Engine tracks the replicated hierarchies this node holds and re-establishes
@@ -75,6 +86,16 @@ type Engine struct {
 	key      func(pn string) id.ID
 	events   *obs.EventLog
 	reg      *obs.Registry
+	mk       *merkle.Cache // subtree digests over store, mutation-invalidated
+	fullPush bool
+
+	// Sync-traffic counters: payload bytes shipped, files sent vs skipped
+	// by digest match, and whole-tree digest exchanges that hit vs missed.
+	syncBytes    *obs.Counter
+	syncSent     *obs.Counter
+	syncSkipped  *obs.Counter
+	digestHits   *obs.Counter
+	digestMisses *obs.Counter
 
 	mu           sync.Mutex
 	tracked      map[string]Track // physical subtree root -> metadata (PN, version)
@@ -85,6 +106,9 @@ type Engine struct {
 
 // New builds an engine with empty tracking state.
 func New(o Options) *Engine {
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
 	return &Engine{
 		self:         o.Self,
 		store:        o.Store,
@@ -94,6 +118,13 @@ func New(o Options) *Engine {
 		key:          o.Key,
 		events:       o.Events,
 		reg:          o.Registry,
+		mk:           merkle.NewCache(o.Store),
+		fullPush:     o.FullPush,
+		syncBytes:    o.Registry.Counter("repl.sync.bytes"),
+		syncSent:     o.Registry.Counter("repl.sync.files.sent"),
+		syncSkipped:  o.Registry.Counter("repl.sync.files.skipped"),
+		digestHits:   o.Registry.Counter("repl.sync.digest.hits"),
+		digestMisses: o.Registry.Counter("repl.sync.digest.misses"),
 		tracked:      make(map[string]Track),
 		trackedLinks: make(map[string]Track),
 	}
@@ -246,12 +277,15 @@ func (e *Engine) StatLocal(root string) TreeStat {
 		return st
 	}
 	st.Exists = true
+	flagPath := path.Join(root, MigrationFlag)
 	e.store.Walk(root, func(p string, a localfs.Attr, _ string) error {
 		if a.Type == localfs.TypeDir {
 			st.Dirs++
 			return nil
 		}
-		if path.Base(p) == MigrationFlag {
+		// Only the root-level sentinel is protocol state; a user file that
+		// happens to share the name deeper in the tree is ordinary data.
+		if p == flagPath {
 			st.Flag = true
 			return nil
 		}
@@ -260,6 +294,30 @@ func (e *Engine) StatLocal(root string) TreeStat {
 		return nil
 	})
 	return st
+}
+
+// DigestLocal summarizes the local subtree stored at exactly this path by
+// its Merkle root digest. Ver is left zero; the RPC layer stamps the
+// holder's recorded mutation counter (the engine's VerOf) on the way out.
+func (e *Engine) DigestLocal(root string) TreeDigest {
+	var td TreeDigest
+	if _, err := e.store.LookupPath(root); err != nil {
+		return td
+	}
+	td.Exists = true
+	if _, err := e.store.LookupPath(path.Join(root, MigrationFlag)); err == nil {
+		td.Flag = true
+	}
+	if d, err := e.mk.DigestOf(root); err == nil {
+		td.Root = d
+	}
+	return td
+}
+
+// DirDigestsLocal lists the immediate children of a local directory with
+// their subtree digests; ok is false when dir is missing or not a directory.
+func (e *Engine) DirDigestsLocal(dir string) ([]merkle.Entry, bool, error) {
+	return e.mk.Entries(dir)
 }
 
 // LocalTreePath locates this node's copy of a subtree: at the primary path
@@ -510,30 +568,31 @@ func (e *Engine) Sync() (total simnet.Cost) {
 }
 
 // ensureTree makes target hold an up-to-date replica-area copy of the
-// local subtree, pushing a full copy under the MIGRATION_NOT_COMPLETE flag
-// protocol when the remote copy is missing, divergent, or was left
-// mid-migration (Section 4.4). When promote is set (the target is the new
-// primary after an ownership change) the pushed copy is promoted to the
-// primary path afterwards.
+// local subtree. Root digests are exchanged first; a match means the
+// remote copy is byte-identical and nothing moves. On a mismatch the delta
+// walk descends only into differing directories and ships only changed
+// files and deletions, under the MIGRATION_NOT_COMPLETE flag protocol
+// (Section 4.4). When promote is set (the target is the new primary after
+// an ownership change) the pushed copy lands at the primary path.
 func (e *Engine) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.Cost, error) {
 	src, ok := e.LocalTreePath(t.Root)
 	if !ok {
 		return 0, nil
 	}
-	local := e.StatLocal(src)
+	localDigest, lerr := e.mk.DigestOf(src)
 	if promote {
 		// Migration to the key's new primary. Versions arbitrate: a
 		// settled remote copy at least as new as ours wins; otherwise we
 		// surface the remote's replica-area copy if that is new enough, or
-		// push ours (§4.3.1, with the §4.4 flag protocol inside pushTree).
-		remote, cost, err := e.peer.StatTree(target, t.Root)
+		// push ours (§4.3.1, with the §4.4 flag protocol inside the push).
+		remote, cost, err := e.peer.DigestTree(target, t.Root)
 		if err != nil {
 			return cost, err
 		}
 		if remote.Exists && !remote.Flag && remote.Ver >= t.Ver {
 			return cost, nil
 		}
-		repRemote, c, err := e.peer.StatTree(target, RepPath(t.Root))
+		repRemote, c, err := e.peer.DigestTree(target, RepPath(t.Root))
 		cost = simnet.Seq(cost, c)
 		if err != nil {
 			return cost, err
@@ -542,27 +601,258 @@ func (e *Engine) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.C
 			_, c, err := e.peer.Promote(target, t)
 			return simnet.Seq(cost, c), err
 		}
-		c, err = e.pushTree(target, t, src, true)
+		c, err = e.deltaPush(target, t, src, true, remote)
 		return simnet.Seq(cost, c), err
 	}
 
 	// Primary -> replica refresh: the primary's copy is authoritative for
-	// its version; an already-matching replica is left alone.
-	remote, cost, err := e.peer.StatTree(target, RepPath(t.Root))
+	// its version; a replica whose root digest already matches holds a
+	// byte-identical copy and is left alone (at most re-stamped).
+	remote, cost, err := e.peer.DigestTree(target, RepPath(t.Root))
 	if err != nil {
 		return cost, err
 	}
-	if local.Same(remote) && remote.Ver == t.Ver {
+	if lerr == nil && remote.Exists && !remote.Flag && remote.Root == localDigest {
+		e.digestHits.Add(1)
+		if remote.Ver != t.Ver {
+			// Content matches but the replica's recorded version lags (e.g.
+			// it missed the mirrors but obtained the bytes elsewhere). One
+			// metadata-only op re-stamps it without moving data.
+			c, err := e.peer.Mirror(target, t, FSOp{Kind: FSMkdirAll, Path: t.Root}, false)
+			return simnet.Seq(cost, c), err
+		}
 		return cost, nil
 	}
-	c, err := e.pushTree(target, t, src, false)
+	e.digestMisses.Add(1)
+	c, err := e.deltaPush(target, t, src, false, remote)
 	return simnet.Seq(cost, c), err
 }
 
-// pushTree copies the local subtree at src to target's replica area. The
-// migration flag is created at the replicated-hierarchy root first and
-// removed only after the copy completes, so a primary failure mid-migration
-// is detectable (Section 4.4).
+// PushChunk bounds the payload of a single mirrored write, matching
+// fetchTree's read granularity, so arbitrarily large files sync with
+// bounded memory on both ends.
+const PushChunk = 1 << 20
+
+// deltaPush brings target's copy of the subtree (remote, already digested)
+// up to date with the local copy at src, shipping only changed files and
+// deletions. The migration flag is written at the hierarchy root first and
+// removed only after the walk completes (Section 4.4); the tree underneath
+// is edited in place, never removed wholesale, so the remote copy stays
+// readable throughout.
+func (e *Engine) deltaPush(target simnet.Addr, t Track, src string, primary bool, remote TreeDigest) (simnet.Cost, error) {
+	if e.fullPush {
+		return e.pushTree(target, t, src, primary)
+	}
+	var total simnet.Cost
+	flag := path.Join(t.Root, MigrationFlag)
+
+	add := func(c simnet.Cost) { total = simnet.Seq(total, c) }
+	step := func(op FSOp) error {
+		c, err := e.peer.Mirror(target, t, op, primary)
+		add(c)
+		return err
+	}
+
+	if !remote.Exists {
+		if err := step(FSOp{Kind: FSMkdirAll, Path: t.Root}); err != nil {
+			return total, err
+		}
+	}
+	if err := step(FSOp{Kind: FSWriteFile, Path: flag}); err != nil {
+		return total, err
+	}
+	if err := e.syncDir(target, t, src, t.Root, primary, step, add); err != nil {
+		return total, err
+	}
+	err := step(FSOp{Kind: FSRemove, Path: flag})
+	return total, err
+}
+
+// syncDir reconciles one directory level: it fetches the remote children's
+// digests, ships entries whose digest differs (recursing into mismatching
+// directories), skips matching subtrees entirely, and deletes remote-only
+// entries. localDir is the local source directory, destDir the matching
+// primary-relative destination (Mirror translates to the replica area when
+// primary is false).
+func (e *Engine) syncDir(target simnet.Addr, t Track, localDir, destDir string, primary bool, step func(FSOp) error, add func(simnet.Cost)) error {
+	queryDir := destDir
+	if !primary {
+		queryDir = RepPath(destDir)
+	}
+	remoteEnts, ok, c, err := e.peer.DirDigests(target, queryDir)
+	add(c)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Remote side missing or not a directory: (re)create it empty and
+		// treat it as having no children. If that clobbered the hierarchy
+		// root, re-arm the migration sentinel before copying underneath it.
+		if err := step(FSOp{Kind: FSRemoveAll, Path: destDir}); err != nil {
+			return err
+		}
+		if err := step(FSOp{Kind: FSMkdirAll, Path: destDir}); err != nil {
+			return err
+		}
+		if destDir == t.Root {
+			if err := step(FSOp{Kind: FSWriteFile, Path: path.Join(t.Root, MigrationFlag)}); err != nil {
+				return err
+			}
+		}
+		remoteEnts = nil
+	}
+	remote := make(map[string]merkle.Entry, len(remoteEnts))
+	for _, ent := range remoteEnts {
+		remote[ent.Name] = ent
+	}
+	// The root-level migration flag is protocol state, not content: never
+	// shipped, never deleted mid-sync (deltaPush removes it at the end).
+	if destDir == t.Root {
+		delete(remote, MigrationFlag)
+	}
+
+	locals, ok, err := e.mk.Entries(localDir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	for _, ent := range locals {
+		if destDir == t.Root && ent.Name == MigrationFlag {
+			continue
+		}
+		lsrc := joinChild(localDir, ent.Name)
+		ldst := joinChild(destDir, ent.Name)
+		rem, exists := remote[ent.Name]
+		delete(remote, ent.Name)
+		if exists && rem.Type == ent.Type && rem.Digest == ent.Digest {
+			e.digestHits.Add(1)
+			e.syncSkipped.Add(uint64(e.countFiles(lsrc, ent.Type)))
+			continue
+		}
+		if exists {
+			e.digestMisses.Add(1)
+		}
+		switch ent.Type {
+		case localfs.TypeDir:
+			if exists && rem.Type != localfs.TypeDir {
+				if err := step(FSOp{Kind: FSRemoveAll, Path: ldst}); err != nil {
+					return err
+				}
+			}
+			if !exists || rem.Type != localfs.TypeDir {
+				if err := step(FSOp{Kind: FSMkdirAll, Path: ldst}); err != nil {
+					return err
+				}
+			}
+			if err := e.syncDir(target, t, lsrc, ldst, primary, step, add); err != nil {
+				return err
+			}
+		case localfs.TypeSymlink:
+			attr, err := e.store.LookupPath(lsrc)
+			if err != nil {
+				return err
+			}
+			symTarget, _, err := e.store.Readlink(attr.Ino)
+			if err != nil {
+				return err
+			}
+			if exists {
+				if err := step(FSOp{Kind: FSRemoveAll, Path: ldst}); err != nil {
+					return err
+				}
+			}
+			if err := step(FSOp{Kind: FSSymlink, Path: ldst, Target: symTarget}); err != nil {
+				return err
+			}
+		default:
+			if exists && rem.Type != localfs.TypeRegular {
+				if err := step(FSOp{Kind: FSRemoveAll, Path: ldst}); err != nil {
+					return err
+				}
+			}
+			if err := e.sendFile(lsrc, ldst, step); err != nil {
+				return err
+			}
+		}
+	}
+	// Whatever remains on the remote side has no local counterpart: delete,
+	// in sorted order so the RPC sequence is deterministic for seed replay.
+	staleNames := make([]string, 0, len(remote))
+	for name := range remote {
+		staleNames = append(staleNames, name)
+	}
+	sort.Strings(staleNames)
+	for _, name := range staleNames {
+		if err := step(FSOp{Kind: FSRemoveAll, Path: joinChild(destDir, name)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendFile ships one regular file in PushChunk-sized pieces: a truncating
+// create, then sequential writes. Memory stays bounded on both ends for
+// arbitrarily large files.
+func (e *Engine) sendFile(lsrc, ldst string, step func(FSOp) error) error {
+	attr, err := e.store.LookupPath(lsrc)
+	if err != nil {
+		return err
+	}
+	if err := step(FSOp{Kind: FSCreate, Path: ldst, Mode: attr.Mode}); err != nil {
+		return err
+	}
+	for off := int64(0); ; {
+		data, eof, _, err := e.store.Read(attr.Ino, off, PushChunk)
+		if err != nil {
+			return err
+		}
+		if len(data) > 0 {
+			if err := step(FSOp{Kind: FSWrite, Path: ldst, Offset: off, Data: data}); err != nil {
+				return err
+			}
+			e.syncBytes.Add(uint64(len(data)))
+			off += int64(len(data))
+		}
+		if eof || len(data) == 0 {
+			break
+		}
+	}
+	e.syncSent.Add(1)
+	return nil
+}
+
+// countFiles returns the number of regular files under a matched local
+// entry, for the files-skipped counter (a local walk only; no traffic).
+func (e *Engine) countFiles(p string, typ localfs.FileType) int {
+	if typ == localfs.TypeRegular {
+		return 1
+	}
+	if typ != localfs.TypeDir {
+		return 0
+	}
+	n := 0
+	e.store.Walk(p, func(_ string, a localfs.Attr, _ string) error {
+		if a.Type == localfs.TypeRegular {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+func joinChild(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// pushTree copies the local subtree at src to target wholesale: remove,
+// recreate, re-ship every entry under the migration flag (Section 4.4).
+// This is the legacy full push, retained behind Options.FullPush as the
+// sync experiment's baseline; deltaPush replaces it on the normal path.
 func (e *Engine) pushTree(target simnet.Addr, t Track, src string, primary bool) (simnet.Cost, error) {
 	var total simnet.Cost
 	flag := path.Join(t.Root, MigrationFlag)
@@ -593,11 +883,7 @@ func (e *Engine) pushTree(target simnet.Addr, t Track, src string, primary bool)
 		case localfs.TypeSymlink:
 			return step(FSOp{Kind: FSSymlink, Path: dst, Target: symTarget})
 		default:
-			data, err := e.store.ReadFile(p)
-			if err != nil {
-				return err
-			}
-			return step(FSOp{Kind: FSWriteFile, Path: dst, Data: data})
+			return e.sendFile(p, dst, step)
 		}
 	})
 	if werr != nil {
@@ -657,7 +943,10 @@ func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.
 					return err
 				}
 			default:
-				if ent.Name == MigrationFlag {
+				// Only the sentinel at the hierarchy root is protocol
+				// state; an identically-named user file deeper in the tree
+				// is ordinary data and must be fetched.
+				if ent.Name == MigrationFlag && remotePath == src {
 					continue
 				}
 				efh, eattr, c, err := e.peer.LookupPath(from, rp)

@@ -1,0 +1,370 @@
+package repl
+
+import (
+	"bytes"
+	"path"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/localfs"
+	"repro/internal/merkle"
+	"repro/internal/nfs"
+	"repro/internal/obs"
+	"repro/internal/pastry"
+	"repro/internal/simnet"
+)
+
+// storePeer is a Peer backed by a real remote store: Mirror applies ops the
+// way a replica node would (replica-area translation, lenient semantics),
+// and the digest/read procedures answer from the store. It makes the delta
+// protocol testable end to end without a network.
+type storePeer struct {
+	remote  localfs.FileSystem
+	mk      *merkle.Cache
+	mirrors []mirrorRec
+	vers    map[string]uint64 // primary-relative root -> recorded Ver
+}
+
+func newStorePeer() *storePeer {
+	remote := localfs.New(0, simnet.DiskModel{})
+	return &storePeer{remote: remote, mk: merkle.NewCache(remote), vers: map[string]uint64{}}
+}
+
+func (s *storePeer) Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
+	s.mirrors = append(s.mirrors, mirrorRec{to: to, op: op, primary: primary})
+	if !primary {
+		op.Path = RepPath(op.Path)
+		if op.Path2 != "" {
+			op.Path2 = RepPath(op.Path2)
+		}
+	}
+	if err := applyLenient(s.remote, op); err != nil {
+		return 0, err
+	}
+	s.vers[t.Root] = t.Ver
+	return 0, nil
+}
+
+// applyLenient executes the op kinds the push protocol emits, with the
+// tolerant semantics core's replica apply uses.
+func applyLenient(fs localfs.FileSystem, op FSOp) error {
+	parent := func(p string) (localfs.Attr, error) {
+		if _, err := fs.MkdirAll(path.Dir(p)); err != nil {
+			return localfs.Attr{}, err
+		}
+		return fs.LookupPath(path.Dir(p))
+	}
+	switch op.Kind {
+	case FSMkdirAll:
+		_, err := fs.MkdirAll(op.Path)
+		return err
+	case FSWriteFile:
+		return fs.WriteFile(op.Path, op.Data)
+	case FSCreate:
+		dir, err := parent(op.Path)
+		if err != nil {
+			return err
+		}
+		_, _, err = fs.Create(dir.Ino, path.Base(op.Path), op.Mode, false)
+		return err
+	case FSWrite:
+		a, err := fs.LookupPath(op.Path)
+		if err != nil {
+			return err
+		}
+		_, _, err = fs.Write(a.Ino, op.Offset, op.Data)
+		return err
+	case FSRemove:
+		dir, err := fs.LookupPath(path.Dir(op.Path))
+		if err != nil {
+			return nil
+		}
+		fs.Remove(dir.Ino, path.Base(op.Path))
+		return nil
+	case FSRemoveAll:
+		return fs.RemoveAll(op.Path)
+	case FSSymlink:
+		dir, err := parent(op.Path)
+		if err != nil {
+			return err
+		}
+		fs.RemoveAll(op.Path)
+		_, _, err = fs.Symlink(dir.Ino, path.Base(op.Path), op.Target)
+		return err
+	}
+	return nil
+}
+
+func (s *storePeer) StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
+	return TreeStat{}, 0, nil
+}
+
+func (s *storePeer) Promote(simnet.Addr, Track) (bool, simnet.Cost, error) { return false, 0, nil }
+
+func (s *storePeer) DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+	var td TreeDigest
+	td.Ver = s.vers[PrimaryRoot(root)]
+	if _, err := s.remote.LookupPath(root); err != nil {
+		return td, 0, nil
+	}
+	td.Exists = true
+	if _, err := s.remote.LookupPath(path.Join(root, MigrationFlag)); err == nil {
+		td.Flag = true
+	}
+	if d, err := s.mk.DigestOf(root); err == nil {
+		td.Root = d
+	}
+	return td, 0, nil
+}
+
+func (s *storePeer) DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+	ents, ok, err := s.mk.Entries(dir)
+	return ents, ok, 0, err
+}
+
+func (s *storePeer) LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
+	attr, err := s.remote.LookupPath(phys)
+	if err != nil {
+		return nfs.Handle{}, localfs.Attr{}, 0, err
+	}
+	return nfs.Handle{Ino: attr.Ino}, attr, 0, nil
+}
+
+func (s *storePeer) ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
+	ents, _, err := s.remote.Readdir(fh.Ino)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]nfs.DirEntry, 0, len(ents))
+	for _, ent := range ents {
+		out = append(out, nfs.DirEntry{Name: ent.Name, Ino: ent.Ino, Type: ent.Type})
+	}
+	return out, 0, nil
+}
+
+func (s *storePeer) ReadAt(to simnet.Addr, fh nfs.Handle, off int64, count int) ([]byte, bool, simnet.Cost, error) {
+	return s.remote.Read(fh.Ino, off, count)
+}
+
+func (s *storePeer) ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error) {
+	attr, err := s.remote.LookupPath(phys)
+	if err != nil {
+		return "", 0, err
+	}
+	t, _, err := s.remote.Readlink(attr.Ino)
+	return t, 0, err
+}
+
+func deltaEngine(t *testing.T, peer Peer) (*Engine, localfs.FileSystem, *obs.Registry) {
+	t.Helper()
+	store := localfs.New(0, simnet.DiskModel{})
+	reg := obs.NewRegistry()
+	rep := pastry.NodeInfo{ID: id.HashKey("r1"), Addr: "r1"}
+	e := New(Options{
+		Self:     "self",
+		Store:    store,
+		Overlay:  &fakeOverlay{isRoot: true, reps: []pastry.NodeInfo{rep}},
+		Peer:     peer,
+		Replicas: 1,
+		Key:      func(pn string) id.ID { return id.HashKey(pn) },
+		Events:   obs.NewEventLog(16),
+		Registry: reg,
+	})
+	return e, store, reg
+}
+
+// Regression (satellite fix): fetchTree used to skip ANY file named like the
+// migration flag, silently dropping legitimately-named user files deeper in
+// the tree. Only the root-level sentinel is protocol state.
+func TestFetchTreeKeepsNestedFlagNamedFile(t *testing.T) {
+	peer := newStorePeer()
+	src := RepPath("/docs")
+	if err := peer.remote.WriteFile(src+"/"+MigrationFlag, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.remote.WriteFile(src+"/a.txt", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.remote.WriteFile(src+"/nest/"+MigrationFlag, []byte("user data")); err != nil {
+		t.Fatal(err)
+	}
+	e, store, _ := deltaEngine(t, peer)
+
+	if _, err := e.fetchTree("r1", Track{PN: "docs", Root: "/docs"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := store.ReadFile("/docs/a.txt"); err != nil || string(data) != "a" {
+		t.Fatalf("/docs/a.txt: %q err=%v", data, err)
+	}
+	if data, err := store.ReadFile("/docs/nest/" + MigrationFlag); err != nil || string(data) != "user data" {
+		t.Fatalf("nested flag-named user file was dropped: %q err=%v", data, err)
+	}
+	if _, err := store.LookupPath("/docs/" + MigrationFlag); err == nil {
+		t.Fatal("root-level migration sentinel was fetched as content")
+	}
+	if v := e.VerOf("/docs"); v != 5 {
+		t.Fatalf("adopted version %d, want 5", v)
+	}
+}
+
+// Satellite fix: pushes ship file contents in bounded chunks rather than one
+// whole-file op.
+func TestSendFileChunksLargePayload(t *testing.T) {
+	e, store, _ := deltaEngine(t, newStorePeer())
+	payload := bytes.Repeat([]byte("x"), PushChunk*2+PushChunk/2)
+	if err := store.WriteFile("/big/blob", payload); err != nil {
+		t.Fatal(err)
+	}
+	var ops []FSOp
+	step := func(op FSOp) error { ops = append(ops, op); return nil }
+	if err := e.sendFile("/big/blob", "/big/blob", step); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 || ops[0].Kind != FSCreate {
+		t.Fatalf("got %d ops (first %v), want FSCreate + 3 chunked FSWrites", len(ops), ops[0].Kind)
+	}
+	var rebuilt []byte
+	for i, op := range ops[1:] {
+		if op.Kind != FSWrite {
+			t.Fatalf("op %d kind %v, want FSWrite", i+1, op.Kind)
+		}
+		if op.Offset != int64(len(rebuilt)) {
+			t.Fatalf("op %d offset %d, want %d", i+1, op.Offset, len(rebuilt))
+		}
+		if len(op.Data) > PushChunk {
+			t.Fatalf("chunk %d bytes exceeds the %d limit", len(op.Data), PushChunk)
+		}
+		rebuilt = append(rebuilt, op.Data...)
+	}
+	if !bytes.Equal(rebuilt, payload) {
+		t.Fatal("chunks do not reassemble to the source file")
+	}
+}
+
+// The tentpole guarantee: a matching replica costs one digest exchange and
+// zero mutations; a one-file change ships only that file; and the replica
+// tree is never removed wholesale (stays readable throughout).
+func TestEnsureTreeDeltaSkipsAndShipsOnlyChanges(t *testing.T) {
+	peer := newStorePeer()
+	e, store, reg := deltaEngine(t, peer)
+
+	files := []string{"f0.txt", "f1.txt", "f2.txt", "f3.txt", "f4.txt"}
+	for _, name := range files {
+		if err := store.WriteFile("/proj/"+name, []byte("content of "+name)); err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.remote.WriteFile(RepPath("/proj")+"/"+name, []byte("content of "+name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peer.vers["/proj"] = 1
+	tr := Track{PN: "proj", Root: "/proj", Ver: 1}
+
+	// Identical copy, identical version: one digest exchange, no mutations.
+	if _, err := e.ensureTree("r1", tr, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(peer.mirrors) != 0 {
+		t.Fatalf("matching replica still received %d ops: %v", len(peer.mirrors), peer.mirrors)
+	}
+	if h := reg.Counter("repl.sync.digest.hits").Load(); h == 0 {
+		t.Fatal("digest hit not counted")
+	}
+
+	// Touch one file; the delta must ship that file and nothing else.
+	if err := store.WriteFile("/proj/f2.txt", []byte("CHANGED")); err != nil {
+		t.Fatal(err)
+	}
+	tr.Ver = 2
+	if _, err := e.ensureTree("r1", tr, false); err != nil {
+		t.Fatal(err)
+	}
+	var wrote []string
+	for _, m := range peer.mirrors {
+		if m.op.Kind == FSRemoveAll {
+			t.Fatalf("delta sync issued FSRemoveAll on %s: replicas must stay readable", m.op.Path)
+		}
+		if m.op.Kind == FSCreate || m.op.Kind == FSWrite {
+			wrote = append(wrote, m.op.Path)
+		}
+	}
+	for _, p := range wrote {
+		if p != "/proj/f2.txt" {
+			t.Fatalf("unchanged path %s was re-shipped", p)
+		}
+	}
+	if len(wrote) == 0 {
+		t.Fatal("changed file never shipped")
+	}
+
+	// The replica's bytes now match the primary's, and the sentinel is gone.
+	want, err := merkle.DigestPath(store, "/proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merkle.DigestPath(peer.remote, RepPath("/proj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatal("replica digest diverges from primary after delta sync")
+	}
+	if _, err := peer.remote.LookupPath(RepPath("/proj") + "/" + MigrationFlag); err == nil {
+		t.Fatal("migration sentinel left behind after sync")
+	}
+	if sent := reg.Counter("repl.sync.files.sent").Load(); sent != 1 {
+		t.Fatalf("files.sent = %d, want 1", sent)
+	}
+	if skipped := reg.Counter("repl.sync.files.skipped").Load(); skipped < 4 {
+		t.Fatalf("files.skipped = %d, want >= 4", skipped)
+	}
+
+	// A deletion propagates as a targeted remove of the stale entry only.
+	attr, err := store.LookupPath("/proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Remove(attr.Ino, "f4.txt"); err != nil {
+		t.Fatal(err)
+	}
+	tr.Ver = 3
+	peer.mirrors = nil
+	if _, err := e.ensureTree("r1", tr, false); err != nil {
+		t.Fatal(err)
+	}
+	var removed []string
+	for _, m := range peer.mirrors {
+		if m.op.Kind == FSRemoveAll {
+			removed = append(removed, m.op.Path)
+		}
+	}
+	if len(removed) != 1 || removed[0] != "/proj/f4.txt" {
+		t.Fatalf("stale-entry removal ops %v, want exactly /proj/f4.txt", removed)
+	}
+	if _, err := peer.remote.LookupPath(RepPath("/proj") + "/f4.txt"); err == nil {
+		t.Fatal("deleted file survived on the replica")
+	}
+}
+
+// Content-identical replica whose recorded version lags is re-stamped with a
+// single metadata op instead of a re-push.
+func TestEnsureTreeRestampsMatchingReplica(t *testing.T) {
+	peer := newStorePeer()
+	e, store, _ := deltaEngine(t, peer)
+	if err := store.WriteFile("/w/x.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.remote.WriteFile(RepPath("/w")+"/x.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	peer.vers["/w"] = 1
+	if _, err := e.ensureTree("r1", Track{PN: "w", Root: "/w", Ver: 4}, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(peer.mirrors) != 1 || peer.mirrors[0].op.Kind != FSMkdirAll {
+		t.Fatalf("restamp ops %v, want a single FSMkdirAll", peer.mirrors)
+	}
+	if peer.vers["/w"] != 4 {
+		t.Fatalf("replica version %d after restamp, want 4", peer.vers["/w"])
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/id"
 	"repro/internal/localfs"
+	"repro/internal/merkle"
 	"repro/internal/nfs"
 	"repro/internal/obs"
 	"repro/internal/pastry"
@@ -33,11 +34,13 @@ type mirrorRec struct {
 	primary bool
 }
 
-// fakePeer records Mirror traffic and answers StatTree from a script keyed
-// by "addr root".
+// fakePeer records Mirror traffic and answers StatTree/DigestTree/DirDigests
+// from scripts keyed by "addr path".
 type fakePeer struct {
 	mirrors []mirrorRec
 	stats   map[string]TreeStat
+	digests map[string]TreeDigest
+	dirs    map[string][]merkle.Entry // presence of the key = directory exists
 }
 
 func (f *fakePeer) Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
@@ -47,6 +50,15 @@ func (f *fakePeer) Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simne
 
 func (f *fakePeer) StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
 	return f.stats[fmt.Sprintf("%s %s", to, root)], 0, nil
+}
+
+func (f *fakePeer) DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+	return f.digests[fmt.Sprintf("%s %s", to, root)], 0, nil
+}
+
+func (f *fakePeer) DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+	ents, ok := f.dirs[fmt.Sprintf("%s %s", to, dir)]
+	return ents, ok, 0, nil
 }
 
 func (f *fakePeer) Promote(simnet.Addr, Track) (bool, simnet.Cost, error) { return false, 0, nil }
@@ -218,7 +230,7 @@ func TestSyncPushesToReplicas(t *testing.T) {
 			sawFlagCreate = true
 		case m.op.Kind == FSRemove && m.op.Path == "/music/"+MigrationFlag:
 			sawFlagRemove = true
-		case m.op.Kind == FSWriteFile && m.op.Path == "/music/a.mp3":
+		case m.op.Kind == FSWrite && m.op.Path == "/music/a.mp3":
 			sawData = true
 			if !sawFlagCreate {
 				t.Fatal("data pushed before the migration flag was set")
@@ -249,7 +261,7 @@ func TestSyncMigratesWhenOwnershipMoved(t *testing.T) {
 
 	var pushed bool
 	for _, m := range peer.mirrors {
-		if m.to == "n2" && m.op.Kind == FSWriteFile && m.op.Path == "/work/w.txt" {
+		if m.to == "n2" && m.op.Kind == FSWrite && m.op.Path == "/work/w.txt" {
 			pushed = true
 			if !m.primary {
 				t.Fatal("migration push must target the new primary's namespace")

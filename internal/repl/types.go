@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/localfs"
+	"repro/internal/merkle"
 )
 
 // MigrationFlag is the sentinel file created at the root of a replicated
@@ -139,4 +140,15 @@ type TreeStat struct {
 func (t TreeStat) Same(o TreeStat) bool {
 	return t.Exists == o.Exists && !t.Flag && !o.Flag &&
 		t.Files == o.Files && t.Dirs == o.Dirs && t.Bytes == o.Bytes
+}
+
+// TreeDigest summarizes a replicated hierarchy by its Merkle root digest:
+// two settled copies are byte-identical exactly when their Root digests
+// match, so replica maintenance can skip an entire subtree with one
+// exchange and otherwise walk only the mismatching directories.
+type TreeDigest struct {
+	Exists bool
+	Flag   bool          // MIGRATION_NOT_COMPLETE present at the root
+	Ver    uint64        // the holder's recorded mutation counter for the root
+	Root   merkle.Digest // content-structural digest of the subtree
 }

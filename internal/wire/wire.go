@@ -92,6 +92,15 @@ func (e *Encoder) PutFixedOpaque(p []byte) {
 	}
 }
 
+// DigestSize is the fixed length of a content digest on the wire (SHA-256,
+// see internal/merkle).
+const DigestSize = 32
+
+// PutDigest appends a fixed 32-byte content digest.
+func (e *Encoder) PutDigest(d [DigestSize]byte) {
+	e.PutFixedOpaque(d[:])
+}
+
 // PutString appends a string as a variable-length opaque.
 func (e *Encoder) PutString(s string) {
 	e.PutUint32(uint32(len(s)))
@@ -213,6 +222,12 @@ func (d *Decoder) FixedOpaque(dst []byte) {
 	}
 	copy(dst, p)
 	d.take(pad4(len(dst)))
+}
+
+// Digest reads a fixed 32-byte content digest.
+func (d *Decoder) Digest() (out [DigestSize]byte) {
+	d.FixedOpaque(out[:])
+	return out
 }
 
 // String reads a length-prefixed string.
