@@ -34,6 +34,11 @@ smoke:
 		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
 	done; \
 	echo "smoke: koshabench sync JSON ok"
+	@out=$$($(GO) run ./cmd/koshabench -exp stream -quick -format json); \
+	for f in seq_rpcs_base seq_rpcs_stream read_rpc_ratio write_rpc_ratio seq_mbps_stream; do \
+		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
+	done; \
+	echo "smoke: koshabench stream JSON ok"
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -51,12 +56,14 @@ test:
 	$(GO) test -short -race ./...
 
 # bench runs the concurrency-scaling benchmark (sweep goroutine counts to
-# see the sharded hot path scale) alongside the cache-ablation benchmark
-# and the full-vs-delta replica sync comparison.
+# see the sharded hot path scale) alongside the cache-ablation benchmark,
+# the full-vs-delta replica sync comparison, and the large-file streaming
+# comparison (stop-and-wait vs pipelined readahead + write-back).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallelMetadata' -cpu=1,2,4,8 -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkAblationMetadataCache' -short -benchtime=1x .
 	$(GO) run ./cmd/koshabench -exp sync
+	$(GO) run ./cmd/koshabench -exp stream
 
 bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x ./...

@@ -343,6 +343,13 @@ func Run(o Options) (*Report, error) {
 		}
 	}
 
+	// Dirty write-back buffers must land before the oracle's final
+	// read-backs. A no-op under the default write-through configuration.
+	for i, m := range mounts {
+		if _, err := m.FlushAll(); err != nil {
+			return fail("flush mount %d: %v", i, err)
+		}
+	}
 	if err := s.Quiesce(); err != nil {
 		return fail("quiesce: %v", err)
 	}

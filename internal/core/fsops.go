@@ -67,6 +67,30 @@ func (n *Node) applyFSOp(op FSOp, lenient bool) (localfs.Attr, simnet.Cost, erro
 		attr, _ = n.store.LookupPath(op.Path)
 		return attr, simnet.Seq(resolveCost, cost), nil
 
+	case FSWriteV:
+		attr, err := n.store.LookupPath(op.Path)
+		if err != nil && lenient {
+			if werr := n.store.WriteFile(op.Path, nil); werr == nil {
+				attr, err = n.store.LookupPath(op.Path)
+			}
+		}
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		// The spans land back to back on the store, like the WRITEBATCH
+		// procedure they mirror: disk costs accumulate, the round trip was
+		// paid once.
+		total := resolveCost
+		for _, sp := range op.Spans {
+			_, cost, werr := n.store.Write(attr.Ino, sp.Offset, sp.Data)
+			total = simnet.Seq(total, cost)
+			if werr != nil {
+				return localfs.Attr{}, total, werr
+			}
+		}
+		attr, _ = n.store.LookupPath(op.Path)
+		return attr, total, nil
+
 	case FSWriteFile:
 		if err := n.store.WriteFile(op.Path, op.Data); err != nil {
 			return localfs.Attr{}, resolveCost, err

@@ -56,9 +56,15 @@ type Mount struct {
 
 	vt vtable // sharded virtual-handle table
 
-	rr        atomic.Uint64         // round-robin cursor for replica reads
-	readMu    sync.Mutex            // guards readsFrom
-	readsFrom map[simnet.Addr]int64 // per-node read counter (observability)
+	rr        atomic.Uint64 // round-robin cursor for replica reads
+	readsFrom sync.Map      // simnet.Addr → *atomic.Int64 read counters
+
+	// Streaming state (readahead windows, write-back buffers), keyed by
+	// virtual handle. Populated only when Config enables streaming, so the
+	// default write-through/stop-and-wait paths pay one empty-map lookup at
+	// most.
+	smu     sync.Mutex
+	streams map[VH]*stream
 
 	// Client-side metadata caches; the clock is a Mount field so TTL tests
 	// can warp time per mount.
@@ -69,9 +75,9 @@ type Mount struct {
 // NewMount attaches a client to the node's koshad.
 func (n *Node) NewMount() *Mount {
 	m := &Mount{
-		n:         n,
-		readsFrom: make(map[simnet.Addr]int64),
-		now:       time.Now,
+		n:       n,
+		streams: make(map[VH]*stream),
+		now:     time.Now,
 	}
 	m.meta.init()
 	m.vt.init(&ventry{
@@ -138,11 +144,17 @@ func (m *Mount) insert(de *ventry) VH { return m.vt.insert(de) }
 func (m *Mount) replace(vh VH, de *ventry) { m.vt.set(vh, de) }
 
 // forget drops a virtual handle (e.g. after unlink). The root handle is
-// permanent.
+// permanent. Dirty write-back data is flushed best-effort first — internal
+// helpers (WriteFile) drop handles on return and must not lose buffered
+// bytes; Close is the path where flush errors surface.
 func (m *Mount) forget(vh VH) {
 	if vh == RootVH {
 		return
 	}
+	if m.n.cfg.WriteBackBytes > 0 {
+		m.flushVH(nil, vh) //nolint:errcheck // best-effort; Close reports
+	}
+	m.cancelStream(vh)
 	m.vt.delete(vh)
 }
 
@@ -239,6 +251,12 @@ func (m *Mount) getattr(tr *obs.Trace, vh VH) (localfs.Attr, simnet.Cost, error)
 			return a, m.n.cfg.InterposeCost, nil
 		}
 	}
+	// The fetched attributes must reflect buffered write-back data (size,
+	// mtime), so dirty spans land first.
+	fcost, ferr := m.flushVH(tr, vh)
+	if ferr != nil {
+		return localfs.Attr{}, fcost, ferr
+	}
 	var attr localfs.Attr
 	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
 		a, c, err := m.n.nfsc.Getattr(de.node, de.fh)
@@ -248,7 +266,7 @@ func (m *Mount) getattr(tr *obs.Trace, vh VH) (localfs.Attr, simnet.Cost, error)
 		}
 		return c, err
 	})
-	return attr, cost, err
+	return attr, simnet.Seq(fcost, cost), err
 }
 
 // Setattr updates attributes through the primary, which mirrors to replicas.
@@ -260,6 +278,11 @@ func (m *Mount) Setattr(vh VH, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, e
 }
 
 func (m *Mount) setattr(tr *obs.Trace, vh VH, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, error) {
+	// Buffered writes precede the attribute change in program order.
+	fcost, ferr := m.flushVH(tr, vh)
+	if ferr != nil {
+		return localfs.Attr{}, fcost, ferr
+	}
 	var attr localfs.Attr
 	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
 		a, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},
@@ -270,7 +293,7 @@ func (m *Mount) setattr(tr *obs.Trace, vh VH, sa localfs.SetAttr) (localfs.Attr,
 		}
 		return c, err
 	})
-	return attr, cost, err
+	return attr, simnet.Seq(fcost, cost), err
 }
 
 // Read returns up to count bytes of the file at offset. With
@@ -285,6 +308,16 @@ func (m *Mount) Read(vh VH, offset int64, count int) ([]byte, bool, simnet.Cost,
 }
 
 func (m *Mount) read(tr *obs.Trace, vh VH, offset int64, count int) ([]byte, bool, simnet.Cost, error) {
+	// Read-your-writes: this handle's buffered write-back data must land
+	// before bytes are served back.
+	fcost, ferr := m.flushVH(tr, vh)
+	if ferr != nil {
+		return nil, false, fcost, ferr
+	}
+	if m.n.cfg.ReadaheadChunks > 0 {
+		data, eof, cost, err := m.readAhead(tr, vh, offset, count)
+		return data, eof, simnet.Seq(fcost, cost), err
+	}
 	var data []byte
 	var eof bool
 	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
@@ -304,7 +337,7 @@ func (m *Mount) read(tr *obs.Trace, vh VH, offset int64, count int) ([]byte, boo
 		}
 		return c, err
 	})
-	return data, eof, cost, err
+	return data, eof, simnet.Seq(fcost, cost), err
 }
 
 // readViaReplica attempts one read against a rotating replica holder;
@@ -337,22 +370,26 @@ func (m *Mount) readViaReplica(tr *obs.Trace, de *ventry, offset int64, count in
 	return d, e, total, true
 }
 
+// countRead bumps the per-node read counter. Lock-free on the steady path:
+// concurrent reads against different (or the same) nodes no longer
+// serialize on a mount-global mutex.
 func (m *Mount) countRead(addr simnet.Addr) {
-	m.readMu.Lock()
-	m.readsFrom[addr]++
-	m.readMu.Unlock()
+	c, ok := m.readsFrom.Load(addr)
+	if !ok {
+		c, _ = m.readsFrom.LoadOrStore(addr, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
 }
 
 // ReadSpread reports how many reads this mount served from each node,
 // for observability and the replica-read ablation. The returned map is a
 // copy the caller owns.
 func (m *Mount) ReadSpread() map[simnet.Addr]int64 {
-	m.readMu.Lock()
-	defer m.readMu.Unlock()
-	out := make(map[simnet.Addr]int64, len(m.readsFrom))
-	for k, v := range m.readsFrom {
-		out[k] = v
-	}
+	out := make(map[simnet.Addr]int64)
+	m.readsFrom.Range(func(k, v any) bool {
+		out[k.(simnet.Addr)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	return out
 }
 
@@ -366,6 +403,11 @@ func (m *Mount) Write(vh VH, offset int64, data []byte) (int, simnet.Cost, error
 }
 
 func (m *Mount) write(tr *obs.Trace, vh VH, offset int64, data []byte) (int, simnet.Cost, error) {
+	if m.n.cfg.WriteBackBytes > 0 {
+		if n, cost, handled, err := m.writeBuffered(tr, vh, offset, data); handled {
+			return n, cost, err
+		}
+	}
 	n := 0
 	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
 		_, _, c, err := m.n.apply(tr, de.node, Key(de.pn), Track{PN: de.pn, Root: de.root},

@@ -56,6 +56,23 @@ type Config struct {
 	// read operations to be served from any one of the K replicas").
 	// Writes still serialize through the primary.
 	ReadFromReplicas bool
+	// StreamChunk is the chunk size of the streaming data path: readahead
+	// windows and pull-repair tree fetches move multiples of it per round
+	// trip. Default repl.PushChunk (1 MiB), keeping the client path and the
+	// replication engine on one tunable.
+	StreamChunk int
+	// ReadaheadChunks is N, the readahead window in StreamChunk-sized
+	// pieces a mount keeps in flight ahead of a sequential reader (one
+	// READSTREAM round trip per window). 0 (default) disables readahead:
+	// every READ is one stop-and-wait round trip.
+	ReadaheadChunks int
+	// WriteBackBytes is the high-water mark of the per-handle write-back
+	// buffer. 0 (default) keeps writes write-through — each WRITE applies
+	// synchronously, which the chaos oracle's determinism relies on. >0
+	// buffers and coalesces adjacent writes client-side, flushing on high
+	// water, Commit, or Close (close-to-open preserved; flush errors
+	// surface at close like NFSv3 COMMIT).
+	WriteBackBytes int
 	// SyncReplication charges replica fan-out on the client-visible
 	// critical path. Off by default: the primary replies after its local
 	// apply and mirrors propagate off the measured path, matching the
@@ -138,6 +155,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Disk == (simnet.DiskModel{}) {
 		c.Disk = simnet.Disk7200
+	}
+	if c.StreamChunk <= 0 {
+		c.StreamChunk = repl.PushChunk
+	}
+	if c.ReadaheadChunks < 0 {
+		c.ReadaheadChunks = 0
+	}
+	if c.WriteBackBytes < 0 {
+		c.WriteBackBytes = 0
 	}
 	c.AutoSync = !c.NoAutoSync
 	if c.AttrCacheTTL == 0 {
@@ -266,6 +292,14 @@ type Node struct {
 	repFanout  *obs.Counter
 	repHist    *obs.Histogram
 
+	// Streaming data-path counters (per-op, node-wide): readahead buffer
+	// hits and prefetched-then-discarded bytes, write-back absorbed writes
+	// and flush round trips.
+	raHits      *obs.Counter
+	raWasted    *obs.Counter
+	wbCoalesced *obs.Counter
+	wbFlushes   *obs.Counter
+
 	storeSeq atomic.Uint64 // storage-root allocation counter
 	gen      uint64        // store incarnation counter
 }
@@ -318,6 +352,10 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 	n.opErrors = n.reg.Counter("ops.errors")
 	n.repCount = n.reg.Counter("replicate.count")
 	n.repFanout = n.reg.Counter("replicate.fanout")
+	n.raHits = n.reg.Counter("io.readahead.hits")
+	n.raWasted = n.reg.Counter("io.readahead.wasted")
+	n.wbCoalesced = n.reg.Counter("io.writeback.coalesced")
+	n.wbFlushes = n.reg.Counter("io.writeback.flushes")
 	hists := n.reg.Histograms(nodeHistNames...)
 	n.routeHist, n.repHist = hists[0], hists[1]
 	copy(n.opHists[:], hists[2:])

@@ -61,8 +61,8 @@ func (p enginePeer) ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simn
 	return p.n.nfsc.ReaddirAll(to, fh, 256)
 }
 
-func (p enginePeer) ReadAt(to simnet.Addr, fh nfs.Handle, off int64, count int) ([]byte, bool, simnet.Cost, error) {
-	return p.n.nfsc.Read(to, fh, off, count)
+func (p enginePeer) ReadStream(to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
+	return p.n.nfsc.ReadStream(to, fh, off, chunk, chunks)
 }
 
 func (p enginePeer) ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error) {

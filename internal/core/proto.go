@@ -76,6 +76,7 @@ const (
 	FSRename    = repl.FSRename
 	FSSymlink   = repl.FSSymlink
 	FSWriteFile = repl.FSWriteFile
+	FSWriteV    = repl.FSWriteV
 )
 
 func putFSOp(e *wire.Encoder, op FSOp) {
@@ -89,6 +90,7 @@ func putFSOp(e *wire.Encoder, op FSOp) {
 	e.PutString(op.Target)
 	putSetAttr(e, op.SetAttr)
 	e.PutBool(op.Prune)
+	nfs.PutWriteSpans(e, op.Spans)
 }
 
 func getFSOp(d *wire.Decoder) FSOp {
@@ -103,6 +105,7 @@ func getFSOp(d *wire.Decoder) FSOp {
 	op.Target = d.String()
 	op.SetAttr = getSetAttr(d)
 	op.Prune = d.Bool()
+	op.Spans = nfs.GetWriteSpans(d)
 	return op
 }
 

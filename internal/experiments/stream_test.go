@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// quickStreamOptions is the scaled-down shape koshabench -quick uses; the
+// acceptance thresholds are pinned against it.
+func quickStreamOptions() StreamOptions {
+	opts := DefaultStreamOptions()
+	opts.FileBytes = 8 << 20
+	opts.RandReads = 8
+	opts.WriteCount = 64
+	return opts
+}
+
+// TestStreamAcceptance pins the PR's acceptance criteria: the windowed scan
+// issues at least 3x fewer data RPCs (and models higher throughput) than
+// stop-and-wait, and write-back coalesces the small sequential writes into
+// at most 1/4 of the baseline's WRITE messages.
+func TestStreamAcceptance(t *testing.T) {
+	res, err := RunStream(quickStreamOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadRPCRatio < 3 {
+		t.Errorf("sequential read RPC ratio = %.2f (%d -> %d), want >= 3",
+			res.ReadRPCRatio, res.SeqRPCsBase, res.SeqRPCsStream)
+	}
+	if res.SeqMBpsStream <= res.SeqMBpsBase {
+		t.Errorf("modeled sequential throughput did not improve: %.1f -> %.1f MB/s",
+			res.SeqMBpsBase, res.SeqMBpsStream)
+	}
+	if res.WriteRPCRatio < 4 {
+		t.Errorf("write RPC ratio = %.2f (%d -> %d), want >= 4",
+			res.WriteRPCRatio, res.WriteRPCsBase, res.WriteRPCsStream)
+	}
+	if res.ReadaheadHits == 0 {
+		t.Error("streamed arm recorded no readahead hits")
+	}
+	if res.WBFlushes == 0 || res.WBCoalesced < res.WBFlushes {
+		t.Errorf("write-back counters off: coalesced=%d flushes=%d", res.WBCoalesced, res.WBFlushes)
+	}
+	// Random pokes must not regress: the window is cancelled on seek, each
+	// poke stays a single data RPC.
+	if res.RandRPCsStream > res.RandRPCsBase {
+		t.Errorf("random reads regressed: %d -> %d RPCs", res.RandRPCsBase, res.RandRPCsStream)
+	}
+}

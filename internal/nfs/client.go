@@ -282,6 +282,38 @@ func (c *Client) Read(to simnet.Addr, h Handle, offset int64, count int) ([]byte
 	return d.Opaque(), eof, cost, nil
 }
 
+// ReadStream reads up to chunks consecutive chunk-byte pieces of h starting
+// at offset in one round trip — the pipelined window transfer behind the
+// client's readahead. The reply concatenates the pieces; eof reports whether
+// the file ended within the window.
+func (c *Client) ReadStream(to simnet.Addr, h Handle, offset int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcReadStream, func(e *wire.Encoder) {
+		putHandle(e, h)
+		e.PutInt64(offset)
+		e.PutUint32(uint32(chunk))
+		e.PutUint32(uint32(chunks))
+	})
+	if err != nil {
+		return nil, false, cost, err
+	}
+	eof := d.Bool()
+	return d.Opaque(), eof, cost, nil
+}
+
+// WriteBatch stores a vector of coalesced spans into h in one round trip —
+// the flush transfer behind the client's write-back buffer. Spans apply in
+// order; the result is the total byte count written.
+func (c *Client) WriteBatch(to simnet.Addr, h Handle, spans []WriteSpan) (int, simnet.Cost, error) {
+	d, cost, err := c.call(to, ProcWriteBatch, func(e *wire.Encoder) {
+		putHandle(e, h)
+		PutWriteSpans(e, spans)
+	})
+	if err != nil {
+		return 0, cost, err
+	}
+	return int(d.Uint32()), cost, nil
+}
+
 // Write stores data into h at offset.
 func (c *Client) Write(to simnet.Addr, h Handle, offset int64, data []byte) (int, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcWrite, func(e *wire.Encoder) {

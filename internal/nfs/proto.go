@@ -52,6 +52,13 @@ const (
 	ProcReaddirPlus Proc = 17
 	ProcFSStat      Proc = 18
 	ProcFSInfo      Proc = 19
+	// ProcReadStream and ProcWriteBatch are Kosha's streaming extensions:
+	// one round trip moves a whole readahead window (several chunk-sized
+	// READs pipelined server-side) or a write-back buffer (a vector of
+	// coalesced spans). They take numbers above the RFC 1813 program so a
+	// plain NFSv3 peer could still answer the standard procedures.
+	ProcReadStream Proc = 40
+	ProcWriteBatch Proc = 41
 	// ProcMountRoot stands in for the separate MOUNT protocol's MNT call,
 	// which hands an NFS client the root file handle of an export.
 	ProcMountRoot Proc = 100
@@ -95,6 +102,10 @@ func (p Proc) String() string {
 		return "FSSTAT"
 	case ProcFSInfo:
 		return "FSINFO"
+	case ProcReadStream:
+		return "READSTREAM"
+	case ProcWriteBatch:
+		return "WRITEBATCH"
 	case ProcMountRoot:
 		return "MNT"
 	default:
@@ -401,6 +412,37 @@ type DirEntryPlus struct {
 	FH        Handle
 	Attr      localfs.Attr
 	SymTarget string
+}
+
+// WriteSpan is one contiguous byte range of a vectored write: the unit
+// WRITEBATCH carries on the wire and the write-back buffer coalesces
+// adjacent WRITEs into.
+type WriteSpan struct {
+	Offset int64
+	Data   []byte
+}
+
+// PutWriteSpans encodes a span vector; exposed for the kosha replication
+// service, which ships the same vector inside its mirrored mutations.
+func PutWriteSpans(e *wire.Encoder, spans []WriteSpan) {
+	e.PutUint32(uint32(len(spans)))
+	for _, s := range spans {
+		e.PutInt64(s.Offset)
+		e.PutOpaque(s.Data)
+	}
+}
+
+// GetWriteSpans decodes a span vector written by PutWriteSpans.
+func GetWriteSpans(d *wire.Decoder) []WriteSpan {
+	n := d.ArrayLen()
+	if n <= 0 {
+		return nil
+	}
+	spans := make([]WriteSpan, 0, n)
+	for i := 0; i < n; i++ {
+		spans = append(spans, WriteSpan{Offset: d.Int64(), Data: d.Opaque()})
+	}
+	return spans
 }
 
 // FSStat mirrors localfs.FSStat on the wire.

@@ -94,8 +94,8 @@ func (s *Server) Handle(from simnet.Addr, req []byte) ([]byte, simnet.Cost, erro
 // idempotent and bypass the cache.
 func mutating(p Proc) bool {
 	switch p {
-	case ProcSetattr, ProcWrite, ProcCreate, ProcMkdir, ProcSymlink,
-		ProcRemove, ProcRmdir, ProcRename:
+	case ProcSetattr, ProcWrite, ProcWriteBatch, ProcCreate, ProcMkdir,
+		ProcSymlink, ProcRemove, ProcRmdir, ProcRename:
 		return true
 	}
 	return false
@@ -275,6 +275,67 @@ func (s *Server) dispatch(proc Proc, d *wire.Decoder) ([]byte, simnet.Cost) {
 		e.PutUint32(uint32(OK))
 		e.PutBool(eof)
 		e.PutOpaque(data)
+		return e.Bytes(), cost
+
+	case ProcReadStream:
+		h := getHandle(d)
+		offset := d.Int64()
+		chunk := int(d.Uint32())
+		chunks := int(d.Uint32())
+		if d.Err() != nil || chunk <= 0 || chunks <= 0 {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		// The window's chunk reads run back to back against the store; their
+		// disk costs accumulate, but the propagation round trip is paid once
+		// for the whole window — that is the entire point of the procedure.
+		var data []byte
+		var eof bool
+		var cost simnet.Cost
+		off := offset
+		for i := 0; i < chunks; i++ {
+			piece, pe, c, err := s.fs.Read(ino, off, chunk)
+			cost = simnet.Seq(cost, c)
+			if err != nil {
+				return s.fail(proc, toStatus(err)), cost
+			}
+			data = append(data, piece...)
+			off += int64(len(piece))
+			if pe || len(piece) < chunk {
+				eof = pe
+				break
+			}
+		}
+		e.PutUint32(uint32(OK))
+		e.PutBool(eof)
+		e.PutOpaque(data)
+		return e.Bytes(), cost
+
+	case ProcWriteBatch:
+		h := getHandle(d)
+		spans := GetWriteSpans(d)
+		if d.Err() != nil {
+			return s.fail(proc, ErrInval), 0
+		}
+		ino, st := s.check(h)
+		if st != OK {
+			return s.fail(proc, st), 0
+		}
+		var total int
+		var cost simnet.Cost
+		for _, sp := range spans {
+			n, c, err := s.fs.Write(ino, sp.Offset, sp.Data)
+			cost = simnet.Seq(cost, c)
+			if err != nil {
+				return s.fail(proc, toStatus(err)), cost
+			}
+			total += n
+		}
+		e.PutUint32(uint32(OK))
+		e.PutUint32(uint32(total))
 		return e.Bytes(), cost
 
 	case ProcWrite:

@@ -38,6 +38,7 @@ const (
 	OpRename    = "RENAME"
 	OpSymlink   = "SYMLINK"
 	OpReadlink  = "READLINK"
+	OpCommit    = "COMMIT"
 	OpRoute     = "route"
 	OpReplicate = "replicate"
 	OpFailover  = "failover"
@@ -64,6 +65,7 @@ const (
 	OpcRename
 	OpcSymlink
 	OpcReadlink
+	OpcCommit
 	OpcCount // number of codes; not an operation
 )
 
@@ -81,6 +83,7 @@ var opNames = [OpcCount]string{
 	OpcRename:   OpRename,
 	OpcSymlink:  OpSymlink,
 	OpcReadlink: OpReadlink,
+	OpcCommit:   OpCommit,
 }
 
 // String returns the operation name used as the histogram key suffix.

@@ -52,8 +52,10 @@ type Peer interface {
 	LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error)
 	// ReadDir lists a remote directory.
 	ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error)
-	// ReadAt reads one chunk of a remote file, reporting EOF.
-	ReadAt(to simnet.Addr, fh nfs.Handle, off int64, count int) ([]byte, bool, simnet.Cost, error)
+	// ReadStream reads up to chunks consecutive chunk-byte pieces of a
+	// remote file in one round trip, reporting EOF — the pipelined window
+	// transfer tree fetches are built from.
+	ReadStream(to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error)
 	// ReadLink reads a remote symlink target by physical path.
 	ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error)
 }
@@ -630,8 +632,13 @@ func (e *Engine) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.C
 
 // PushChunk bounds the payload of a single mirrored write, matching
 // fetchTree's read granularity, so arbitrarily large files sync with
-// bounded memory on both ends.
+// bounded memory on both ends. The client-side streaming data path shares
+// this chunk size (core.Config.StreamChunk defaults to it).
 const PushChunk = 1 << 20
+
+// FetchWindow is how many PushChunk pieces a pull-repair tree fetch keeps
+// in flight per ReadStream round trip.
+const FetchWindow = 4
 
 // deltaPush brings target's copy of the subtree (remote, already digested)
 // up to date with the local copy at src, shipping only changed files and
@@ -956,14 +963,14 @@ func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.
 				}
 				data := make([]byte, 0, eattr.Size)
 				for off := int64(0); ; {
-					chunk, eof, c, err := e.peer.ReadAt(from, efh, off, 1<<20)
+					chunk, eof, c, err := e.peer.ReadStream(from, efh, off, PushChunk, FetchWindow)
 					total = simnet.Seq(total, c)
 					if err != nil {
 						return err
 					}
 					data = append(data, chunk...)
 					off += int64(len(chunk))
-					if eof {
+					if eof || len(chunk) == 0 {
 						break
 					}
 				}

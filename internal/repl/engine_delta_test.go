@@ -142,8 +142,20 @@ func (s *storePeer) ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simn
 	return out, 0, nil
 }
 
-func (s *storePeer) ReadAt(to simnet.Addr, fh nfs.Handle, off int64, count int) ([]byte, bool, simnet.Cost, error) {
-	return s.remote.Read(fh.Ino, off, count)
+func (s *storePeer) ReadStream(to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
+	var data []byte
+	for i := 0; i < chunks; i++ {
+		piece, eof, _, err := s.remote.Read(fh.Ino, off, chunk)
+		if err != nil {
+			return nil, false, 0, err
+		}
+		data = append(data, piece...)
+		off += int64(len(piece))
+		if eof || len(piece) < chunk {
+			return data, eof, 0, nil
+		}
+	}
+	return data, false, 0, nil
 }
 
 func (s *storePeer) ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error) {

@@ -71,7 +71,7 @@ func (f *fakePeer) ReadDir(simnet.Addr, nfs.Handle) ([]nfs.DirEntry, simnet.Cost
 	return nil, 0, fmt.Errorf("fakePeer: no remote store")
 }
 
-func (f *fakePeer) ReadAt(simnet.Addr, nfs.Handle, int64, int) ([]byte, bool, simnet.Cost, error) {
+func (f *fakePeer) ReadStream(simnet.Addr, nfs.Handle, int64, int, int) ([]byte, bool, simnet.Cost, error) {
 	return nil, false, 0, fmt.Errorf("fakePeer: no remote store")
 }
 

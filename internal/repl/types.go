@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/localfs"
 	"repro/internal/merkle"
+	"repro/internal/nfs"
 )
 
 // MigrationFlag is the sentinel file created at the root of a replicated
@@ -62,6 +63,7 @@ const (
 	FSRename
 	FSSymlink
 	FSWriteFile // create-or-truncate plus full contents, used by migration
+	FSWriteV    // vectored write: a write-back buffer's coalesced spans
 )
 
 func (k FSOpKind) String() string {
@@ -88,6 +90,8 @@ func (k FSOpKind) String() string {
 		return "symlink"
 	case FSWriteFile:
 		return "writefile"
+	case FSWriteV:
+		return "writev"
 	default:
 		return fmt.Sprintf("fsop(%d)", uint32(k))
 	}
@@ -107,7 +111,8 @@ type FSOp struct {
 	Excl    bool
 	Target  string // symlink target
 	SetAttr localfs.SetAttr
-	Prune   bool // rmdir/remove: prune empty scaffolding above
+	Prune   bool            // rmdir/remove: prune empty scaffolding above
+	Spans   []nfs.WriteSpan // writev: coalesced spans, applied in order
 }
 
 // Track carries subtree-ownership metadata alongside mutations so replicas
