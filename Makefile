@@ -1,17 +1,19 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test bench bench-smoke smoke chaos clean
+.PHONY: all ci fmt-check vet build test bench bench-smoke smoke metrics-smoke chaos clean
 
 all: vet build test
 
 # ci is the gate for pull requests: static checks (gofmt + vet), the
-# deterministic chaos suite, the full race-enabled test suite, and a
-# koshabench smoke run that fails unless the JSON output carries the
-# latency-percentile fields.
+# deterministic chaos suite, the full race-enabled test suite (which covers
+# the sampler and trace-propagation tests), a koshabench smoke run that
+# fails unless the JSON output carries the latency-percentile fields, and a
+# /metrics exposition smoke against a live koshad.
 ci: fmt-check vet build
 	$(MAKE) chaos
 	$(GO) test -race ./...
 	$(MAKE) smoke
+	$(MAKE) metrics-smoke
 
 # chaos runs the deterministic fault-injection harness under the race
 # detector: the scripted failure scenarios, a randomized schedule, and the
@@ -39,6 +41,23 @@ smoke:
 		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
 	done; \
 	echo "smoke: koshabench stream JSON ok"
+
+# metrics-smoke spawns a real koshad with the pprof/metrics listener on and
+# asserts the Prometheus exposition carries an overlay-health gauge and a
+# per-op latency histogram.
+metrics-smoke:
+	@$(GO) build -o /tmp/koshad-smoke ./cmd/koshad; \
+	/tmp/koshad-smoke -listen 127.0.0.1:7391 -pprof 127.0.0.1:7392 -seed 7 >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	out=""; \
+	for i in $$(seq 1 50); do \
+		out=$$(curl -sf http://127.0.0.1:7392/metrics) && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$out" ] || { echo "metrics-smoke: /metrics never answered" >&2; exit 1; }; \
+	echo "$$out" | grep -q '^kosha_overlay_leafset_size ' || { echo "metrics-smoke: overlay-health gauge missing" >&2; exit 1; }; \
+	echo "$$out" | grep -q '^# TYPE kosha_op_lookup_ns histogram' || { echo "metrics-smoke: latency histogram missing" >&2; exit 1; }; \
+	echo "metrics-smoke: /metrics exposition ok"
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

@@ -20,6 +20,7 @@ func main() {
 	runs := flag.Int("runs", 0, "override the number of averaged runs (0 = default)")
 	quick := flag.Bool("quick", false, "scaled-down workloads for a fast smoke run")
 	format := flag.String("format", "table", "output format: table, csv, or json (json: latency only)")
+	sample := flag.Bool("sample", false, "latency: retain per-phase time-series samples in the output")
 	flag.Parse()
 	csv := *format == "csv"
 
@@ -180,6 +181,7 @@ func main() {
 
 	run("latency", func() error {
 		opts := experiments.DefaultLatencyOptions()
+		opts.Sample = *sample
 		if *quick {
 			opts.Dirs = 3
 			opts.FilesPerDir = 4

@@ -46,9 +46,18 @@ commands:
   stats [cluster]      per-op latency percentiles, route hops, and overlay events
                        for this node (or aggregated over the whole cluster)
   trace dump [n]       dump the n most recent operation traces (default: all)
+  trace -id <hex>      collect span fragments from every live node and print
+                       the assembled cross-node causal tree for one trace id
+  trace -slow [n]      dump the slow-op flight recorder (never-evicted ring)
+  samples [n]          dump retained time-series samples (CSV; -json for JSON)
+
+trace dump filters:
+  -op <OP>             keep only traces of this operation (e.g. LOOKUP)
+  -path <prefix>       keep only traces whose path has this prefix
+  -min-dur <dur>       keep only traces at least this long (e.g. 2ms)
 
 flags:
-  -json                emit stats/trace output as JSON instead of text
+  -json                emit stats/trace/samples output as JSON instead of text
 `)
 	os.Exit(2)
 }
@@ -271,26 +280,99 @@ func main() {
 		printStats("node "+p.Addr, p)
 
 	case "trace":
-		if len(args) < 2 || args[1] != "dump" {
-			usage()
-		}
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		idStr := fs.String("id", "", "32-hex-digit trace id to assemble cluster-wide")
+		opFilter := fs.String("op", "", "keep only traces of this operation")
+		pathFilter := fs.String("path", "", "keep only traces whose path has this prefix")
+		minDur := fs.Duration("min-dur", 0, "keep only traces at least this long")
+		slow := fs.Bool("slow", false, "dump the slow-op flight recorder instead")
+		// Accept "trace dump [n] [-flags]" and "trace [-flags] [n]": strip
+		// the dump keyword and a leading count before flag parsing (the
+		// stdlib FlagSet stops at the first non-flag argument).
+		rest := args[1:]
+		isDump := false
 		count := 0
-		if len(args) == 3 {
+		if len(rest) > 0 && rest[0] == "dump" {
+			isDump = true
+			rest = rest[1:]
+		}
+		if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
 			var err error
-			if count, err = strconv.Atoi(args[2]); err != nil {
+			if count, err = strconv.Atoi(rest[0]); err != nil {
 				usage()
 			}
+			rest = rest[1:]
 		}
-		traces, _, err := ctl.TraceDump(count)
+		fs.Parse(rest)
+		switch tail := fs.Args(); len(tail) {
+		case 0:
+		case 1:
+			var err error
+			if count, err = strconv.Atoi(tail[0]); err != nil {
+				usage()
+			}
+		default:
+			usage()
+		}
+
+		if *idStr != "" {
+			hi, lo, err := obs.ParseTraceID(*idStr)
+			if err != nil {
+				fail(err)
+			}
+			at, err := assembleTrace(tn, simnet.Addr(*node), hi, lo)
+			if err != nil {
+				fail(err)
+			}
+			if *jsonOut {
+				emitJSON(at)
+				return
+			}
+			printAssembled(at)
+			return
+		}
+
+		if !isDump && !*slow {
+			usage()
+		}
+
+		var traces []obs.Trace
+		var err error
+		if *slow {
+			traces, _, err = ctl.SlowDump(count)
+		} else {
+			traces, _, err = ctl.TraceDump(count)
+		}
 		if err != nil {
 			fail(err)
 		}
+		traces = filterTraces(traces, *opFilter, *pathFilter, *minDur)
 		if *jsonOut {
 			emitJSON(traces)
 			return
 		}
 		for _, t := range traces {
 			printTrace(t)
+		}
+
+	case "samples":
+		count := 0
+		if len(args) == 2 {
+			var err error
+			if count, err = strconv.Atoi(args[1]); err != nil {
+				usage()
+			}
+		}
+		samples, _, err := ctl.Samples(count)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			emitJSON(samples)
+			return
+		}
+		if err := obs.WriteSamplesCSV(os.Stdout, samples); err != nil {
+			fail(err)
 		}
 
 	default:
@@ -351,6 +433,14 @@ func printStats(title string, p core.StatsPayload) {
 			s.Counters["repl.sync.files.skipped"],
 			float64(hits)/float64(hits+misses)*100, hits, hits+misses)
 	}
+	if ra := s.Counters["io.readahead.hits"] + s.Counters["io.readahead.wasted"]; ra > 0 {
+		fmt.Printf("  readahead: %d hits, %d wasted\n",
+			s.Counters["io.readahead.hits"], s.Counters["io.readahead.wasted"])
+	}
+	if fl := s.Counters["io.writeback.flushes"]; fl > 0 {
+		fmt.Printf("  write-back: %d writes coalesced over %d flushes\n",
+			s.Counters["io.writeback.coalesced"], fl)
+	}
 	if len(p.Events.Counts) > 0 {
 		kinds := make([]string, 0, len(p.Events.Counts))
 		for k := range p.Events.Counts {
@@ -363,6 +453,101 @@ func printStats(title string, p core.StatsPayload) {
 		}
 		fmt.Println()
 	}
+}
+
+// filterTraces applies the trace dump filters client-side: operation name,
+// path prefix, and minimum total duration.
+func filterTraces(ts []obs.Trace, op, pathPrefix string, minDur time.Duration) []obs.Trace {
+	if op == "" && pathPrefix == "" && minDur == 0 {
+		return ts
+	}
+	out := ts[:0]
+	for _, t := range ts {
+		if op != "" && !strings.EqualFold(t.Op, op) {
+			continue
+		}
+		if pathPrefix != "" && !strings.HasPrefix(t.Path, pathPrefix) {
+			continue
+		}
+		if minDur > 0 && time.Duration(t.TotalNS) < minDur {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// assembleTrace crawls the overlay from seed, collects every live node's
+// fragment of the trace (origin record plus server spans), and reassembles
+// the cluster-wide causal tree.
+func assembleTrace(tn simnet.Caller, seed simnet.Addr, hi, lo uint64) (*obs.AssembledTrace, error) {
+	from := seed
+	if d, ok := tn.(interface{ Addr() simnet.Addr }); ok {
+		from = d.Addr()
+	}
+	seedCtl := &core.CtlClient{Net: tn, From: from, To: seed}
+	addrs := []simnet.Addr{seed}
+	if peers, _, err := seedCtl.Peers(); err == nil {
+		for _, p := range peers {
+			addrs = append(addrs, p.Addr)
+		}
+	}
+	var origin *obs.Trace
+	var frags []obs.SpanRecord
+	reached := 0
+	for _, a := range addrs {
+		ctl := &core.CtlClient{Net: tn, From: from, To: a}
+		p, _, err := ctl.TraceFrag(hi, lo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "koshactl: %s unreachable: %v\n", a, err)
+			continue
+		}
+		reached++
+		if p.Origin != nil && origin == nil {
+			origin = p.Origin
+		}
+		frags = append(frags, p.Spans...)
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("no node answered for trace %s", obs.FormatTraceID(hi, lo))
+	}
+	at := obs.Assemble(hi, lo, origin, frags)
+	if at.SpanCount == 0 && at.Origin == nil {
+		return nil, fmt.Errorf("trace %s not found on any of %d nodes (evicted or never recorded)",
+			obs.FormatTraceID(hi, lo), reached)
+	}
+	return at, nil
+}
+
+// printAssembled renders the cluster-wide causal tree of one trace: the
+// origin line (op, path, originating node, end-to-end latency), the overlay
+// hops the origin recorded, then the span tree with per-edge latency.
+func printAssembled(at *obs.AssembledTrace) {
+	fmt.Printf("trace %s", obs.FormatTraceID(at.Hi, at.Lo))
+	if o := at.Origin; o != nil {
+		fmt.Printf("  %s %s  origin %s  total %s", o.Op, o.Path, o.Node, dur(time.Duration(o.TotalNS)))
+		if o.Failovers > 0 {
+			fmt.Printf("  failovers %d", o.Failovers)
+		}
+		if o.Err != "" {
+			fmt.Printf("  err %q", o.Err)
+		}
+	}
+	fmt.Printf("\n  %d spans across %d nodes\n", at.SpanCount, at.NodeCount)
+	if o := at.Origin; o != nil {
+		for _, h := range o.Hops {
+			fmt.Printf("  hop %s (%s) prefix %d\n", h.Addr, h.ID, h.Prefix)
+		}
+	}
+	at.Walk(func(depth int, n *obs.TraceNode) {
+		sp := n.Span
+		fmt.Printf("  %s%-24s node=%-16s from=%-16s %s",
+			strings.Repeat("  ", depth), sp.Name, sp.Node, sp.From, dur(time.Duration(sp.DurNS)))
+		if sp.Err != "" {
+			fmt.Printf("  err %q", sp.Err)
+		}
+		fmt.Println()
+	})
 }
 
 // printTrace renders one operation trace as a compact multi-line record.

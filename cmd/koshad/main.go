@@ -44,7 +44,10 @@ func main() {
 	datadir := flag.String("datadir", "", "persist the contributed store in this directory (default: in-memory)")
 	seed := flag.Uint64("seed", 0, "nodeId seed (0 = random)")
 	statsEvery := flag.Duration("statsevery", 0, "log per-op latency stats at this interval (0 = off)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address ('' = off)")
+	sampleEvery := flag.Duration("sampleevery", 0, "retain time-series metric samples at this interval (0 = off)")
+	probeEvery := flag.Duration("probeevery", 30*time.Second, "refresh overlay-health gauges at this interval (0 = only on /metrics scrape)")
+	slowOp := flag.Duration("slowop", 0, "flight-record operations slower than this (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address ('' = off)")
 	flag.Parse()
 
 	capBytes, err := parseSize(*capacity)
@@ -76,6 +79,7 @@ func main() {
 		// A real transport serves real clients: histogram samples are wall
 		// time, not the modeled simnet cost.
 		WallClockStats: true,
+		SlowOpNS:       slowOp.Nanoseconds(),
 	}
 	if *replicas == 0 {
 		cfg.Replicas = -1
@@ -108,12 +112,34 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
+		// /metrics rides the same listener as pprof: Prometheus text
+		// exposition of the node's registry, with the overlay-health
+		// gauges refreshed on every scrape.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			node.ProbeHealth()
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := obs.WriteProm(w, node.Obs().Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "koshad: metrics: %v\n", err)
+			}
+		})
 		go func() {
-			fmt.Printf("koshad: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			fmt.Printf("koshad: pprof on http://%s/debug/pprof/, metrics on http://%s/metrics\n", *pprofAddr, *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "koshad: pprof: %v\n", err)
 			}
 		}()
+	}
+
+	if *sampleEvery > 0 {
+		node.Sampler().Start(*sampleEvery)
+		defer node.Sampler().Stop()
+	}
+
+	var probeC <-chan time.Time
+	if *probeEvery > 0 {
+		pt := time.NewTicker(*probeEvery)
+		defer pt.Stop()
+		probeC = pt.C
 	}
 
 	var statsC <-chan time.Time
@@ -134,6 +160,8 @@ func main() {
 			node.SyncReplicas()
 		case <-statsC:
 			logStats(node)
+		case <-probeC:
+			node.ProbeHealth()
 		case <-sigs:
 			fmt.Println("koshad: leaving overlay")
 			node.Overlay().Leave()

@@ -29,6 +29,9 @@ const (
 	ctlPeers
 	ctlStats
 	ctlTrace
+	ctlTraceFrag
+	ctlSamples
+	ctlSlow
 )
 
 // ctlOnce lazily attaches the ctl handler's mount.
@@ -66,10 +69,13 @@ var ctlProcs = serviceTable{
 	ctlPeers:     (*Node).ctlServePeers,
 	ctlStats:     (*Node).ctlServeStats,
 	ctlTrace:     (*Node).ctlServeTrace,
+	ctlTraceFrag: (*Node).ctlServeTraceFrag,
+	ctlSamples:   (*Node).ctlServeSamples,
+	ctlSlow:      (*Node).ctlServeSlow,
 }
 
 func (n *Node) handleCtl(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
-	return n.dispatch(ctlProcs, "koshactl", from, req)
+	return n.dispatch(ctlProcs, "koshactl", obs.TraceContext{}, from, req)
 }
 
 // ctlFail encodes the ctl failure convention: ok=false plus a message. The
@@ -80,7 +86,7 @@ func ctlFail(e *wire.Encoder, err error) {
 	e.PutString(err.Error())
 }
 
-func (n *Node) ctlServeRead(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeRead(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	vpath := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -95,7 +101,7 @@ func (n *Node) ctlServeRead(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) 
 	return cost, nil
 }
 
-func (n *Node) ctlServeWrite(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeWrite(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	vpath := d.String()
 	data := d.Opaque()
 	if d.Err() != nil {
@@ -110,7 +116,7 @@ func (n *Node) ctlServeWrite(from simnet.Addr, d *wire.Decoder, e *wire.Encoder)
 	return cost, nil
 }
 
-func (n *Node) ctlServeList(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeList(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	vpath := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -141,7 +147,7 @@ func (n *Node) ctlServeList(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) 
 	return cost, nil
 }
 
-func (n *Node) ctlServeMkdirAll(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeMkdirAll(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	vpath := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -157,7 +163,7 @@ func (n *Node) ctlServeMkdirAll(from simnet.Addr, d *wire.Decoder, e *wire.Encod
 	return cost, nil
 }
 
-func (n *Node) ctlServeRemoveAll(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeRemoveAll(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	vpath := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -171,7 +177,7 @@ func (n *Node) ctlServeRemoveAll(from simnet.Addr, d *wire.Decoder, e *wire.Enco
 	return cost, nil
 }
 
-func (n *Node) ctlServeStat(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeStat(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	vpath := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -191,7 +197,7 @@ func (n *Node) ctlServeStat(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) 
 	return cost, nil
 }
 
-func (n *Node) ctlServePeers(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServePeers(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	_ = d.String() // vpath, unused by node-level procedures
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -206,7 +212,7 @@ func (n *Node) ctlServePeers(from simnet.Addr, d *wire.Decoder, e *wire.Encoder)
 	return 0, nil
 }
 
-func (n *Node) ctlServeStatfs(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeStatfs(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	_ = d.String() // vpath, unused by node-level procedures
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -225,7 +231,7 @@ func (n *Node) ctlServeStatfs(from simnet.Addr, d *wire.Decoder, e *wire.Encoder
 	return cost, nil
 }
 
-func (n *Node) ctlServeStats(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeStats(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	_ = d.String() // vpath, unused by node-level procedures
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -246,7 +252,7 @@ func (n *Node) ctlServeStats(from simnet.Addr, d *wire.Decoder, e *wire.Encoder)
 	return 0, nil
 }
 
-func (n *Node) ctlServeTrace(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) ctlServeTrace(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	_ = d.String() // vpath, unused
 	count := int(d.Uint32())
 	if d.Err() != nil {
@@ -264,6 +270,91 @@ func (n *Node) ctlServeTrace(from simnet.Addr, d *wire.Decoder, e *wire.Encoder)
 	e.PutBool(true)
 	e.PutOpaque(b)
 	return 0, nil
+}
+
+// ctlServeTraceFrag returns this node's fragment of one distributed trace:
+// the origin-side Trace if the op started here, plus every server span this
+// node recorded for the 128-bit trace id. koshactl collects fragments from
+// all live nodes and reassembles the causal tree.
+func (n *Node) ctlServeTraceFrag(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	_ = d.String() // vpath, unused
+	hi := d.Uint64()
+	lo := d.Uint64()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	var p TraceFragPayload
+	p.Node = string(n.addr)
+	if tr, ok := n.tracer.FindTrace(hi, lo); ok {
+		p.Origin = &tr
+	}
+	p.Spans = n.tracer.SpansFor(hi, lo)
+	if p.Spans == nil {
+		p.Spans = []obs.SpanRecord{}
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		ctlFail(e, err)
+		return 0, nil
+	}
+	e.PutBool(true)
+	e.PutOpaque(b)
+	return 0, nil
+}
+
+// ctlServeSamples returns the node's retained time-series samples, oldest
+// first; empty until the node's sampler has been started (koshad's
+// -sampleevery flag or koshabench's -sample).
+func (n *Node) ctlServeSamples(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	_ = d.String() // vpath, unused
+	count := int(d.Uint32())
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	samples := n.sampler.Recent(count)
+	if samples == nil {
+		samples = []obs.Sample{}
+	}
+	b, err := json.Marshal(samples)
+	if err != nil {
+		ctlFail(e, err)
+		return 0, nil
+	}
+	e.PutBool(true)
+	e.PutOpaque(b)
+	return 0, nil
+}
+
+// ctlServeSlow returns the slow-op flight recorder: traces whose total
+// exceeded Config.SlowOpNS, kept in a ring the normal eviction never
+// touches.
+func (n *Node) ctlServeSlow(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	_ = d.String() // vpath, unused
+	count := int(d.Uint32())
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	traces := n.tracer.Slow(count)
+	if traces == nil {
+		traces = []obs.Trace{}
+	}
+	b, err := json.Marshal(traces)
+	if err != nil {
+		ctlFail(e, err)
+		return 0, nil
+	}
+	e.PutBool(true)
+	e.PutOpaque(b)
+	return 0, nil
+}
+
+// TraceFragPayload is one node's contribution to a distributed trace: the
+// originating Trace when the op began on that node, plus all server spans
+// the node recorded under the trace id.
+type TraceFragPayload struct {
+	Node   string           `json:"node"`
+	Origin *obs.Trace       `json:"origin,omitempty"`
+	Spans  []obs.SpanRecord `json:"spans"`
 }
 
 // StatsPayload is the JSON document ctlStats returns: one node's metrics
@@ -419,6 +510,68 @@ func (c *CtlClient) TraceDump(count int) ([]obs.Trace, simnet.Cost, error) {
 		count = 0
 	}
 	d, cost, err := c.call(ctlTrace, "", func(e *wire.Encoder) { e.PutUint32(uint32(count)) })
+	if err != nil {
+		return nil, cost, err
+	}
+	raw := d.Opaque()
+	if d.Err() != nil {
+		return nil, cost, d.Err()
+	}
+	var traces []obs.Trace
+	if err := json.Unmarshal(raw, &traces); err != nil {
+		return nil, cost, err
+	}
+	return traces, cost, nil
+}
+
+// TraceFrag fetches one node's fragment of the distributed trace (hi, lo).
+func (c *CtlClient) TraceFrag(hi, lo uint64) (TraceFragPayload, simnet.Cost, error) {
+	d, cost, err := c.call(ctlTraceFrag, "", func(e *wire.Encoder) {
+		e.PutUint64(hi)
+		e.PutUint64(lo)
+	})
+	if err != nil {
+		return TraceFragPayload{}, cost, err
+	}
+	raw := d.Opaque()
+	if d.Err() != nil {
+		return TraceFragPayload{}, cost, d.Err()
+	}
+	var p TraceFragPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return TraceFragPayload{}, cost, err
+	}
+	return p, cost, nil
+}
+
+// Samples fetches up to count retained time-series samples, oldest first
+// (count <= 0 means all retained).
+func (c *CtlClient) Samples(count int) ([]obs.Sample, simnet.Cost, error) {
+	if count < 0 {
+		count = 0
+	}
+	d, cost, err := c.call(ctlSamples, "", func(e *wire.Encoder) { e.PutUint32(uint32(count)) })
+	if err != nil {
+		return nil, cost, err
+	}
+	raw := d.Opaque()
+	if d.Err() != nil {
+		return nil, cost, d.Err()
+	}
+	var samples []obs.Sample
+	if err := json.Unmarshal(raw, &samples); err != nil {
+		return nil, cost, err
+	}
+	return samples, cost, nil
+}
+
+// SlowDump fetches up to count flight-recorded slow traces, newest first
+// (count <= 0 means all retained).
+func (c *CtlClient) SlowDump(count int) ([]obs.Trace, simnet.Cost, error) {
+	if count < 0 {
+		count = 0
+	}
+	d, cost, err := c.call(ctlSlow, "", func(e *wire.Encoder) { e.PutUint32(uint32(count)) })
 	if err != nil {
 		return nil, cost, err
 	}

@@ -199,7 +199,7 @@ func (m *Mount) lookup(tr *obs.Trace, dir VH, name string) (VH, localfs.Attr, si
 		var out VH
 		var attr localfs.Attr
 		cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
-			fh, a, c, err := m.n.nfsc.Lookup(de.node, de.fh, name)
+			fh, a, c, err := m.n.nfsT(tr).Lookup(de.node, de.fh, name)
 			if err != nil {
 				return c, err
 			}
@@ -259,7 +259,7 @@ func (m *Mount) getattr(tr *obs.Trace, vh VH) (localfs.Attr, simnet.Cost, error)
 	}
 	var attr localfs.Attr
 	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
-		a, c, err := m.n.nfsc.Getattr(de.node, de.fh)
+		a, c, err := m.n.nfsT(tr).Getattr(de.node, de.fh)
 		if err == nil {
 			attr = a
 			m.cacheAttr(de.vpath, a)
@@ -327,7 +327,7 @@ func (m *Mount) read(tr *obs.Trace, vh VH, offset int64, count int) ([]byte, boo
 				return c, nil
 			}
 		}
-		d, e, c, err := m.n.nfsc.Read(de.node, de.fh, offset, count)
+		d, e, c, err := m.n.nfsT(tr).Read(de.node, de.fh, offset, count)
 		if err == nil {
 			data, eof = d, e
 			m.countRead(de.node)
@@ -343,7 +343,7 @@ func (m *Mount) read(tr *obs.Trace, vh VH, offset int64, count int) ([]byte, boo
 // readViaReplica attempts one read against a rotating replica holder;
 // ok=false means the caller should use the primary.
 func (m *Mount) readViaReplica(tr *obs.Trace, de *ventry, offset int64, count int) ([]byte, bool, simnet.Cost, bool) {
-	reps, total, err := m.n.replicaSet(de.node, Key(de.pn), de.root)
+	reps, total, err := m.n.replicaSet(tr.Ctx(), de.node, Key(de.pn), de.root)
 	if err != nil || len(reps) == 0 {
 		return nil, false, total, false
 	}
@@ -352,12 +352,12 @@ func (m *Mount) readViaReplica(tr *obs.Trace, de *ventry, offset int64, count in
 		return nil, false, total, false // the primary's turn
 	}
 	rep := reps[idx-1]
-	fh, _, c, err := m.n.remoteLookupPath(rep, RepPath(de.physPath))
+	fh, _, c, err := m.n.remoteLookupPath(tr.Ctx(), rep, RepPath(de.physPath))
 	total = simnet.Seq(total, c)
 	if err != nil {
 		return nil, false, total, false
 	}
-	d, e, c, err := m.n.nfsc.Read(rep, fh, offset, count)
+	d, e, c, err := m.n.nfsT(tr).Read(rep, fh, offset, count)
 	total = simnet.Seq(total, c)
 	if err != nil {
 		return nil, false, total, false
@@ -526,7 +526,7 @@ func (m *Mount) Readlink(vh VH) (string, simnet.Cost, error) {
 func (m *Mount) readlink(tr *obs.Trace, vh VH) (string, simnet.Cost, error) {
 	var target string
 	cost, err := m.withFailover(tr, vh, func(de *ventry) (simnet.Cost, error) {
-		t, c, err := m.n.nfsc.Readlink(de.node, de.fh)
+		t, c, err := m.n.nfsT(tr).Readlink(de.node, de.fh)
 		if err == nil {
 			target = t
 		}

@@ -99,7 +99,7 @@ func (m *Mount) mkdirDistributed(tr *obs.Trace, parent *ventry, name string, mod
 	}
 
 	// Existence check at the probe location.
-	if _, _, c, err := n.remoteLookupPath(linkNode, path.Join(linkDir, name)); err == nil {
+	if _, _, c, err := n.remoteLookupPath(tr.Ctx(), linkNode, path.Join(linkDir, name)); err == nil {
 		return 0, localfs.Attr{}, simnet.Seq(total, c), &nfs.Error{Proc: nfs.ProcMkdir, Status: nfs.ErrExist}
 	} else {
 		total = simnet.Seq(total, c)
@@ -206,7 +206,7 @@ func (m *Mount) readdir(tr *obs.Trace, dir VH) ([]DirEntry, simnet.Cost, error) 
 	}
 	var out []DirEntry
 	cost, err := m.withFailover(tr, dir, func(de *ventry) (simnet.Cost, error) {
-		ents, c, err := m.n.nfsc.ReaddirPlusAll(de.node, de.fh, 256)
+		ents, c, err := m.n.nfsT(tr).ReaddirPlusAll(de.node, de.fh, 256)
 		if err != nil {
 			return c, err
 		}
@@ -267,7 +267,7 @@ func (m *Mount) readdirRoot(tr *obs.Trace) ([]DirEntry, simnet.Cost, error) {
 			if err != nil {
 				break
 			}
-			ents, c, err = m.n.nfsc.ReaddirAll(addr, rootH, 256)
+			ents, c, err = m.n.nfsT(tr).ReaddirAll(addr, rootH, 256)
 			total = simnet.Seq(total, c)
 			if err != nil {
 				// A cached handle for a node that crashed and rejoined is
@@ -328,7 +328,7 @@ func (m *Mount) remove(tr *obs.Trace, dir VH, name string) (simnet.Cost, error) 
 			return 0, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
 		}
 		phys := path.Join(de.physPath, name)
-		_, attr, c, err := m.n.remoteLookupPath(de.node, phys)
+		_, attr, c, err := m.n.remoteLookupPath(tr.Ctx(), de.node, phys)
 		if err != nil {
 			return c, err
 		}
@@ -336,7 +336,7 @@ func (m *Mount) remove(tr *obs.Trace, dir VH, name string) (simnet.Cost, error) 
 			return c, &nfs.Error{Proc: nfs.ProcRemove, Status: nfs.ErrIsDir}
 		}
 		if attr.Type == localfs.TypeSymlink {
-			target, c2, err := m.n.readLink(de.node, phys)
+			target, c2, err := m.n.readLink(tr.Ctx(), de.node, phys)
 			c = simnet.Seq(c, c2)
 			if err == nil {
 				if _, _, ok := ParseLinkTarget(target); ok {
@@ -433,7 +433,7 @@ func (m *Mount) rmdirDistributed(tr *obs.Trace, parent *ventry, name string) (si
 	}
 	if !(parent.place.VRoot && child.root == "/"+name) {
 		linkPath := path.Join(linkDir, name)
-		if _, attr, c, lerr := n.remoteLookupPath(linkNode, linkPath); lerr == nil && attr.Type == localfs.TypeSymlink {
+		if _, attr, c, lerr := n.remoteLookupPath(tr.Ctx(), linkNode, linkPath); lerr == nil && attr.Type == localfs.TypeSymlink {
 			total = simnet.Seq(total, c)
 			_, _, c2, derr := n.apply(tr, linkNode, linkKey, linkTrack, FSOp{Kind: FSRemove, Path: linkPath})
 			total = simnet.Seq(total, c2)

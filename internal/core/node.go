@@ -109,6 +109,12 @@ type Config struct {
 	// TraceBufSize caps the per-node ring buffer of recent operation
 	// traces. 0 selects obs.DefaultTraceBuf; negative disables tracing.
 	TraceBufSize int
+	// SlowOpNS arms the slow-op flight recorder: finished traces whose total
+	// latency meets or exceeds this many nanoseconds are copied into a
+	// separate ring that ordinary op chatter never evicts, so the outliers
+	// behind a latency SLO breach stay inspectable (koshactl trace -slow).
+	// 0 (default) disables the recorder.
+	SlowOpNS int64
 	// Seed drives every seeded random choice the node makes (currently the
 	// retry backoff jitter), so a failing run is reproducible from one
 	// logged value. The cluster harness derives per-node seeds from its own
@@ -198,7 +204,7 @@ func (c Config) withDefaults() Config {
 // route histogram and hop counters; when the caller is tracing, the hop
 // path (with prefix-match depths against the key) is appended to the trace.
 func (n *Node) route(tr *obs.Trace, key id.ID) (pastry.RouteResult, simnet.Cost, error) {
-	res, err := n.overlay.Route(key)
+	res, err := n.overlay.RouteCtx(tr.Ctx(), key)
 	n.routeCount.Add(1)
 	n.routeHops.Add(uint64(res.Hops))
 	n.routeHist.Observe(time.Duration(res.Cost))
@@ -261,12 +267,12 @@ func (p Place) SubtreeRoot() string {
 type Node struct {
 	cfg     Config
 	net     simnet.Transport
-	rpc     simnet.Caller // retrying wrapper over net for client-path RPCs
+	rpc     *retrier // retrying wrapper over net for client-path RPCs
 	addr    simnet.Addr
 	overlay *pastry.Node
 	store   localfs.FileSystem
 	nsrv    *nfs.Server
-	nfsc    *nfs.Client
+	nfsc    nfs.Client
 	rep     *repl.Engine
 
 	mu           sync.Mutex
@@ -277,10 +283,11 @@ type Node struct {
 	dirCache map[string]Place // virtual dir path -> place
 
 	// Observability: the node-wide metrics registry (shared with the NFS
-	// client), the operation tracer, and the overlay-health event log.
-	// Hot-path metrics are cached as struct fields.
+	// client), the operation tracer, the time-series sampler, and the
+	// overlay-health event log. Hot-path metrics are cached as struct fields.
 	reg        *obs.Registry
 	tracer     *obs.Tracer
+	sampler    *obs.Sampler
 	events     *obs.EventLog
 	routeCount *obs.Counter
 	routeHops  *obs.Counter
@@ -345,6 +352,11 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 		tbuf = 0
 	}
 	n.tracer = obs.NewTracer(tbuf)
+	// Trace/span ids come from a per-node seeded stream: mixing the run seed
+	// with the address keeps ids unique across the cluster yet replayable.
+	n.tracer.SeedIDs(cfg.Seed ^ addrHash(addr))
+	n.tracer.SetSlowThreshold(cfg.SlowOpNS)
+	n.sampler = obs.NewSampler(n.reg, 0)
 	n.events = obs.NewEventLog(0)
 	n.routeCount = n.reg.Counter("route.count")
 	n.routeHops = n.reg.Counter("route.hops")
@@ -375,6 +387,7 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 		Key:      Key,
 		Events:   n.events,
 		Registry: n.reg,
+		Tracer:   n.tracer,
 		FullPush: cfg.FullTreePush,
 	})
 	n.overlay = pastry.NewNode(nodeID, addr, net, cfg.LeafSize)
@@ -386,7 +399,17 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 func (n *Node) attach() {
 	n.overlay.Attach()
 	n.nsrv.Attach(n.net, n.addr)
-	n.net.Register(n.addr, KoshaService, n.handleKosha)
+	// On context-aware transports the kosha service registers its
+	// ctx-carrying handler (serveApply forwards the caller's trace into the
+	// mirror fan-out) and the node installs its span sink, which records a
+	// server span for EVERY inbound traced RPC — including plainly-registered
+	// services like nfs and pastry, whose spans the transport times for them.
+	if ct, ok := n.net.(simnet.CtxTransport); ok {
+		ct.RegisterCtx(n.addr, KoshaService, n.handleKoshaCtx)
+		ct.SetSpanSink(n.addr, nodeSink{n})
+	} else {
+		n.net.Register(n.addr, KoshaService, n.handleKosha)
+	}
 }
 
 // newStoreRoot allocates a fresh, node-unique physical storage root for a
@@ -416,6 +439,10 @@ func (n *Node) Obs() *obs.Registry { return n.reg }
 
 // Tracer returns the node's operation tracer (nil traces when disabled).
 func (n *Node) Tracer() *obs.Tracer { return n.tracer }
+
+// Sampler returns the node's time-series metrics sampler. It is created
+// stopped; koshad starts it wall-clock, harnesses drive TickNow directly.
+func (n *Node) Sampler() *obs.Sampler { return n.sampler }
 
 // Events returns the node's overlay-health event log.
 func (n *Node) Events() *obs.EventLog { return n.events }
@@ -528,7 +555,9 @@ func (n *Node) statTree(root string) TreeStat { return n.rep.StatLocal(root) }
 func (n *Node) promoteLocal(t Track) bool     { return n.rep.PromoteLocal(t) }
 func (n *Node) demoteLocal(t Track)           { n.rep.DemoteLocal(t) }
 
-func (n *Node) adoptRoot(t Track) (simnet.Cost, bool) { return n.rep.AdoptRoot(t) }
+func (n *Node) adoptRoot(tc obs.TraceContext, t Track) (simnet.Cost, bool) {
+	return n.rep.AdoptRoot(tc, t)
+}
 
 func (n *Node) nsrvGen() uint64 {
 	return n.nsrv.Root().Gen

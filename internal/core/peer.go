@@ -33,40 +33,40 @@ func (o engineOverlay) Route(key id.ID) (pastry.RouteResult, error) {
 // enginePeer adapts the node's kosha-service and NFS clients to repl.Peer.
 type enginePeer struct{ n *Node }
 
-func (p enginePeer) Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
-	return p.n.mirrorArea(to, t, op, primary)
+func (p enginePeer) Mirror(tc obs.TraceContext, to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
+	return p.n.mirrorArea(tc, to, t, op, primary)
 }
 
-func (p enginePeer) StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
-	return p.n.remoteStatTree(to, root)
+func (p enginePeer) StatTree(tc obs.TraceContext, to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
+	return p.n.remoteStatTree(tc, to, root)
 }
 
-func (p enginePeer) Promote(to simnet.Addr, t Track) (bool, simnet.Cost, error) {
-	return p.n.promote(to, t)
+func (p enginePeer) Promote(tc obs.TraceContext, to simnet.Addr, t Track) (bool, simnet.Cost, error) {
+	return p.n.promote(tc, to, t)
 }
 
-func (p enginePeer) DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
-	return p.n.remoteDigestTree(to, root)
+func (p enginePeer) DigestTree(tc obs.TraceContext, to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+	return p.n.remoteDigestTree(tc, to, root)
 }
 
-func (p enginePeer) DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
-	return p.n.remoteDirDigests(to, dir)
+func (p enginePeer) DirDigests(tc obs.TraceContext, to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+	return p.n.remoteDirDigests(tc, to, dir)
 }
 
-func (p enginePeer) LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
-	return p.n.remoteLookupPath(to, phys)
+func (p enginePeer) LookupPath(tc obs.TraceContext, to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
+	return p.n.remoteLookupPath(tc, to, phys)
 }
 
-func (p enginePeer) ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
-	return p.n.nfsc.ReaddirAll(to, fh, 256)
+func (p enginePeer) ReadDir(tc obs.TraceContext, to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
+	return p.n.nfsCtx(tc).ReaddirAll(to, fh, 256)
 }
 
-func (p enginePeer) ReadStream(to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
-	return p.n.nfsc.ReadStream(to, fh, off, chunk, chunks)
+func (p enginePeer) ReadStream(tc obs.TraceContext, to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
+	return p.n.nfsCtx(tc).ReadStream(to, fh, off, chunk, chunks)
 }
 
-func (p enginePeer) ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error) {
-	return p.n.readLink(to, phys)
+func (p enginePeer) ReadLink(tc obs.TraceContext, to simnet.Addr, phys string) (string, simnet.Cost, error) {
+	return p.n.readLink(tc, to, phys)
 }
 
 var _ repl.Peer = enginePeer{}
@@ -81,7 +81,7 @@ func (n *Node) apply(tr *obs.Trace, to simnet.Addr, key id.ID, t Track, op FSOp)
 	e.PutUint32(kApply)
 	r := applyReq{Key: key, Track: t, Op: op}
 	r.encode(e)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.callKosha(tr.Ctx(), to, e.Bytes())
 	if err != nil {
 		return localfs.Attr{}, nfs.Handle{}, cost, n.noteErr(to, err)
 	}
@@ -103,18 +103,18 @@ func (n *Node) apply(tr *obs.Trace, to simnet.Addr, key id.ID, t Track, op FSOp)
 }
 
 // mirror ships a mutation to one replica (replica area).
-func (n *Node) mirror(to simnet.Addr, t Track, op FSOp) (simnet.Cost, error) {
-	return n.mirrorArea(to, t, op, false)
+func (n *Node) mirror(tc obs.TraceContext, to simnet.Addr, t Track, op FSOp) (simnet.Cost, error) {
+	return n.mirrorArea(tc, to, t, op, false)
 }
 
 // mirrorArea ships a mutation to another node; primary selects the
 // namespace it lands in.
-func (n *Node) mirrorArea(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
+func (n *Node) mirrorArea(tc obs.TraceContext, to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
 	e := wire.NewEncoder(256 + len(op.Data))
 	e.PutUint32(kMirror)
 	r := applyReq{Track: t, Op: op, Primary: primary}
 	r.encode(e)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.callKosha(tc, to, e.Bytes())
 	if err != nil {
 		return cost, n.noteErr(to, err)
 	}
@@ -127,11 +127,11 @@ func (n *Node) mirrorArea(to simnet.Addr, t Track, op FSOp, primary bool) (simne
 }
 
 // remoteStatTree summarizes a subtree on another node.
-func (n *Node) remoteStatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
+func (n *Node) remoteStatTree(tc obs.TraceContext, to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
 	e := wire.NewEncoder(64)
 	e.PutUint32(kStatTree)
 	e.PutString(root)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.callKosha(tc, to, e.Bytes())
 	if err != nil {
 		return TreeStat{}, cost, n.noteErr(to, err)
 	}
@@ -145,11 +145,11 @@ func (n *Node) remoteStatTree(to simnet.Addr, root string) (TreeStat, simnet.Cos
 
 // remoteDigestTree fetches the Merkle digest summary of a subtree on
 // another node.
-func (n *Node) remoteDigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+func (n *Node) remoteDigestTree(tc obs.TraceContext, to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
 	e := wire.NewEncoder(64)
 	e.PutUint32(kTreeDigest)
 	e.PutString(root)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.callKosha(tc, to, e.Bytes())
 	if err != nil {
 		return TreeDigest{}, cost, n.noteErr(to, err)
 	}
@@ -163,11 +163,11 @@ func (n *Node) remoteDigestTree(to simnet.Addr, root string) (TreeDigest, simnet
 
 // remoteDirDigests lists the immediate children of a remote directory with
 // their subtree digests; ok is false when the directory is missing.
-func (n *Node) remoteDirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+func (n *Node) remoteDirDigests(tc obs.TraceContext, to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
 	e := wire.NewEncoder(64)
 	e.PutUint32(kDirDigests)
 	e.PutString(dir)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.callKosha(tc, to, e.Bytes())
 	if err != nil {
 		return nil, false, cost, n.noteErr(to, err)
 	}
@@ -183,7 +183,7 @@ func (n *Node) remoteDirDigests(to simnet.Addr, dir string) ([]merkle.Entry, boo
 // replicaSet asks the primary for its current replica holders of a key,
 // caching the answer per subtree root. The cache is dropped whenever the
 // node's view of membership changes.
-func (n *Node) replicaSet(primary simnet.Addr, key id.ID, root string) ([]simnet.Addr, simnet.Cost, error) {
+func (n *Node) replicaSet(tc obs.TraceContext, primary simnet.Addr, key id.ID, root string) ([]simnet.Addr, simnet.Cost, error) {
 	n.mu.Lock()
 	if reps, ok := n.replicaCache[root]; ok {
 		n.mu.Unlock()
@@ -193,7 +193,7 @@ func (n *Node) replicaSet(primary simnet.Addr, key id.ID, root string) ([]simnet
 	e := wire.NewEncoder(32)
 	e.PutUint32(kReplicas)
 	e.PutFixedOpaque(key[:])
-	resp, cost, err := n.rpc.Call(n.addr, primary, KoshaService, e.Bytes())
+	resp, cost, err := n.callKosha(tc, primary, e.Bytes())
 	if err != nil {
 		return nil, cost, n.noteErr(primary, err)
 	}
@@ -266,11 +266,11 @@ func (n *Node) rootHandle(to simnet.Addr) (nfs.Handle, simnet.Cost, error) {
 // run read-repair against the current replica set. The changed result
 // reports whether the target's state moved — handles resolved before the
 // call may then be stale and must be re-resolved.
-func (n *Node) promote(to simnet.Addr, t Track) (changed bool, cost simnet.Cost, err error) {
+func (n *Node) promote(tc obs.TraceContext, to simnet.Addr, t Track) (changed bool, cost simnet.Cost, err error) {
 	e := wire.NewEncoder(128)
 	e.PutUint32(kPromote)
 	putTrack(e, t)
-	resp, cost, err := n.rpc.Call(n.addr, to, KoshaService, e.Bytes())
+	resp, cost, err := n.callKosha(tc, to, e.Bytes())
 	if err != nil {
 		return false, cost, n.noteErr(to, err)
 	}

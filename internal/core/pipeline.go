@@ -144,7 +144,7 @@ func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr,
 	case err == nil:
 		phys := place.PhysDir()
 		storeComps := pathComponents(place.SubtreeRoot())
-		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(place.Node, phys)
+		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(tr.Ctx(), place.Node, phys)
 		total = simnet.Seq(total, c)
 		if nfs.IsStatus(lerr, nfs.ErrNoEnt) {
 			if idx < storeComps {
@@ -152,10 +152,10 @@ func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr,
 				// entry survived a rename/removal done elsewhere.
 				lerr = staleStore
 			} else {
-				_, c2, perr := m.n.promote(place.Node, Track{PN: place.PN(), Root: place.SubtreeRoot()})
+				_, c2, perr := m.n.promote(tr.Ctx(), place.Node, Track{PN: place.PN(), Root: place.SubtreeRoot()})
 				total = simnet.Seq(total, c2)
 				if perr == nil {
-					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(place.Node, phys)
+					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(tr.Ctx(), place.Node, phys)
 					total = simnet.Seq(total, c)
 					if nfs.IsStatus(lerr, nfs.ErrNoEnt) && idx < storeComps {
 						lerr = staleStore
@@ -192,16 +192,16 @@ func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr,
 		name := parts[len(parts)-1]
 		phys := path.Join(parent.PhysDir(), name)
 		storeComps := pathComponents(parent.SubtreeRoot())
-		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(parent.Node, phys)
+		fh, attr, idx, c, lerr := m.n.remoteLookupPathIdx(tr.Ctx(), parent.Node, phys)
 		total = simnet.Seq(total, c)
 		if nfs.IsStatus(lerr, nfs.ErrNoEnt) && !parent.VRoot {
 			if idx < storeComps {
 				lerr = staleStore
 			} else {
-				_, c2, perr := m.n.promote(parent.Node, Track{PN: parent.PN(), Root: parent.SubtreeRoot()})
+				_, c2, perr := m.n.promote(tr.Ctx(), parent.Node, Track{PN: parent.PN(), Root: parent.SubtreeRoot()})
 				total = simnet.Seq(total, c2)
 				if perr == nil {
-					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(parent.Node, phys)
+					fh, attr, idx, c, lerr = m.n.remoteLookupPathIdx(tr.Ctx(), parent.Node, phys)
 					total = simnet.Seq(total, c)
 					if nfs.IsStatus(lerr, nfs.ErrNoEnt) && idx < storeComps {
 						lerr = staleStore
@@ -325,7 +325,7 @@ func (m *Mount) withFailover(tr *obs.Trace, vh VH, fn func(de *ventry) (simnet.C
 			// so the retried operation — and a later revival of the failed
 			// node — sees converged state. If repair moved the subtree, the
 			// handle just materialized is stale; resolve it again.
-			changed, c3, perr := m.n.promote(nde.node, Track{PN: nde.pn, Root: nde.root})
+			changed, c3, perr := m.n.promote(tr.Ctx(), nde.node, Track{PN: nde.pn, Root: nde.root})
 			total = simnet.Seq(total, c3)
 			if perr == nil && changed {
 				m.dropCachesUnder(de.vpath)

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"repro/internal/obs"
 	"testing"
 
 	"repro/internal/simnet"
@@ -112,7 +113,7 @@ func TestReplicaSetRPC(t *testing.T) {
 		t.Fatal(err)
 	}
 	pl, _, _ := nodes[0].ResolvePath("/rs")
-	reps, _, err := nodes[0].replicaSet(pl.Node, Key(pl.PN()), pl.SubtreeRoot())
+	reps, _, err := nodes[0].replicaSet(obs.TraceContext{}, pl.Node, Key(pl.PN()), pl.SubtreeRoot())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestReplicaSetRPC(t *testing.T) {
 			break
 		}
 	}
-	if _, _, err := nodes[0].replicaSet(wrong, Key(pl.PN()), "/different-root"); err != ErrNotPrimary {
+	if _, _, err := nodes[0].replicaSet(obs.TraceContext{}, wrong, Key(pl.PN()), "/different-root"); err != ErrNotPrimary {
 		t.Fatalf("non-primary replicaSet err = %v", err)
 	}
 }

@@ -31,13 +31,13 @@ func (n *Node) noteErr(addr simnet.Addr, err error) error {
 // remoteLookupPath resolves a physical path on a remote store, fetching and
 // caching the export's root handle. A stale cached handle (the remote store
 // was purged and re-incarnated) is refreshed once.
-func (n *Node) remoteLookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
-	fh, attr, _, cost, err := n.remoteLookupPathIdx(to, phys)
+func (n *Node) remoteLookupPath(tc obs.TraceContext, to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
+	fh, attr, _, cost, err := n.remoteLookupPathIdx(tc, to, phys)
 	return fh, attr, cost, err
 }
 
 // remoteLookupPathIdx additionally reports how many components resolved.
-func (n *Node) remoteLookupPathIdx(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, int, simnet.Cost, error) {
+func (n *Node) remoteLookupPathIdx(tc obs.TraceContext, to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, int, simnet.Cost, error) {
 	var total simnet.Cost
 	for attempt := 0; ; attempt++ {
 		root, c, err := n.rootHandle(to)
@@ -45,7 +45,7 @@ func (n *Node) remoteLookupPathIdx(to simnet.Addr, phys string) (nfs.Handle, loc
 		if err != nil {
 			return nfs.Handle{}, localfs.Attr{}, 0, total, n.noteErr(to, err)
 		}
-		fh, attr, idx, c, err := n.nfsc.LookupPathIdx(to, root, phys)
+		fh, attr, idx, c, err := n.nfsCtx(tc).LookupPathIdx(to, root, phys)
 		total = simnet.Seq(total, c)
 		if err != nil && nfs.IsStatus(err, nfs.ErrStale) && attempt == 0 {
 			n.dropRootHandle(to)
@@ -70,15 +70,15 @@ func pathComponents(p string) int {
 }
 
 // readLink reads a symlink target on a remote store by physical path.
-func (n *Node) readLink(to simnet.Addr, phys string) (string, simnet.Cost, error) {
-	fh, attr, cost, err := n.remoteLookupPath(to, phys)
+func (n *Node) readLink(tc obs.TraceContext, to simnet.Addr, phys string) (string, simnet.Cost, error) {
+	fh, attr, cost, err := n.remoteLookupPath(tc, to, phys)
 	if err != nil {
 		return "", cost, err
 	}
 	if attr.Type != localfs.TypeSymlink {
 		return "", cost, &nfs.Error{Proc: nfs.ProcReadlink, Status: nfs.ErrInval}
 	}
-	target, c, err := n.nfsc.Readlink(to, fh)
+	target, c, err := n.nfsCtx(tc).Readlink(to, fh)
 	return target, simnet.Seq(cost, c), err
 }
 
@@ -144,7 +144,7 @@ restart:
 		}
 		probePath := path.Join(probeDir, name)
 		wantIdx := pathComponents(probePath) - 1 // components before the name
-		_, attr, idx, cost, err := n.remoteLookupPathIdx(probeNode, probePath)
+		_, attr, idx, cost, err := n.remoteLookupPathIdx(tr.Ctx(), probeNode, probePath)
 		total = simnet.Seq(total, cost)
 		if nfs.IsStatus(err, nfs.ErrNoEnt) && idx >= wantIdx {
 			// Only the name itself is missing; the node may hold an
@@ -155,10 +155,10 @@ restart:
 			} else {
 				t = Track{PN: cur.PN(), Root: cur.SubtreeRoot()}
 			}
-			_, c2, perr := n.promote(probeNode, t)
+			_, c2, perr := n.promote(tr.Ctx(), probeNode, t)
 			total = simnet.Seq(total, c2)
 			if perr == nil {
-				_, attr, idx, cost, err = n.remoteLookupPathIdx(probeNode, probePath)
+				_, attr, idx, cost, err = n.remoteLookupPathIdx(tr.Ctx(), probeNode, probePath)
 				total = simnet.Seq(total, cost)
 			}
 		}
@@ -190,7 +190,7 @@ restart:
 		case localfs.TypeSymlink:
 			// Special link: follow to the placement name and storage root.
 			// A user symlink (no marker) is not a directory.
-			target, cost, err := n.readLink(probeNode, path.Join(probeDir, name))
+			target, cost, err := n.readLink(tr.Ctx(), probeNode, path.Join(probeDir, name))
 			total = simnet.Seq(total, cost)
 			if err != nil {
 				return Place{}, total, err

@@ -83,9 +83,25 @@ func (r *retrier) backoff(try int) time.Duration {
 // any other outcome (success, handler error, status error) returns
 // immediately with the accumulated cost.
 func (r *retrier) Call(from, to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
+	return r.CallCtx(obs.TraceContext{}, from, to, service, req)
+}
+
+// CallCtx is Call with trace-context propagation: when ctx is valid and the
+// wrapped transport supports it, each attempt (including retries after
+// transient unreachability) carries the same context, so a retried exchange
+// still records its server span under the originating trace.
+func (r *retrier) CallCtx(ctx obs.TraceContext, from, to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
+	cc, hasCtx := r.net.(simnet.CtxCaller)
 	var total simnet.Cost
 	for try := 0; ; try++ {
-		resp, cost, err := r.net.Call(from, to, service, req)
+		var resp []byte
+		var cost simnet.Cost
+		var err error
+		if ctx.Valid() && hasCtx {
+			resp, cost, err = cc.CallCtx(ctx, from, to, service, req)
+		} else {
+			resp, cost, err = r.net.Call(from, to, service, req)
+		}
 		total = simnet.Seq(total, cost)
 		if err == nil || !errors.Is(err, simnet.ErrUnreachable) {
 			return resp, total, err

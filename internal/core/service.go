@@ -8,6 +8,7 @@ import (
 	"repro/internal/localfs"
 	"repro/internal/merkle"
 	"repro/internal/nfs"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/simnet"
 	"repro/internal/wire"
@@ -18,7 +19,10 @@ import (
 // arguments, encodes the reply into e, and returns the simulated cost. A
 // non-nil error is a malformed request (or internal failure) and aborts the
 // RPC without a reply body; application-level failures are encoded replies.
-type procHandler func(n *Node, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error)
+// The trace context is the caller's span context when the request arrived
+// over a context-aware transport, and the zero value otherwise; handlers
+// that issue downstream RPCs thread it so the fan-out parents correctly.
+type procHandler func(n *Node, ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error)
 
 // serviceTable maps procedure numbers to handlers. Both node services (the
 // kosha replication service and the koshactl administrative service) are
@@ -27,7 +31,7 @@ type procHandler func(n *Node, from simnet.Addr, d *wire.Decoder, e *wire.Encode
 type serviceTable map[uint32]procHandler
 
 // dispatch decodes the procedure number and routes to the table entry.
-func (n *Node) dispatch(table serviceTable, service string, from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
+func (n *Node) dispatch(table serviceTable, service string, ctx obs.TraceContext, from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
 	d := wire.NewDecoder(req)
 	proc := d.Uint32()
 	if d.Err() != nil {
@@ -38,7 +42,7 @@ func (n *Node) dispatch(table serviceTable, service string, from simnet.Addr, re
 		return nil, 0, fmt.Errorf("%s: unknown proc %d", service, proc)
 	}
 	e := wire.NewEncoder(256)
-	cost, err := h(n, from, d, e)
+	cost, err := h(n, ctx, from, d, e)
 	if err != nil {
 		return nil, cost, err
 	}
@@ -58,11 +62,19 @@ var koshaProcs = serviceTable{
 }
 
 func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
-	return n.dispatch(koshaProcs, "kosha", from, req)
+	return n.dispatch(koshaProcs, "kosha", obs.TraceContext{}, from, req)
+}
+
+// handleKoshaCtx is the context-aware variant registered on transports that
+// propagate trace contexts; the handler context is the server span allocated
+// by the transport, so downstream RPCs (replica mirroring, root adoption)
+// nest under it in the assembled trace tree.
+func (n *Node) handleKoshaCtx(ctx obs.TraceContext, from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
+	return n.dispatch(koshaProcs, "kosha", ctx, from, req)
 }
 
 // serveApply executes a mutation at the primary and fans out to replicas.
-func (n *Node) serveApply(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) serveApply(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	r := decodeApplyReq(d)
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -86,7 +98,7 @@ func (n *Node) serveApply(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (s
 		// path already exists — the warm, per-mutation case.
 		if r.Track.Root != "" {
 			if _, err := n.store.LookupPath(r.Track.Root); err != nil {
-				c, _ := n.rep.AdoptRoot(r.Track)
+				c, _ := n.rep.AdoptRoot(ctx, r.Track)
 				checkCost = simnet.Seq(checkCost, c)
 			}
 		}
@@ -113,7 +125,7 @@ func (n *Node) serveApply(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (s
 	}
 	var fanout []simnet.Cost
 	for _, rep := range targets {
-		c, _ := n.mirror(rep.Addr, r.Track, r.Op)
+		c, _ := n.mirror(ctx, rep.Addr, r.Track, r.Op)
 		fanout = append(fanout, c)
 	}
 	if len(targets) > 0 {
@@ -132,7 +144,7 @@ func (n *Node) serveApply(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (s
 }
 
 // serveMirror executes a mutation at a replica (no fan-out).
-func (n *Node) serveMirror(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) serveMirror(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	r := decodeApplyReq(d)
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -160,7 +172,7 @@ func (n *Node) serveMirror(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (
 }
 
 // serveStatTree summarizes the local subtree at a path.
-func (n *Node) serveStatTree(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) serveStatTree(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	root := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -182,7 +194,7 @@ func (n *Node) serveStatTree(from simnet.Addr, d *wire.Decoder, e *wire.Encoder)
 // serveTreeDigest reports the Merkle digest summary of the local subtree at
 // a path: the anti-entropy fast path ("has anything changed?") answered in
 // one exchange.
-func (n *Node) serveTreeDigest(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) serveTreeDigest(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	root := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -201,7 +213,7 @@ func (n *Node) serveTreeDigest(from simnet.Addr, d *wire.Decoder, e *wire.Encode
 
 // serveDirDigests lists the immediate children of a local directory with
 // their subtree digests — one level of the delta walk.
-func (n *Node) serveDirDigests(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) serveDirDigests(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	dir := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -218,7 +230,7 @@ func (n *Node) serveDirDigests(from simnet.Addr, d *wire.Decoder, e *wire.Encode
 }
 
 // serveUntrack drops root-tracking metadata for a removed subtree.
-func (n *Node) serveUntrack(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) serveUntrack(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	root := d.String()
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -229,7 +241,7 @@ func (n *Node) serveUntrack(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) 
 }
 
 // serveReplicas reports the primary's current replica holders for a key.
-func (n *Node) serveReplicas(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) serveReplicas(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	var key id.ID
 	d.FixedOpaque(key[:])
 	if d.Err() != nil {
@@ -249,7 +261,7 @@ func (n *Node) serveReplicas(from simnet.Addr, d *wire.Decoder, e *wire.Encoder)
 }
 
 // servePromote surfaces a replica-area copy at the new primary.
-func (n *Node) servePromote(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+func (n *Node) servePromote(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
 	t := getTrack(d)
 	if d.Err() != nil {
 		return 0, d.Err()
@@ -260,7 +272,7 @@ func (n *Node) servePromote(from simnet.Addr, d *wire.Decoder, e *wire.Encoder) 
 		e.PutUint32(codeNotPrimary)
 		return cost, nil
 	}
-	c, changed := n.rep.AdoptRoot(t)
+	c, changed := n.rep.AdoptRoot(ctx, t)
 	cost = simnet.Seq(cost, c)
 	e.PutUint32(codeOK)
 	e.PutBool(changed)

@@ -173,7 +173,7 @@ func (m *Mount) readAhead(tr *obs.Trace, vh VH, offset int64, count int) ([]byte
 					return c, nil
 				}
 			}
-			d, e, c, rerr := m.n.nfsc.Read(de.node, de.fh, offset, count)
+			d, e, c, rerr := m.n.nfsT(tr).Read(de.node, de.fh, offset, count)
 			if rerr != nil {
 				return c, rerr
 			}
@@ -221,7 +221,7 @@ func (m *Mount) fillWindow(tr *obs.Trace, de *ventry, st *stream, offset int64) 
 	}
 	segs := []segment{{addr: de.node, fh: de.fh, off: offset, chunks: window}}
 	if m.n.cfg.ReadFromReplicas && m.n.cfg.Replicas > 0 && window > 1 {
-		reps, c, err := m.n.replicaSet(de.node, Key(de.pn), de.root)
+		reps, c, err := m.n.replicaSet(tr.Ctx(), de.node, Key(de.pn), de.root)
 		total = simnet.Seq(total, c)
 		if err == nil && len(reps) > 0 {
 			holders := []segment{{addr: de.node, fh: de.fh}}
@@ -229,7 +229,7 @@ func (m *Mount) fillWindow(tr *obs.Trace, de *ventry, st *stream, offset int64) 
 				if len(holders) == window {
 					break
 				}
-				fh, c2, ok := m.replicaHandle(st, rep, de)
+				fh, c2, ok := m.replicaHandle(tr, st, rep, de)
 				total = simnet.Seq(total, c2)
 				if ok {
 					holders = append(holders, segment{addr: rep, fh: fh, rep: true})
@@ -257,12 +257,12 @@ func (m *Mount) fillWindow(tr *obs.Trace, de *ventry, st *stream, offset int64) 
 	eofs := make([]bool, len(segs))
 	costs := make([]simnet.Cost, len(segs))
 	for i, sg := range segs {
-		d, e, c, err := m.n.nfsc.ReadStream(sg.addr, sg.fh, sg.off, chunk, sg.chunks)
+		d, e, c, err := m.n.nfsT(tr).ReadStream(sg.addr, sg.fh, sg.off, chunk, sg.chunks)
 		served := sg.addr
 		if err != nil && sg.rep {
 			delete(st.repFH, sg.addr)
 			var c2 simnet.Cost
-			d, e, c2, err = m.n.nfsc.ReadStream(de.node, de.fh, sg.off, chunk, sg.chunks)
+			d, e, c2, err = m.n.nfsT(tr).ReadStream(de.node, de.fh, sg.off, chunk, sg.chunks)
 			c = simnet.Seq(c, c2)
 			served = de.node
 		}
@@ -295,11 +295,11 @@ func (m *Mount) fillWindow(tr *obs.Trace, de *ventry, st *stream, offset int64) 
 
 // replicaHandle resolves (and caches per stream) a replica holder's handle
 // for the file's replica-area copy.
-func (m *Mount) replicaHandle(st *stream, rep simnet.Addr, de *ventry) (nfs.Handle, simnet.Cost, bool) {
+func (m *Mount) replicaHandle(tr *obs.Trace, st *stream, rep simnet.Addr, de *ventry) (nfs.Handle, simnet.Cost, bool) {
 	if fh, ok := st.repFH[rep]; ok {
 		return fh, 0, true
 	}
-	fh, _, c, err := m.n.remoteLookupPath(rep, RepPath(de.physPath))
+	fh, _, c, err := m.n.remoteLookupPath(tr.Ctx(), rep, RepPath(de.physPath))
 	if err != nil {
 		return nfs.Handle{}, c, false
 	}

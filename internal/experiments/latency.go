@@ -22,6 +22,7 @@ type LatencyOptions struct {
 	FilesPerDir int // files written and read back per directory
 	FileSize    int // bytes per file
 	Seed        uint64
+	Sample      bool // retain a cluster-wide time-series sample per phase
 }
 
 // DefaultLatencyOptions uses the Table 1/2 cluster shape.
@@ -56,6 +57,20 @@ type LatencyResult struct {
 	Replications  uint64      `json:"replications"`
 	Failovers     uint64      `json:"failovers"`
 	Resyncs       uint64      `json:"resyncs"`
+	// Replica-maintenance and streaming-I/O effectiveness counters, summed
+	// over the cluster.
+	SyncBytes        uint64 `json:"repl_sync_bytes"`
+	SyncFilesSent    uint64 `json:"repl_sync_files_sent"`
+	SyncFilesSkipped uint64 `json:"repl_sync_files_skipped"`
+	SyncDigestHits   uint64 `json:"repl_sync_digest_hits"`
+	SyncDigestMisses uint64 `json:"repl_sync_digest_misses"`
+	ReadaheadHits    uint64 `json:"io_readahead_hits"`
+	ReadaheadWasted  uint64 `json:"io_readahead_wasted"`
+	WBCoalesced      uint64 `json:"io_writeback_coalesced"`
+	WBFlushes        uint64 `json:"io_writeback_flushes"`
+	// Samples is the per-phase cluster-wide time series (populate, one per
+	// read-back directory, final sync), present when Options.Sample is set.
+	Samples []obs.Sample `json:"samples,omitempty"`
 }
 
 // RunLatency builds a cluster, runs a create/write/lookup/read/readdir mix
@@ -70,6 +85,19 @@ func RunLatency(opts LatencyOptions) (*LatencyResult, error) {
 	for i := range ms {
 		ms[i] = c.Mount(i)
 	}
+	var sampler *obs.Sampler
+	tick := func() {}
+	if opts.Sample {
+		sampler = obs.NewSamplerFunc(func() obs.Snapshot {
+			var agg obs.Snapshot
+			for _, nd := range c.Nodes {
+				agg.Merge(nd.Obs().Snapshot())
+			}
+			return agg
+		}, 0)
+		tick = func() { sampler.TickNow(time.Now()) }
+		tick() // baseline
+	}
 	for d := 0; d < opts.Dirs; d++ {
 		m := ms[d%opts.Nodes]
 		data := make([]byte, opts.FileSize)
@@ -80,6 +108,7 @@ func RunLatency(opts LatencyOptions) (*LatencyResult, error) {
 			}
 		}
 	}
+	tick()
 	// Read everything back through a different node than the writer so the
 	// resolver routes instead of answering from the writer's warm caches.
 	for d := 0; d < opts.Dirs; d++ {
@@ -98,10 +127,12 @@ func RunLatency(opts LatencyOptions) (*LatencyResult, error) {
 				return nil, fmt.Errorf("read %s/%s: %w", dir, e.Name, err)
 			}
 		}
+		tick()
 	}
 	for _, nd := range c.Nodes {
 		nd.SyncReplicas()
 	}
+	tick()
 
 	res := &LatencyResult{Nodes: opts.Nodes}
 	var agg obs.Snapshot
@@ -134,6 +165,18 @@ func RunLatency(opts LatencyOptions) (*LatencyResult, error) {
 	res.Replications = agg.Counters["replicate.count"]
 	res.Failovers = ev.Counts[obs.EvFailover]
 	res.Resyncs = ev.Counts[obs.EvResync]
+	res.SyncBytes = agg.Counters["repl.sync.bytes"]
+	res.SyncFilesSent = agg.Counters["repl.sync.files.sent"]
+	res.SyncFilesSkipped = agg.Counters["repl.sync.files.skipped"]
+	res.SyncDigestHits = agg.Counters["repl.sync.digest.hits"]
+	res.SyncDigestMisses = agg.Counters["repl.sync.digest.misses"]
+	res.ReadaheadHits = agg.Counters["io.readahead.hits"]
+	res.ReadaheadWasted = agg.Counters["io.readahead.wasted"]
+	res.WBCoalesced = agg.Counters["io.writeback.coalesced"]
+	res.WBFlushes = agg.Counters["io.writeback.flushes"]
+	if sampler != nil {
+		res.Samples = sampler.Recent(0)
+	}
 	return res, nil
 }
 
@@ -159,13 +202,34 @@ func (r *LatencyResult) Fprint(w io.Writer, opts LatencyOptions) {
 	}
 	fmt.Fprintf(w, "mean route hops %.2f over %d routes; %d replications, %d failovers, %d resyncs\n",
 		r.MeanRouteHops, r.Routes, r.Replications, r.Failovers, r.Resyncs)
+	if hm := r.SyncDigestHits + r.SyncDigestMisses; hm > 0 {
+		fmt.Fprintf(w, "replica sync: %d bytes, %d files sent, %d skipped, digest hit %.1f%% (%d/%d)\n",
+			r.SyncBytes, r.SyncFilesSent, r.SyncFilesSkipped,
+			float64(r.SyncDigestHits)/float64(hm)*100, r.SyncDigestHits, hm)
+	}
+	if r.ReadaheadHits+r.ReadaheadWasted+r.WBFlushes > 0 {
+		fmt.Fprintf(w, "streaming io: readahead %d hits / %d wasted; write-back %d coalesced over %d flushes\n",
+			r.ReadaheadHits, r.ReadaheadWasted, r.WBCoalesced, r.WBFlushes)
+	}
+	if len(r.Samples) > 0 {
+		fmt.Fprintf(w, "retained %d time-series samples (emit with -sample -format csv)\n", len(r.Samples))
+	}
 }
 
-// FprintCSV renders the per-op rows as CSV.
+// FprintCSV renders the per-op rows as CSV, followed by comment lines for
+// the cluster-summed maintenance counters (and the time-series samples in
+// long form when retained, so one capture feeds a plotting pipeline).
 func (r *LatencyResult) FprintCSV(w io.Writer, opts LatencyOptions) {
 	fmt.Fprintln(w, "op,count,mean_ms,p50_ms,p95_ms,p99_ms,max_ms")
 	for _, o := range r.Ops {
 		fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 			o.Op, o.Count, o.MeanMS, o.P50MS, o.P95MS, o.P99MS, o.MaxMS)
+	}
+	fmt.Fprintf(w, "# repl.sync.bytes=%d repl.sync.files.sent=%d repl.sync.files.skipped=%d repl.sync.digest.hits=%d repl.sync.digest.misses=%d\n",
+		r.SyncBytes, r.SyncFilesSent, r.SyncFilesSkipped, r.SyncDigestHits, r.SyncDigestMisses)
+	fmt.Fprintf(w, "# io.readahead.hits=%d io.readahead.wasted=%d io.writeback.coalesced=%d io.writeback.flushes=%d\n",
+		r.ReadaheadHits, r.ReadaheadWasted, r.WBCoalesced, r.WBFlushes)
+	if len(r.Samples) > 0 {
+		obs.WriteSamplesCSV(w, r.Samples)
 	}
 }

@@ -144,7 +144,7 @@ func (k *KoshaFS) Stat(p string) (simnet.Cost, error) {
 // server: the paper's baseline ("The NFS configuration consists of two
 // nodes with one running as a client, and the other running as a server").
 type NFSFS struct {
-	C      *nfs.Client
+	C      nfs.Client
 	Server simnet.Addr
 	Root   nfs.Handle
 
@@ -153,7 +153,7 @@ type NFSFS struct {
 }
 
 // NewNFSFS wraps a client and the server's root handle.
-func NewNFSFS(c *nfs.Client, server simnet.Addr, root nfs.Handle) *NFSFS {
+func NewNFSFS(c nfs.Client, server simnet.Addr, root nfs.Handle) *NFSFS {
 	return &NFSFS{C: c, Server: server, Root: root, fhs: map[string]nfs.Handle{"/": root}}
 }
 

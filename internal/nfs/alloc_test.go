@@ -1,0 +1,51 @@
+package nfs
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// TestHotPathLabelsDoNotAllocate pins the pre-interned per-proc histogram
+// labels: after the first touch, neither the rpc.<PROC> histogram lookup nor
+// stamping a trace context onto the client may allocate — these run on every
+// forwarded NFS RPC.
+func TestHotPathLabelsDoNotAllocate(t *testing.T) {
+	net := simnet.New(simnet.LAN100)
+	c := NewClient(net, "cli")
+	for p := Proc(0); p < procCount(); p++ {
+		c.proc(p) // warm the per-proc cache
+	}
+	tc := obs.TraceContext{Hi: 1, Lo: 2, Span: 3}
+
+	if n := testing.AllocsPerRun(1000, func() {
+		for p := Proc(0); p < procCount(); p++ {
+			c.proc(p)
+		}
+	}); n != 0 {
+		t.Errorf("warm proc() lookup allocates %.1f times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		cc := c.WithCtx(tc)
+		cc.proc(ProcLookup)
+	}); n != 0 {
+		t.Errorf("WithCtx stamp allocates %.1f times per run, want 0", n)
+	}
+}
+
+// procCount returns the number of real procedures (label table is sized
+// maxProc; probing a handful is enough to catch regressions).
+func procCount() Proc { return Proc(16) }
+
+// BenchmarkProcHistLookup measures the per-RPC label path in isolation; run
+// with -benchmem to watch the 0 B/op invariant.
+func BenchmarkProcHistLookup(b *testing.B) {
+	net := simnet.New(simnet.LAN100)
+	c := NewClient(net, "cli")
+	c.proc(ProcWrite)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.proc(ProcWrite)
+	}
+}

@@ -29,17 +29,25 @@ func (s ClientStats) Sub(prev ClientStats) ClientStats {
 // highest procedure number in use).
 const maxProc = 128
 
-// Client issues NFS RPCs from one node to another over the transport.
-// koshad uses it both to serve lookups "as if it is an NFS client of R"
-// (Section 4.1.3) and to forward interposed RPCs to remote stores.
-//
-// All traffic counters live in an obs.Registry ("nfs.rpcs", "nfs.bytes",
-// per-procedure "rpc.<PROC>" counts and latency histograms) so snapshots and
-// resets come from one place. koshad and the simulated nodes pass in their
-// node-wide registry; NewClient creates a private one.
-type Client struct {
-	Net  simnet.Caller
-	From simnet.Addr
+// procHistNames pre-interns every "rpc.<PROC>" histogram label so the RPC
+// hot path never builds a label string — not even on a procedure's first
+// use. Built once at init; unknown procedure numbers get their PROC(n) form.
+var procHistNames [maxProc]string
+
+func init() {
+	for i := range procHistNames {
+		procHistNames[i] = "rpc." + Proc(i).String()
+	}
+}
+
+// clientState is the shared mutable core behind Client values: the
+// transport, counters, and the xid sequence. One state is shared by every
+// context-stamped copy of a client, so xids stay unique per node and the
+// counters aggregate regardless of which copy issued the call.
+type clientState struct {
+	net    simnet.Caller
+	ctxNet simnet.CtxCaller // non-nil when net supports trace propagation
+	from   simnet.Addr
 
 	reg    *obs.Registry
 	rpcs   *obs.Counter
@@ -48,49 +56,81 @@ type Client struct {
 	byProc [maxProc]atomic.Pointer[obs.Histogram]
 }
 
+// Client issues NFS RPCs from one node to another over the transport.
+// koshad uses it both to serve lookups "as if it is an NFS client of R"
+// (Section 4.1.3) and to forward interposed RPCs to remote stores.
+//
+// Client is a small copyable value over shared state: WithCtx stamps a
+// trace context onto a copy without allocating, so an op's RPCs carry its
+// TraceContext while the same underlying counters and xid sequence serve
+// every copy.
+//
+// All traffic counters live in an obs.Registry ("nfs.rpcs", "nfs.bytes",
+// per-procedure "rpc.<PROC>" counts and latency histograms) so snapshots and
+// resets come from one place. koshad and the simulated nodes pass in their
+// node-wide registry; NewClient creates a private one.
+type Client struct {
+	s  *clientState
+	tc obs.TraceContext
+}
+
 // NewClient returns a client that originates calls from addr, with a private
 // metrics registry.
-func NewClient(net simnet.Caller, from simnet.Addr) *Client {
+func NewClient(net simnet.Caller, from simnet.Addr) Client {
 	return NewClientWithRegistry(net, from, obs.NewRegistry())
 }
 
 // NewClientWithRegistry returns a client whose traffic counters live in reg,
 // letting a node fold its NFS client metrics into a node-wide registry.
-func NewClientWithRegistry(net simnet.Caller, from simnet.Addr, reg *obs.Registry) *Client {
-	return &Client{
-		Net:   net,
-		From:  from,
+func NewClientWithRegistry(net simnet.Caller, from simnet.Addr, reg *obs.Registry) Client {
+	s := &clientState{
+		net:   net,
+		from:  from,
 		reg:   reg,
 		rpcs:  reg.Counter("nfs.rpcs"),
 		bytes: reg.Counter("nfs.bytes"),
 	}
+	if cn, ok := net.(simnet.CtxCaller); ok {
+		s.ctxNet = cn
+	}
+	return Client{s: s}
 }
 
+// WithCtx returns a copy of the client whose RPCs carry the given trace
+// context. Zero-allocation: the copy shares all state with the original.
+func (c Client) WithCtx(tc obs.TraceContext) Client {
+	c.tc = tc
+	return c
+}
+
+// From returns the address this client originates calls from.
+func (c Client) From() simnet.Addr { return c.s.from }
+
 // Registry exposes the registry backing this client's counters.
-func (c *Client) Registry() *obs.Registry { return c.reg }
+func (c Client) Registry() *obs.Registry { return c.s.reg }
 
 // proc returns the cached "rpc.<PROC>" latency histogram for one procedure
 // so the call hot path pays one pointer load instead of a registry lookup.
 // Per-proc counts are the histogram counts — no separate counter.
-func (c *Client) proc(p Proc) *obs.Histogram {
+func (c Client) proc(p Proc) *obs.Histogram {
 	if p >= maxProc {
 		p = maxProc - 1
 	}
-	if m := c.byProc[p].Load(); m != nil {
+	if m := c.s.byProc[p].Load(); m != nil {
 		return m
 	}
-	m := c.reg.Histogram("rpc." + p.String())
-	c.byProc[p].CompareAndSwap(nil, m)
-	return c.byProc[p].Load()
+	m := c.s.reg.Histogram(procHistNames[p])
+	c.s.byProc[p].CompareAndSwap(nil, m)
+	return c.s.byProc[p].Load()
 }
 
 // Stats returns a snapshot of the traffic counters.
-func (c *Client) Stats() ClientStats {
-	return ClientStats{RPCs: c.rpcs.Load(), Bytes: c.bytes.Load()}
+func (c Client) Stats() ClientStats {
+	return ClientStats{RPCs: c.s.rpcs.Load(), Bytes: c.s.bytes.Load()}
 }
 
 // ProcCount reports how many RPCs of one procedure have been issued.
-func (c *Client) ProcCount(p Proc) uint64 {
+func (c Client) ProcCount(p Proc) uint64 {
 	if p >= maxProc {
 		return 0
 	}
@@ -100,28 +140,36 @@ func (c *Client) ProcCount(p Proc) uint64 {
 // ResetStats zeroes every metric in the client's registry (when the registry
 // is shared with a node, this resets the node's whole metric surface — the
 // unified semantics that replaced the three per-type Reset paths).
-func (c *Client) ResetStats() {
-	c.reg.Reset()
+func (c Client) ResetStats() {
+	c.s.reg.Reset()
 }
 
 // call performs one RPC, records traffic counters and the per-procedure
 // latency histogram (simulated cost), and strips the status word. Every
 // request carries a transaction id (xid) unique to this client so the
 // server's duplicate-request cache can recognize retransmissions and keep
-// non-idempotent procedures at-most-once.
-func (c *Client) call(to simnet.Addr, proc Proc, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
+// non-idempotent procedures at-most-once. The client's trace context (if
+// stamped via WithCtx) rides the envelope.
+func (c Client) call(to simnet.Addr, proc Proc, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
 	e := wire.NewEncoder(256)
 	e.PutUint32(uint32(proc))
-	e.PutUint64(c.xid.Add(1))
+	e.PutUint64(c.s.xid.Add(1))
 	if build != nil {
 		build(e)
 	}
 	lat := c.proc(proc)
-	c.rpcs.Add(1)
-	c.bytes.Add(uint64(len(e.Bytes())))
-	resp, cost, err := c.Net.Call(c.From, to, Service, e.Bytes())
+	c.s.rpcs.Add(1)
+	c.s.bytes.Add(uint64(len(e.Bytes())))
+	var resp []byte
+	var cost simnet.Cost
+	var err error
+	if c.tc.Valid() && c.s.ctxNet != nil {
+		resp, cost, err = c.s.ctxNet.CallCtx(c.tc, c.s.from, to, Service, e.Bytes())
+	} else {
+		resp, cost, err = c.s.net.Call(c.s.from, to, Service, e.Bytes())
+	}
 	lat.Observe(time.Duration(cost))
-	c.bytes.Add(uint64(len(resp)))
+	c.s.bytes.Add(uint64(len(resp)))
 	if err != nil {
 		return nil, cost, fmt.Errorf("nfs %s to %s: %w", proc, to, err)
 	}
@@ -137,13 +185,13 @@ func (c *Client) call(to simnet.Addr, proc Proc, build func(*wire.Encoder)) (*wi
 }
 
 // Null pings the server.
-func (c *Client) Null(to simnet.Addr) (simnet.Cost, error) {
+func (c Client) Null(to simnet.Addr) (simnet.Cost, error) {
 	_, cost, err := c.call(to, ProcNull, nil)
 	return cost, err
 }
 
 // MountRoot fetches the export's root handle (the MOUNT protocol's MNT).
-func (c *Client) MountRoot(to simnet.Addr) (Handle, simnet.Cost, error) {
+func (c Client) MountRoot(to simnet.Addr) (Handle, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcMountRoot, nil)
 	if err != nil {
 		return Handle{}, cost, err
@@ -152,7 +200,7 @@ func (c *Client) MountRoot(to simnet.Addr) (Handle, simnet.Cost, error) {
 }
 
 // Getattr fetches attributes for h.
-func (c *Client) Getattr(to simnet.Addr, h Handle) (localfs.Attr, simnet.Cost, error) {
+func (c Client) Getattr(to simnet.Addr, h Handle) (localfs.Attr, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcGetattr, func(e *wire.Encoder) { putHandle(e, h) })
 	if err != nil {
 		return localfs.Attr{}, cost, err
@@ -161,7 +209,7 @@ func (c *Client) Getattr(to simnet.Addr, h Handle) (localfs.Attr, simnet.Cost, e
 }
 
 // Setattr updates attributes on h.
-func (c *Client) Setattr(to simnet.Addr, h Handle, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, error) {
+func (c Client) Setattr(to simnet.Addr, h Handle, sa localfs.SetAttr) (localfs.Attr, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcSetattr, func(e *wire.Encoder) {
 		putHandle(e, h)
 		putSetAttr(e, sa)
@@ -173,7 +221,7 @@ func (c *Client) Setattr(to simnet.Addr, h Handle, sa localfs.SetAttr) (localfs.
 }
 
 // Lookup resolves name within directory dir.
-func (c *Client) Lookup(to simnet.Addr, dir Handle, name string) (Handle, localfs.Attr, simnet.Cost, error) {
+func (c Client) Lookup(to simnet.Addr, dir Handle, name string) (Handle, localfs.Attr, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcLookup, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutString(name)
@@ -188,7 +236,7 @@ func (c *Client) Lookup(to simnet.Addr, dir Handle, name string) (Handle, localf
 // LookupPath resolves a slash-separated path relative to root with one
 // LOOKUP RPC per component, as an NFSv3 client must (the protocol has no
 // full-path lookup, Section 4.1.3). Intermediate symlinks are not followed.
-func (c *Client) LookupPath(to simnet.Addr, root Handle, p string) (Handle, localfs.Attr, simnet.Cost, error) {
+func (c Client) LookupPath(to simnet.Addr, root Handle, p string) (Handle, localfs.Attr, simnet.Cost, error) {
 	h, attr, _, cost, err := c.LookupPathIdx(to, root, p)
 	return h, attr, cost, err
 }
@@ -197,7 +245,7 @@ func (c *Client) LookupPath(to simnet.Addr, root Handle, p string) (Handle, loca
 // a failure (== the component count on success). Callers holding cached
 // location state use it to tell a genuinely missing leaf from a dangling
 // intermediate directory.
-func (c *Client) LookupPathIdx(to simnet.Addr, root Handle, p string) (Handle, localfs.Attr, int, simnet.Cost, error) {
+func (c Client) LookupPathIdx(to simnet.Addr, root Handle, p string) (Handle, localfs.Attr, int, simnet.Cost, error) {
 	cur := root
 	var attr localfs.Attr
 	var total simnet.Cost
@@ -232,7 +280,7 @@ func splitPath(p string) []string {
 
 // Access checks the caller's permissions on h, returning the granted
 // subset of the requested mask.
-func (c *Client) Access(to simnet.Addr, h Handle, want uint32) (uint32, localfs.Attr, simnet.Cost, error) {
+func (c Client) Access(to simnet.Addr, h Handle, want uint32) (uint32, localfs.Attr, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcAccess, func(e *wire.Encoder) {
 		putHandle(e, h)
 		e.PutUint32(want)
@@ -245,7 +293,7 @@ func (c *Client) Access(to simnet.Addr, h Handle, want uint32) (uint32, localfs.
 }
 
 // FSInfo fetches the server's static limits.
-func (c *Client) FSInfo(to simnet.Addr, root Handle) (FSInfo, simnet.Cost, error) {
+func (c Client) FSInfo(to simnet.Addr, root Handle) (FSInfo, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcFSInfo, func(e *wire.Encoder) { putHandle(e, root) })
 	if err != nil {
 		return FSInfo{}, cost, err
@@ -260,7 +308,7 @@ func (c *Client) FSInfo(to simnet.Addr, root Handle) (FSInfo, simnet.Cost, error
 }
 
 // Readlink returns the target of symlink h.
-func (c *Client) Readlink(to simnet.Addr, h Handle) (string, simnet.Cost, error) {
+func (c Client) Readlink(to simnet.Addr, h Handle) (string, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcReadlink, func(e *wire.Encoder) { putHandle(e, h) })
 	if err != nil {
 		return "", cost, err
@@ -269,7 +317,7 @@ func (c *Client) Readlink(to simnet.Addr, h Handle) (string, simnet.Cost, error)
 }
 
 // Read returns up to count bytes of h at offset.
-func (c *Client) Read(to simnet.Addr, h Handle, offset int64, count int) ([]byte, bool, simnet.Cost, error) {
+func (c Client) Read(to simnet.Addr, h Handle, offset int64, count int) ([]byte, bool, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcRead, func(e *wire.Encoder) {
 		putHandle(e, h)
 		e.PutInt64(offset)
@@ -286,7 +334,7 @@ func (c *Client) Read(to simnet.Addr, h Handle, offset int64, count int) ([]byte
 // at offset in one round trip — the pipelined window transfer behind the
 // client's readahead. The reply concatenates the pieces; eof reports whether
 // the file ended within the window.
-func (c *Client) ReadStream(to simnet.Addr, h Handle, offset int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
+func (c Client) ReadStream(to simnet.Addr, h Handle, offset int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcReadStream, func(e *wire.Encoder) {
 		putHandle(e, h)
 		e.PutInt64(offset)
@@ -303,7 +351,7 @@ func (c *Client) ReadStream(to simnet.Addr, h Handle, offset int64, chunk, chunk
 // WriteBatch stores a vector of coalesced spans into h in one round trip —
 // the flush transfer behind the client's write-back buffer. Spans apply in
 // order; the result is the total byte count written.
-func (c *Client) WriteBatch(to simnet.Addr, h Handle, spans []WriteSpan) (int, simnet.Cost, error) {
+func (c Client) WriteBatch(to simnet.Addr, h Handle, spans []WriteSpan) (int, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcWriteBatch, func(e *wire.Encoder) {
 		putHandle(e, h)
 		PutWriteSpans(e, spans)
@@ -315,7 +363,7 @@ func (c *Client) WriteBatch(to simnet.Addr, h Handle, spans []WriteSpan) (int, s
 }
 
 // Write stores data into h at offset.
-func (c *Client) Write(to simnet.Addr, h Handle, offset int64, data []byte) (int, simnet.Cost, error) {
+func (c Client) Write(to simnet.Addr, h Handle, offset int64, data []byte) (int, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcWrite, func(e *wire.Encoder) {
 		putHandle(e, h)
 		e.PutInt64(offset)
@@ -328,7 +376,7 @@ func (c *Client) Write(to simnet.Addr, h Handle, offset int64, data []byte) (int
 }
 
 // Create makes a regular file in dir.
-func (c *Client) Create(to simnet.Addr, dir Handle, name string, mode uint32, exclusive bool) (Handle, localfs.Attr, simnet.Cost, error) {
+func (c Client) Create(to simnet.Addr, dir Handle, name string, mode uint32, exclusive bool) (Handle, localfs.Attr, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcCreate, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutString(name)
@@ -343,7 +391,7 @@ func (c *Client) Create(to simnet.Addr, dir Handle, name string, mode uint32, ex
 }
 
 // Mkdir makes a directory in dir.
-func (c *Client) Mkdir(to simnet.Addr, dir Handle, name string, mode uint32) (Handle, localfs.Attr, simnet.Cost, error) {
+func (c Client) Mkdir(to simnet.Addr, dir Handle, name string, mode uint32) (Handle, localfs.Attr, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcMkdir, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutString(name)
@@ -357,7 +405,7 @@ func (c *Client) Mkdir(to simnet.Addr, dir Handle, name string, mode uint32) (Ha
 }
 
 // Symlink makes a symbolic link in dir.
-func (c *Client) Symlink(to simnet.Addr, dir Handle, name, target string) (Handle, localfs.Attr, simnet.Cost, error) {
+func (c Client) Symlink(to simnet.Addr, dir Handle, name, target string) (Handle, localfs.Attr, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcSymlink, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutString(name)
@@ -371,7 +419,7 @@ func (c *Client) Symlink(to simnet.Addr, dir Handle, name, target string) (Handl
 }
 
 // Remove unlinks a file or symlink.
-func (c *Client) Remove(to simnet.Addr, dir Handle, name string) (simnet.Cost, error) {
+func (c Client) Remove(to simnet.Addr, dir Handle, name string) (simnet.Cost, error) {
 	_, cost, err := c.call(to, ProcRemove, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutString(name)
@@ -380,7 +428,7 @@ func (c *Client) Remove(to simnet.Addr, dir Handle, name string) (simnet.Cost, e
 }
 
 // Rmdir removes an empty directory.
-func (c *Client) Rmdir(to simnet.Addr, dir Handle, name string) (simnet.Cost, error) {
+func (c Client) Rmdir(to simnet.Addr, dir Handle, name string) (simnet.Cost, error) {
 	_, cost, err := c.call(to, ProcRmdir, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutString(name)
@@ -389,7 +437,7 @@ func (c *Client) Rmdir(to simnet.Addr, dir Handle, name string) (simnet.Cost, er
 }
 
 // Rename moves fromName in fromDir to toName in toDir on the same server.
-func (c *Client) Rename(to simnet.Addr, fromDir Handle, fromName string, toDir Handle, toName string) (simnet.Cost, error) {
+func (c Client) Rename(to simnet.Addr, fromDir Handle, fromName string, toDir Handle, toName string) (simnet.Cost, error) {
 	_, cost, err := c.call(to, ProcRename, func(e *wire.Encoder) {
 		putHandle(e, fromDir)
 		e.PutString(fromName)
@@ -401,7 +449,7 @@ func (c *Client) Rename(to simnet.Addr, fromDir Handle, fromName string, toDir H
 
 // Readdir reads one page of directory entries starting at cookie; count 0
 // means "all remaining".
-func (c *Client) Readdir(to simnet.Addr, dir Handle, cookie uint64, count int) ([]DirEntry, bool, uint64, simnet.Cost, error) {
+func (c Client) Readdir(to simnet.Addr, dir Handle, cookie uint64, count int) ([]DirEntry, bool, uint64, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcReaddir, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutUint64(cookie)
@@ -428,7 +476,7 @@ func (c *Client) Readdir(to simnet.Addr, dir Handle, cookie uint64, count int) (
 }
 
 // ReaddirAll drains a directory, issuing pages of pageSize entries.
-func (c *Client) ReaddirAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntry, simnet.Cost, error) {
+func (c Client) ReaddirAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntry, simnet.Cost, error) {
 	var all []DirEntry
 	var total simnet.Cost
 	var cookie uint64
@@ -448,7 +496,7 @@ func (c *Client) ReaddirAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntr
 
 // ReaddirPlus reads one page of directory entries with handles and
 // attributes, starting at cookie; count 0 means "all remaining".
-func (c *Client) ReaddirPlus(to simnet.Addr, dir Handle, cookie uint64, count int) ([]DirEntryPlus, bool, uint64, simnet.Cost, error) {
+func (c Client) ReaddirPlus(to simnet.Addr, dir Handle, cookie uint64, count int) ([]DirEntryPlus, bool, uint64, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcReaddirPlus, func(e *wire.Encoder) {
 		putHandle(e, dir)
 		e.PutUint64(cookie)
@@ -479,7 +527,7 @@ func (c *Client) ReaddirPlus(to simnet.Addr, dir Handle, cookie uint64, count in
 
 // ReaddirPlusAll drains a directory with READDIRPLUS pages of pageSize
 // entries, returning every entry with its handle and attributes.
-func (c *Client) ReaddirPlusAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntryPlus, simnet.Cost, error) {
+func (c Client) ReaddirPlusAll(to simnet.Addr, dir Handle, pageSize int) ([]DirEntryPlus, simnet.Cost, error) {
 	var all []DirEntryPlus
 	var total simnet.Cost
 	var cookie uint64
@@ -498,7 +546,7 @@ func (c *Client) ReaddirPlusAll(to simnet.Addr, dir Handle, pageSize int) ([]Dir
 }
 
 // FSStat fetches capacity accounting from the server exporting root.
-func (c *Client) FSStat(to simnet.Addr, root Handle) (FSStat, simnet.Cost, error) {
+func (c Client) FSStat(to simnet.Addr, root Handle) (FSStat, simnet.Cost, error) {
 	d, cost, err := c.call(to, ProcFSStat, func(e *wire.Encoder) { putHandle(e, root) })
 	if err != nil {
 		return FSStat{}, cost, err

@@ -11,7 +11,7 @@ import (
 )
 
 // rig wires one NFS server ("srv") and a client node ("cli") together.
-func rig(t *testing.T, capacity int64) (*simnet.Network, *Server, *Client) {
+func rig(t *testing.T, capacity int64) (*simnet.Network, *Server, Client) {
 	t.Helper()
 	net := simnet.New(simnet.LAN100)
 	fs := localfs.New(capacity, simnet.Disk7200)

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sort"
+)
+
+// TraceNode is one node of an assembled causal tree: a server-side span and
+// the spans it caused (nested RPCs the server issued while handling it).
+type TraceNode struct {
+	Span     SpanRecord   `json:"span"`
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// AssembledTrace is the cluster-wide view of one operation, rebuilt from the
+// originating node's Trace plus server-span fragments collected from every
+// live node. Roots are the spans directly caused by the origin (route hops,
+// the serving NFS RPC, the primary apply); deeper fan-out (mirrors pushed by
+// the primary) hangs beneath them. Spans whose parent fragment was evicted
+// from its ring surface as additional roots rather than being dropped.
+type AssembledTrace struct {
+	Hi     uint64       `json:"hi"`
+	Lo     uint64       `json:"lo"`
+	Origin *Trace       `json:"origin,omitempty"`
+	Roots  []*TraceNode `json:"roots,omitempty"`
+	// NodeCount is how many distinct cluster nodes contributed spans
+	// (including the origin).
+	NodeCount int `json:"node_count"`
+	SpanCount int `json:"span_count"`
+}
+
+// Assemble rebuilds the causal tree for one trace id from an optional origin
+// trace and span fragments gathered across the cluster. Duplicate fragments
+// (the same span collected twice) are dropped; ordering is deterministic
+// (children sorted by span id) so identical inputs render identically.
+func Assemble(hi, lo uint64, origin *Trace, frags []SpanRecord) *AssembledTrace {
+	at := &AssembledTrace{Hi: hi, Lo: lo, Origin: origin}
+	nodes := make(map[uint64]*TraceNode, len(frags))
+	seen := make(map[string]bool)
+	order := make([]uint64, 0, len(frags))
+	for _, f := range frags {
+		if f.Hi != hi || f.Lo != lo || f.Span == 0 {
+			continue
+		}
+		if nodes[f.Span] != nil {
+			continue
+		}
+		nodes[f.Span] = &TraceNode{Span: f}
+		order = append(order, f.Span)
+		if !seen[f.Node] {
+			seen[f.Node] = true
+		}
+		at.SpanCount++
+	}
+	if origin != nil && origin.Node != "" && !seen[origin.Node] {
+		seen[origin.Node] = true
+	}
+	at.NodeCount = len(seen)
+
+	rootSpan := uint64(0)
+	if origin != nil {
+		rootSpan = origin.Span
+	}
+	for _, id := range order {
+		n := nodes[id]
+		if n.Span.Parent != rootSpan {
+			if p := nodes[n.Span.Parent]; p != nil {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		at.Roots = append(at.Roots, n)
+	}
+	sortTree(at.Roots)
+	return at
+}
+
+func sortTree(ns []*TraceNode) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Span.Span < ns[j].Span.Span })
+	for _, n := range ns {
+		sortTree(n.Children)
+	}
+}
+
+// Walk visits every node of the tree depth-first, parents before children.
+func (a *AssembledTrace) Walk(fn func(depth int, n *TraceNode)) {
+	var rec func(depth int, ns []*TraceNode)
+	rec = func(depth int, ns []*TraceNode) {
+		for _, n := range ns {
+			fn(depth, n)
+			rec(depth+1, n.Children)
+		}
+	}
+	rec(0, a.Roots)
+}

@@ -9,6 +9,16 @@ import (
 // DefaultTraceBuf is the default capacity of the per-node trace ring buffer.
 const DefaultTraceBuf = 256
 
+// DefaultSlowBuf is the capacity of the slow-op flight recorder ring: traces
+// exceeding the SLO threshold are copied here so a burst of fast chatter
+// cannot evict the interesting outliers from observation.
+const DefaultSlowBuf = 64
+
+// spanRingFactor sizes the server-span fragment ring relative to the trace
+// ring: one traced op can fan out to several server spans (route hops, the
+// serving RPC, K mirrors), so fragments need proportionally more room.
+const spanRingFactor = 4
+
 // Hop is one overlay routing step: the node contacted, its nodeId, and how
 // many nodeId digits it shares with the destination key (the prefix-match
 // depth that Pastry routing is improving at each step).
@@ -31,7 +41,14 @@ type Span struct {
 // a single goroutine (the one running the op) and published to the ring
 // buffer by Finish.
 type Trace struct {
-	ID        uint64    `json:"id"`
+	ID uint64 `json:"id"`
+	// Hi/Lo are the cluster-wide 128-bit trace id carried across RPC
+	// boundaries by TraceContext; Span is the id of the trace's root span
+	// (every server-side fragment of this op descends from it). Drawn from
+	// the tracer's seeded generator so runs replay deterministically.
+	Hi        uint64    `json:"hi,omitempty"`
+	Lo        uint64    `json:"lo,omitempty"`
+	Span      uint64    `json:"span,omitempty"`
 	Op        string    `json:"op"`
 	Path      string    `json:"path"`
 	Node      string    `json:"node"` // originating node
@@ -88,22 +105,207 @@ func (t *Trace) Failover() {
 	t.Failovers++
 }
 
+// Ctx returns the propagation context for RPCs issued under this trace: the
+// trace id parented at the root span. Nil-safe: a disabled trace yields the
+// zero context, which transports treat as "do not record".
+func (t *Trace) Ctx() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Hi: t.Hi, Lo: t.Lo, Span: t.Span}
+}
+
 // Tracer hands out traces and keeps the most recent ones in a bounded ring
 // buffer. A zero-capacity tracer is disabled and returns nil traces (every
 // Trace mutator is nil-safe, so instrumented paths pay one nil check).
 type Tracer struct {
-	cap  int
-	seq  atomic.Uint64
+	cap     int
+	seq     atomic.Uint64
+	idState atomic.Uint64 // splitmix64 state behind trace/span ids
+	slowNS  atomic.Int64  // SLO threshold; 0 disables the flight recorder
+
 	mu   sync.Mutex
 	ring []Trace
 	next int
 	full bool
+
+	spanMu   sync.Mutex
+	spans    []SpanRecord
+	spanCap  int
+	spanNext int
+	spanFull bool
+
+	slowMu   sync.Mutex
+	slow     []Trace
+	slowNext int
+	slowFull bool
 }
 
 // NewTracer returns a tracer retaining up to capacity traces; capacity <= 0
 // disables tracing.
 func NewTracer(capacity int) *Tracer {
-	return &Tracer{cap: capacity}
+	return &Tracer{cap: capacity, spanCap: capacity * spanRingFactor}
+}
+
+// SeedIDs seeds the deterministic generator behind trace and span ids. Nodes
+// seed with a per-node derivation of the run seed, so ids are unique across
+// the cluster yet identical between replays of the same schedule.
+func (t *Tracer) SeedIDs(seed uint64) {
+	if t == nil {
+		return
+	}
+	t.idState.Store(seed)
+}
+
+// rand64 advances the seeded splitmix64 stream. Never returns 0 so a valid
+// trace id is always distinguishable from the zero ("no trace") context.
+func (t *Tracer) rand64() uint64 {
+	return mix64(t.idState.Add(0x9e3779b97f4a7c15))
+}
+
+// rand3 derives three id words (trace hi/lo + root span) from ONE advance of
+// the stream: Start runs on every client operation, often from many
+// goroutines at once, and a single atomic RMW on the shared state keeps the
+// contention there no worse than the pre-tracing sequence counter.
+func (t *Tracer) rand3() (a, b, c uint64) {
+	base := t.idState.Add(0x9e3779b97f4a7c15)
+	return mix64(base), mix64(base ^ 0x94d049bb133111eb), mix64(base ^ 0xbf58476d1ce4e5b9)
+}
+
+// mix64 is the splitmix64 finalizer, zero-guarded.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// NextSpanID hands out a span id for a server-side span; called by the
+// transport before it invokes the handler so nested calls can be parented
+// under the not-yet-recorded span. Nil-safe.
+func (t *Tracer) NextSpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.rand64()
+}
+
+// SetSlowThreshold arms the slow-op flight recorder: finished traces whose
+// total meets or exceeds ns are copied into a separate ring that op chatter
+// never evicts. ns <= 0 disarms it.
+func (t *Tracer) SetSlowThreshold(ns int64) {
+	if t == nil {
+		return
+	}
+	t.slowNS.Store(ns)
+}
+
+// RecordSpan publishes one server-side span fragment into the span ring.
+func (t *Tracer) RecordSpan(rec SpanRecord) {
+	if t == nil || t.spanCap <= 0 {
+		return
+	}
+	t.spanMu.Lock()
+	if !t.spanFull && t.spanNext == len(t.spans) && len(t.spans) < t.spanCap {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.spans[t.spanNext] = rec
+	}
+	t.spanNext++
+	if t.spanNext == t.spanCap {
+		t.spanNext = 0
+		t.spanFull = true
+	}
+	t.spanMu.Unlock()
+}
+
+// SpansFor returns the retained span fragments belonging to trace (hi, lo),
+// oldest first.
+func (t *Tracer) SpansFor(hi, lo uint64) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	size := t.spanNext
+	start := 0
+	if t.spanFull {
+		size = t.spanCap
+		start = t.spanNext
+	}
+	var out []SpanRecord
+	for i := 0; i < size; i++ {
+		rec := t.spans[(start+i)%t.spanCap]
+		if rec.Hi == hi && rec.Lo == lo {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Slow returns up to n traces from the flight recorder, newest first (n <= 0
+// means all). Deep-copied like Recent.
+func (t *Tracer) Slow(n int) []Trace {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	size := t.slowNext
+	if t.slowFull {
+		size = DefaultSlowBuf
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := t.slowNext - 1 - i
+		if idx < 0 {
+			idx += DefaultSlowBuf
+		}
+		tr := t.slow[idx]
+		tr.Hops = append([]Hop(nil), tr.Hops...)
+		tr.Spans = append([]Span(nil), tr.Spans...)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// FindTrace looks up a retained trace by its cluster-wide id, searching the
+// main ring and the flight recorder. Returns a deep copy.
+func (t *Tracer) FindTrace(hi, lo uint64) (Trace, bool) {
+	for _, tr := range t.Recent(0) {
+		if tr.Hi == hi && tr.Lo == lo {
+			return tr, true
+		}
+	}
+	for _, tr := range t.Slow(0) {
+		if tr.Hi == hi && tr.Lo == lo {
+			return tr, true
+		}
+	}
+	return Trace{}, false
+}
+
+func (t *Tracer) recordSlow(tr *Trace) {
+	t.slowMu.Lock()
+	if !t.slowFull && t.slowNext == len(t.slow) && len(t.slow) < DefaultSlowBuf {
+		t.slow = append(t.slow, *tr)
+	} else {
+		t.slow[t.slowNext] = *tr
+	}
+	// The ring aliases the finished trace's Hops/Spans; the op goroutine is
+	// done with them by Finish, and readers (Slow) deep-copy on the way out.
+	t.slowNext++
+	if t.slowNext == DefaultSlowBuf {
+		t.slowNext = 0
+		t.slowFull = true
+	}
+	t.slowMu.Unlock()
 }
 
 // Enabled reports whether the tracer retains traces; instrumentation can
@@ -115,8 +317,12 @@ func (t *Tracer) Start(op, path, node string) *Trace {
 	if t == nil || t.cap <= 0 {
 		return nil
 	}
+	hi, lo, span := t.rand3()
 	return &Trace{
 		ID:    t.seq.Add(1),
+		Hi:    hi,
+		Lo:    lo,
+		Span:  span,
 		Op:    op,
 		Path:  path,
 		Node:  node,
@@ -134,6 +340,9 @@ func (t *Tracer) Finish(tr *Trace, total time.Duration, err error) {
 	tr.TotalNS = int64(total)
 	if err != nil {
 		tr.Err = err.Error()
+	}
+	if slow := t.slowNS.Load(); slow > 0 && tr.TotalNS >= slow {
+		t.recordSlow(tr)
 	}
 	t.mu.Lock()
 	if !t.full && t.next == len(t.ring) && len(t.ring) < t.cap {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/id"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -97,6 +98,36 @@ func (n *Node) ReplicaCandidates(k int) []NodeInfo {
 	return n.st.replicaCandidates(k)
 }
 
+// LeafStats reports leaf-set occupancy for the overlay-health gauges: the
+// current deduplicated member count and the ideal (configured) size l.
+func (n *Node) LeafStats() (size, ideal int) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.st.leafMembers()), n.st.leafSize
+}
+
+// TableStats reports routing-table occupancy: filled entries and how many
+// rows hold at least one entry. Fill relative to rows×cols is the
+// "routing-table fill" health gauge; absolute numbers are exported so the
+// consumer picks its own denominator.
+func (n *Node) TableStats() (entries, rows int) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for r := range n.st.table {
+		rowHas := false
+		for c := range n.st.table[r] {
+			if !n.st.table[r][c].IsZero() {
+				entries++
+				rowHas = true
+			}
+		}
+		if rowHas {
+			rows++
+		}
+	}
+	return entries, rows
+}
+
 // IsRootFor reports whether this node believes it is numerically closest to
 // key among the nodes it knows.
 func (n *Node) IsRootFor(key id.ID) bool {
@@ -163,7 +194,7 @@ func (n *Node) Bootstrap(seed simnet.Addr) (simnet.Cost, error) {
 
 	// Route toward our own id to find our ring neighborhood; merge state
 	// from each hop on the way.
-	res, err := n.routeCollect(self.ID, true)
+	res, err := n.routeCollect(obs.TraceContext{}, self.ID, true)
 	total = simnet.Seq(total, res.Cost)
 	if err != nil {
 		return total, fmt.Errorf("pastry: join route: %w", err)
@@ -229,12 +260,19 @@ func (n *Node) MarkDead(addr simnet.Addr) {
 
 // Route finds the live node numerically closest to key.
 func (n *Node) Route(key id.ID) (RouteResult, error) {
-	return n.routeCollect(key, false)
+	return n.routeCollect(obs.TraceContext{}, key, false)
+}
+
+// RouteCtx is Route under a distributed-tracing context: every next-hop RPC
+// carries the caller's trace id, so each hop's server records a span fragment
+// and the assembled cross-node trace shows the full routing path.
+func (n *Node) RouteCtx(tc obs.TraceContext, key id.ID) (RouteResult, error) {
+	return n.routeCollect(tc, key, false)
 }
 
 // routeCollect performs iterative routing. When collect is true, the full
 // state of every hop is merged into our own (used during join).
-func (n *Node) routeCollect(key id.ID, collect bool) (RouteResult, error) {
+func (n *Node) routeCollect(tc obs.TraceContext, key id.ID, collect bool) (RouteResult, error) {
 	self := n.Info()
 	var res RouteResult
 	var excluded []id.ID
@@ -262,7 +300,7 @@ restart:
 					n.addPeers(st)
 				}
 			}
-			nh, isRoot, cost, err := n.rpcNextHop(cur.Addr, key, excluded)
+			nh, isRoot, cost, err := n.rpcNextHop(tc, cur.Addr, key, excluded)
 			res.Cost = simnet.Seq(res.Cost, cost)
 			res.Hops++
 			if err != nil {
@@ -354,12 +392,26 @@ func (n *Node) Leave() simnet.Cost {
 // --- RPC client stubs ---
 
 func (n *Node) call(to simnet.Addr, proc uint32, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
+	return n.callCtx(obs.TraceContext{}, to, proc, build)
+}
+
+// callCtx is call with trace-context propagation: a valid context rides the
+// RPC envelope when the transport supports it, so the peer's transport layer
+// records a server span for the hop.
+func (n *Node) callCtx(tc obs.TraceContext, to simnet.Addr, proc uint32, build func(*wire.Encoder)) (*wire.Decoder, simnet.Cost, error) {
 	e := wire.NewEncoder(128)
 	e.PutUint32(proc)
 	if build != nil {
 		build(e)
 	}
-	resp, cost, err := n.net.Call(n.Info().Addr, to, Service, e.Bytes())
+	var resp []byte
+	var cost simnet.Cost
+	var err error
+	if cc, ok := n.net.(simnet.CtxCaller); ok && tc.Valid() {
+		resp, cost, err = cc.CallCtx(tc, n.Info().Addr, to, Service, e.Bytes())
+	} else {
+		resp, cost, err = n.net.Call(n.Info().Addr, to, Service, e.Bytes())
+	}
 	if err != nil {
 		return nil, cost, err
 	}
@@ -371,8 +423,8 @@ func (n *Node) rpcPing(to simnet.Addr) (simnet.Cost, error) {
 	return cost, err
 }
 
-func (n *Node) rpcNextHop(to simnet.Addr, key id.ID, excluded []id.ID) (NodeInfo, bool, simnet.Cost, error) {
-	d, cost, err := n.call(to, pNextHop, func(e *wire.Encoder) {
+func (n *Node) rpcNextHop(tc obs.TraceContext, to simnet.Addr, key id.ID, excluded []id.ID) (NodeInfo, bool, simnet.Cost, error) {
+	d, cost, err := n.callCtx(tc, to, pNextHop, func(e *wire.Encoder) {
 		e.PutFixedOpaque(key[:])
 		putIDs(e, excluded)
 	})

@@ -33,6 +33,25 @@ const (
 	pRemoveNode = 5
 )
 
+// ProcName names an overlay procedure number for trace span labels.
+func ProcName(p uint32) string {
+	switch p {
+	case pPing:
+		return "ping"
+	case pNextHop:
+		return "next-hop"
+	case pGetState:
+		return "get-state"
+	case pGetLeafSet:
+		return "get-leaf-set"
+	case pNotify:
+		return "notify"
+	case pRemoveNode:
+		return "remove-node"
+	}
+	return "?"
+}
+
 // NodeInfo identifies an overlay member.
 type NodeInfo struct {
 	ID   id.ID

@@ -32,32 +32,35 @@ type Overlay interface {
 
 // Peer is the engine's view of other nodes: the kosha-service RPCs used for
 // replica maintenance plus the plain NFS reads tree fetches are built from.
+// Every method takes the caller's trace context first, so anti-entropy and
+// migration traffic shows up as server spans on the remote side of the
+// assembled cross-node trace (a zero context propagates nothing).
 type Peer interface {
 	// Mirror ships one mutation to another node; primary selects whether it
 	// lands in the primary namespace (migration push) or the replica area.
-	Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error)
+	Mirror(tc obs.TraceContext, to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error)
 	// StatTree summarizes the subtree stored at exactly root on to.
-	StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error)
+	StatTree(tc obs.TraceContext, to simnet.Addr, root string) (TreeStat, simnet.Cost, error)
 	// Promote asks to, as the new owner of t's key, to surface its
 	// replica-area copy; reports whether remote state changed.
-	Promote(to simnet.Addr, t Track) (bool, simnet.Cost, error)
+	Promote(tc obs.TraceContext, to simnet.Addr, t Track) (bool, simnet.Cost, error)
 	// DigestTree returns the Merkle digest summary of the subtree stored at
 	// exactly root on to.
-	DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error)
+	DigestTree(tc obs.TraceContext, to simnet.Addr, root string) (TreeDigest, simnet.Cost, error)
 	// DirDigests lists the immediate children of a remote directory with
 	// their subtree digests; ok is false when dir is missing or not a
 	// directory.
-	DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error)
+	DirDigests(tc obs.TraceContext, to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error)
 	// LookupPath resolves a physical path on a remote store.
-	LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error)
+	LookupPath(tc obs.TraceContext, to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error)
 	// ReadDir lists a remote directory.
-	ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error)
+	ReadDir(tc obs.TraceContext, to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error)
 	// ReadStream reads up to chunks consecutive chunk-byte pieces of a
 	// remote file in one round trip, reporting EOF — the pipelined window
 	// transfer tree fetches are built from.
-	ReadStream(to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error)
+	ReadStream(tc obs.TraceContext, to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error)
 	// ReadLink reads a remote symlink target by physical path.
-	ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error)
+	ReadLink(tc obs.TraceContext, to simnet.Addr, phys string) (string, simnet.Cost, error)
 }
 
 // Options configures an Engine.
@@ -70,6 +73,11 @@ type Options struct {
 	Key      func(pn string) id.ID // placement-name hash
 	Events   *obs.EventLog         // may be nil-safe consumers only if non-nil
 	Registry *obs.Registry
+	// Tracer, when set, gives replica-maintenance runs their own cluster-wide
+	// trace ids: each Sync becomes a traced operation whose remote traffic
+	// records server spans on the peers it touches. Nil disables (all engine
+	// RPCs then carry the zero context).
+	Tracer *obs.Tracer
 	// FullPush disables the Merkle delta protocol and restores the legacy
 	// remove-and-recopy push. Kept for the sync experiment's baseline arm.
 	FullPush bool
@@ -88,6 +96,7 @@ type Engine struct {
 	key      func(pn string) id.ID
 	events   *obs.EventLog
 	reg      *obs.Registry
+	tracer   *obs.Tracer
 	mk       *merkle.Cache // subtree digests over store, mutation-invalidated
 	fullPush bool
 
@@ -120,6 +129,7 @@ func New(o Options) *Engine {
 		key:          o.Key,
 		events:       o.Events,
 		reg:          o.Registry,
+		tracer:       o.Tracer,
 		mk:           merkle.NewCache(o.Store),
 		fullPush:     o.FullPush,
 		syncBytes:    o.Registry.Counter("repl.sync.bytes"),
@@ -430,8 +440,13 @@ func (e *Engine) Sync() (total simnet.Cost) {
 	}
 	defer e.syncing.Store(false)
 	e.events.Add(obs.EvResync, string(e.self), "")
+	// Each sync run is its own traced operation: the remote side of every
+	// stat/digest/mirror below records a span under this trace id.
+	str := e.tracer.Start(obs.OpResync, "/", string(e.self))
+	tc := str.Ctx()
 	defer func() {
 		e.reg.Observe("op."+obs.OpResync, time.Duration(total))
+		e.tracer.Finish(str, time.Duration(total), nil)
 	}()
 	// Snapshot in sorted order: map iteration order would otherwise vary the
 	// RPC sequence between runs, breaking seed-exact replay of fault
@@ -470,12 +485,12 @@ func (e *Engine) Sync() (total simnet.Cost) {
 				// branch, not the sum.
 				var fan []simnet.Cost
 				for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
-					st, c, err := e.peer.StatTree(rep.Addr, RepPath(root))
+					st, c, err := e.peer.StatTree(tc, rep.Addr, RepPath(root))
 					if err != nil || (!st.Exists && st.Ver >= t.Ver) {
 						fan = append(fan, c)
 						continue
 					}
-					mc, _ := e.peer.Mirror(rep.Addr, t, FSOp{Kind: FSRemoveAll, Path: root}, false)
+					mc, _ := e.peer.Mirror(tc, rep.Addr, t, FSOp{Kind: FSRemoveAll, Path: root}, false)
 					fan = append(fan, simnet.Seq(c, mc))
 				}
 				total = simnet.Seq(total, simnet.Par(fan...))
@@ -483,7 +498,7 @@ func (e *Engine) Sync() (total simnet.Cost) {
 			}
 			// Surface any replica-area copy; if a replica holds a newer
 			// version or a newer deletion, adopt it before refreshing.
-			ac, _ := e.AdoptRoot(t)
+			ac, _ := e.AdoptRoot(tc, t)
 			total = simnet.Seq(total, ac)
 			t.Ver = e.VerOf(root)
 			if e.IsDead(root) {
@@ -491,7 +506,7 @@ func (e *Engine) Sync() (total simnet.Cost) {
 			}
 			var fan []simnet.Cost
 			for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
-				c, _ := e.ensureTree(rep.Addr, t, false)
+				c, _ := e.ensureTree(tc, rep.Addr, t, false)
 				fan = append(fan, c)
 			}
 			total = simnet.Seq(total, simnet.Par(fan...))
@@ -507,10 +522,10 @@ func (e *Engine) Sync() (total simnet.Cost) {
 		if meta.Dead {
 			// Tell the new owner about the deletion unless it already
 			// knows a state at least as new.
-			st, c, err := e.peer.StatTree(res.Node.Addr, root)
+			st, c, err := e.peer.StatTree(tc, res.Node.Addr, root)
 			total = simnet.Seq(total, c)
 			if err == nil && st.Ver < t.Ver {
-				c, _ = e.peer.Mirror(res.Node.Addr, t, FSOp{Kind: FSRemoveAll, Path: root, Prune: true}, true)
+				c, _ = e.peer.Mirror(tc, res.Node.Addr, t, FSOp{Kind: FSRemoveAll, Path: root, Prune: true}, true)
 				total = simnet.Seq(total, c)
 			}
 			continue
@@ -518,7 +533,7 @@ func (e *Engine) Sync() (total simnet.Cost) {
 		// Someone else owns the key now: migrate the subtree to them; our
 		// copy stays behind as one of the replicas (Section 4.3.1), parked
 		// back in the replica area.
-		c, err := e.ensureTree(res.Node.Addr, t, true)
+		c, err := e.ensureTree(tc, res.Node.Addr, t, true)
 		total = simnet.Seq(total, c)
 		if err == nil {
 			e.DemoteLocal(t)
@@ -545,7 +560,7 @@ func (e *Engine) Sync() (total simnet.Cost) {
 			e.PromoteLocal(t)
 			var fan []simnet.Cost
 			for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
-				c, _ := e.peer.Mirror(rep.Addr, t, op, false)
+				c, _ := e.peer.Mirror(tc, rep.Addr, t, op, false)
 				fan = append(fan, c)
 			}
 			total = simnet.Seq(total, simnet.Par(fan...))
@@ -558,9 +573,9 @@ func (e *Engine) Sync() (total simnet.Cost) {
 		if err != nil || res.Node.Addr == e.self {
 			continue
 		}
-		c, merr := e.peer.Mirror(res.Node.Addr, t, op, false)
+		c, merr := e.peer.Mirror(tc, res.Node.Addr, t, op, false)
 		total = simnet.Seq(total, c)
-		_, c, perr := e.peer.Promote(res.Node.Addr, t)
+		_, c, perr := e.peer.Promote(tc, res.Node.Addr, t)
 		total = simnet.Seq(total, c)
 		if merr == nil && perr == nil {
 			e.DemoteLocal(t)
@@ -576,7 +591,7 @@ func (e *Engine) Sync() (total simnet.Cost) {
 // files and deletions, under the MIGRATION_NOT_COMPLETE flag protocol
 // (Section 4.4). When promote is set (the target is the new primary after
 // an ownership change) the pushed copy lands at the primary path.
-func (e *Engine) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.Cost, error) {
+func (e *Engine) ensureTree(tc obs.TraceContext, target simnet.Addr, t Track, promote bool) (simnet.Cost, error) {
 	src, ok := e.LocalTreePath(t.Root)
 	if !ok {
 		return 0, nil
@@ -587,30 +602,30 @@ func (e *Engine) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.C
 		// settled remote copy at least as new as ours wins; otherwise we
 		// surface the remote's replica-area copy if that is new enough, or
 		// push ours (§4.3.1, with the §4.4 flag protocol inside the push).
-		remote, cost, err := e.peer.DigestTree(target, t.Root)
+		remote, cost, err := e.peer.DigestTree(tc, target, t.Root)
 		if err != nil {
 			return cost, err
 		}
 		if remote.Exists && !remote.Flag && remote.Ver >= t.Ver {
 			return cost, nil
 		}
-		repRemote, c, err := e.peer.DigestTree(target, RepPath(t.Root))
+		repRemote, c, err := e.peer.DigestTree(tc, target, RepPath(t.Root))
 		cost = simnet.Seq(cost, c)
 		if err != nil {
 			return cost, err
 		}
 		if repRemote.Exists && !repRemote.Flag && repRemote.Ver >= t.Ver && !remote.Exists {
-			_, c, err := e.peer.Promote(target, t)
+			_, c, err := e.peer.Promote(tc, target, t)
 			return simnet.Seq(cost, c), err
 		}
-		c, err = e.deltaPush(target, t, src, true, remote)
+		c, err = e.deltaPush(tc, target, t, src, true, remote)
 		return simnet.Seq(cost, c), err
 	}
 
 	// Primary -> replica refresh: the primary's copy is authoritative for
 	// its version; a replica whose root digest already matches holds a
 	// byte-identical copy and is left alone (at most re-stamped).
-	remote, cost, err := e.peer.DigestTree(target, RepPath(t.Root))
+	remote, cost, err := e.peer.DigestTree(tc, target, RepPath(t.Root))
 	if err != nil {
 		return cost, err
 	}
@@ -620,13 +635,13 @@ func (e *Engine) ensureTree(target simnet.Addr, t Track, promote bool) (simnet.C
 			// Content matches but the replica's recorded version lags (e.g.
 			// it missed the mirrors but obtained the bytes elsewhere). One
 			// metadata-only op re-stamps it without moving data.
-			c, err := e.peer.Mirror(target, t, FSOp{Kind: FSMkdirAll, Path: t.Root}, false)
+			c, err := e.peer.Mirror(tc, target, t, FSOp{Kind: FSMkdirAll, Path: t.Root}, false)
 			return simnet.Seq(cost, c), err
 		}
 		return cost, nil
 	}
 	e.digestMisses.Add(1)
-	c, err := e.deltaPush(target, t, src, false, remote)
+	c, err := e.deltaPush(tc, target, t, src, false, remote)
 	return simnet.Seq(cost, c), err
 }
 
@@ -646,16 +661,16 @@ const FetchWindow = 4
 // removed only after the walk completes (Section 4.4); the tree underneath
 // is edited in place, never removed wholesale, so the remote copy stays
 // readable throughout.
-func (e *Engine) deltaPush(target simnet.Addr, t Track, src string, primary bool, remote TreeDigest) (simnet.Cost, error) {
+func (e *Engine) deltaPush(tc obs.TraceContext, target simnet.Addr, t Track, src string, primary bool, remote TreeDigest) (simnet.Cost, error) {
 	if e.fullPush {
-		return e.pushTree(target, t, src, primary)
+		return e.pushTree(tc, target, t, src, primary)
 	}
 	var total simnet.Cost
 	flag := path.Join(t.Root, MigrationFlag)
 
 	add := func(c simnet.Cost) { total = simnet.Seq(total, c) }
 	step := func(op FSOp) error {
-		c, err := e.peer.Mirror(target, t, op, primary)
+		c, err := e.peer.Mirror(tc, target, t, op, primary)
 		add(c)
 		return err
 	}
@@ -668,7 +683,7 @@ func (e *Engine) deltaPush(target simnet.Addr, t Track, src string, primary bool
 	if err := step(FSOp{Kind: FSWriteFile, Path: flag}); err != nil {
 		return total, err
 	}
-	if err := e.syncDir(target, t, src, t.Root, primary, step, add); err != nil {
+	if err := e.syncDir(tc, target, t, src, t.Root, primary, step, add); err != nil {
 		return total, err
 	}
 	err := step(FSOp{Kind: FSRemove, Path: flag})
@@ -681,12 +696,12 @@ func (e *Engine) deltaPush(target simnet.Addr, t Track, src string, primary bool
 // entries. localDir is the local source directory, destDir the matching
 // primary-relative destination (Mirror translates to the replica area when
 // primary is false).
-func (e *Engine) syncDir(target simnet.Addr, t Track, localDir, destDir string, primary bool, step func(FSOp) error, add func(simnet.Cost)) error {
+func (e *Engine) syncDir(tc obs.TraceContext, target simnet.Addr, t Track, localDir, destDir string, primary bool, step func(FSOp) error, add func(simnet.Cost)) error {
 	queryDir := destDir
 	if !primary {
 		queryDir = RepPath(destDir)
 	}
-	remoteEnts, ok, c, err := e.peer.DirDigests(target, queryDir)
+	remoteEnts, ok, c, err := e.peer.DirDigests(tc, target, queryDir)
 	add(c)
 	if err != nil {
 		return err
@@ -753,7 +768,7 @@ func (e *Engine) syncDir(target simnet.Addr, t Track, localDir, destDir string, 
 					return err
 				}
 			}
-			if err := e.syncDir(target, t, lsrc, ldst, primary, step, add); err != nil {
+			if err := e.syncDir(tc, target, t, lsrc, ldst, primary, step, add); err != nil {
 				return err
 			}
 		case localfs.TypeSymlink:
@@ -860,12 +875,12 @@ func joinChild(dir, name string) string {
 // recreate, re-ship every entry under the migration flag (Section 4.4).
 // This is the legacy full push, retained behind Options.FullPush as the
 // sync experiment's baseline; deltaPush replaces it on the normal path.
-func (e *Engine) pushTree(target simnet.Addr, t Track, src string, primary bool) (simnet.Cost, error) {
+func (e *Engine) pushTree(tc obs.TraceContext, target simnet.Addr, t Track, src string, primary bool) (simnet.Cost, error) {
 	var total simnet.Cost
 	flag := path.Join(t.Root, MigrationFlag)
 
 	step := func(op FSOp) error {
-		c, err := e.peer.Mirror(target, t, op, primary)
+		c, err := e.peer.Mirror(tc, target, t, op, primary)
 		total = simnet.Seq(total, c)
 		return err
 	}
@@ -904,7 +919,7 @@ func (e *Engine) pushTree(target simnet.Addr, t Track, src string, primary bool)
 // primary namespace via plain NFS reads, adopting the remote's version.
 // Used when a freshly promoted primary discovers a replica holding a newer
 // copy than the one it surfaced.
-func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.Cost, error) {
+func (e *Engine) fetchTree(tc obs.TraceContext, from simnet.Addr, t Track, remoteVer uint64) (simnet.Cost, error) {
 	var total simnet.Cost
 	src := RepPath(t.Root)
 	if err := e.store.RemoveAll(t.Root); err != nil {
@@ -915,12 +930,12 @@ func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.
 	}
 	var walk func(remotePath, localPath string) error
 	walk = func(remotePath, localPath string) error {
-		fh, _, c, err := e.peer.LookupPath(from, remotePath)
+		fh, _, c, err := e.peer.LookupPath(tc, from, remotePath)
 		total = simnet.Seq(total, c)
 		if err != nil {
 			return err
 		}
-		ents, c, err := e.peer.ReadDir(from, fh)
+		ents, c, err := e.peer.ReadDir(tc, from, fh)
 		total = simnet.Seq(total, c)
 		if err != nil {
 			return err
@@ -937,7 +952,7 @@ func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.
 					return err
 				}
 			case localfs.TypeSymlink:
-				target, c, err := e.peer.ReadLink(from, rp)
+				target, c, err := e.peer.ReadLink(tc, from, rp)
 				total = simnet.Seq(total, c)
 				if err != nil {
 					return err
@@ -956,14 +971,14 @@ func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.
 				if ent.Name == MigrationFlag && remotePath == src {
 					continue
 				}
-				efh, eattr, c, err := e.peer.LookupPath(from, rp)
+				efh, eattr, c, err := e.peer.LookupPath(tc, from, rp)
 				total = simnet.Seq(total, c)
 				if err != nil {
 					return err
 				}
 				data := make([]byte, 0, eattr.Size)
 				for off := int64(0); ; {
-					chunk, eof, c, err := e.peer.ReadStream(from, efh, off, PushChunk, FetchWindow)
+					chunk, eof, c, err := e.peer.ReadStream(tc, from, efh, off, PushChunk, FetchWindow)
 					total = simnet.Seq(total, c)
 					if err != nil {
 						return err
@@ -997,7 +1012,7 @@ func (e *Engine) fetchTree(from simnet.Addr, t Track, remoteVer uint64) (simnet.
 // change, or replica synchronization). The second result reports whether
 // read-repair changed local state — callers holding handles into the
 // subtree must re-resolve when it did.
-func (e *Engine) AdoptRoot(t Track) (simnet.Cost, bool) {
+func (e *Engine) AdoptRoot(tc obs.TraceContext, t Track) (simnet.Cost, bool) {
 	changed := e.PromoteLocal(t)
 	if t.Root == "" || t.Link != "" {
 		return 0, changed
@@ -1005,7 +1020,7 @@ func (e *Engine) AdoptRoot(t Track) (simnet.Cost, bool) {
 	var total simnet.Cost
 	myVer := e.VerOf(t.Root)
 	for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
-		st, c, err := e.peer.StatTree(rep.Addr, RepPath(t.Root))
+		st, c, err := e.peer.StatTree(tc, rep.Addr, RepPath(t.Root))
 		total = simnet.Seq(total, c)
 		if err != nil || st.Flag || st.Ver <= myVer {
 			continue
@@ -1021,7 +1036,7 @@ func (e *Engine) AdoptRoot(t Track) (simnet.Cost, bool) {
 			changed = true
 			continue
 		}
-		c, err = e.fetchTree(rep.Addr, t, st.Ver)
+		c, err = e.fetchTree(tc, rep.Addr, t, st.Ver)
 		total = simnet.Seq(total, c)
 		if err == nil {
 			myVer = st.Ver

@@ -30,7 +30,7 @@ func newStorePeer() *storePeer {
 	return &storePeer{remote: remote, mk: merkle.NewCache(remote), vers: map[string]uint64{}}
 }
 
-func (s *storePeer) Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
+func (s *storePeer) Mirror(_ obs.TraceContext, to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
 	s.mirrors = append(s.mirrors, mirrorRec{to: to, op: op, primary: primary})
 	if !primary {
 		op.Path = RepPath(op.Path)
@@ -95,13 +95,15 @@ func applyLenient(fs localfs.FileSystem, op FSOp) error {
 	return nil
 }
 
-func (s *storePeer) StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
+func (s *storePeer) StatTree(_ obs.TraceContext, to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
 	return TreeStat{}, 0, nil
 }
 
-func (s *storePeer) Promote(simnet.Addr, Track) (bool, simnet.Cost, error) { return false, 0, nil }
+func (s *storePeer) Promote(obs.TraceContext, simnet.Addr, Track) (bool, simnet.Cost, error) {
+	return false, 0, nil
+}
 
-func (s *storePeer) DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+func (s *storePeer) DigestTree(_ obs.TraceContext, to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
 	var td TreeDigest
 	td.Ver = s.vers[PrimaryRoot(root)]
 	if _, err := s.remote.LookupPath(root); err != nil {
@@ -117,12 +119,12 @@ func (s *storePeer) DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.
 	return td, 0, nil
 }
 
-func (s *storePeer) DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+func (s *storePeer) DirDigests(_ obs.TraceContext, to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
 	ents, ok, err := s.mk.Entries(dir)
 	return ents, ok, 0, err
 }
 
-func (s *storePeer) LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
+func (s *storePeer) LookupPath(_ obs.TraceContext, to simnet.Addr, phys string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
 	attr, err := s.remote.LookupPath(phys)
 	if err != nil {
 		return nfs.Handle{}, localfs.Attr{}, 0, err
@@ -130,7 +132,7 @@ func (s *storePeer) LookupPath(to simnet.Addr, phys string) (nfs.Handle, localfs
 	return nfs.Handle{Ino: attr.Ino}, attr, 0, nil
 }
 
-func (s *storePeer) ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
+func (s *storePeer) ReadDir(_ obs.TraceContext, to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
 	ents, _, err := s.remote.Readdir(fh.Ino)
 	if err != nil {
 		return nil, 0, err
@@ -142,7 +144,7 @@ func (s *storePeer) ReadDir(to simnet.Addr, fh nfs.Handle) ([]nfs.DirEntry, simn
 	return out, 0, nil
 }
 
-func (s *storePeer) ReadStream(to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
+func (s *storePeer) ReadStream(_ obs.TraceContext, to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error) {
 	var data []byte
 	for i := 0; i < chunks; i++ {
 		piece, eof, _, err := s.remote.Read(fh.Ino, off, chunk)
@@ -158,7 +160,7 @@ func (s *storePeer) ReadStream(to simnet.Addr, fh nfs.Handle, off int64, chunk, 
 	return data, false, 0, nil
 }
 
-func (s *storePeer) ReadLink(to simnet.Addr, phys string) (string, simnet.Cost, error) {
+func (s *storePeer) ReadLink(_ obs.TraceContext, to simnet.Addr, phys string) (string, simnet.Cost, error) {
 	attr, err := s.remote.LookupPath(phys)
 	if err != nil {
 		return "", 0, err
@@ -202,7 +204,7 @@ func TestFetchTreeKeepsNestedFlagNamedFile(t *testing.T) {
 	}
 	e, store, _ := deltaEngine(t, peer)
 
-	if _, err := e.fetchTree("r1", Track{PN: "docs", Root: "/docs"}, 5); err != nil {
+	if _, err := e.fetchTree(obs.TraceContext{}, "r1", Track{PN: "docs", Root: "/docs"}, 5); err != nil {
 		t.Fatal(err)
 	}
 	if data, err := store.ReadFile("/docs/a.txt"); err != nil || string(data) != "a" {
@@ -273,7 +275,7 @@ func TestEnsureTreeDeltaSkipsAndShipsOnlyChanges(t *testing.T) {
 	tr := Track{PN: "proj", Root: "/proj", Ver: 1}
 
 	// Identical copy, identical version: one digest exchange, no mutations.
-	if _, err := e.ensureTree("r1", tr, false); err != nil {
+	if _, err := e.ensureTree(obs.TraceContext{}, "r1", tr, false); err != nil {
 		t.Fatal(err)
 	}
 	if len(peer.mirrors) != 0 {
@@ -288,7 +290,7 @@ func TestEnsureTreeDeltaSkipsAndShipsOnlyChanges(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr.Ver = 2
-	if _, err := e.ensureTree("r1", tr, false); err != nil {
+	if _, err := e.ensureTree(obs.TraceContext{}, "r1", tr, false); err != nil {
 		t.Fatal(err)
 	}
 	var wrote []string
@@ -341,7 +343,7 @@ func TestEnsureTreeDeltaSkipsAndShipsOnlyChanges(t *testing.T) {
 	}
 	tr.Ver = 3
 	peer.mirrors = nil
-	if _, err := e.ensureTree("r1", tr, false); err != nil {
+	if _, err := e.ensureTree(obs.TraceContext{}, "r1", tr, false); err != nil {
 		t.Fatal(err)
 	}
 	var removed []string
@@ -370,7 +372,7 @@ func TestEnsureTreeRestampsMatchingReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	peer.vers["/w"] = 1
-	if _, err := e.ensureTree("r1", Track{PN: "w", Root: "/w", Ver: 4}, false); err != nil {
+	if _, err := e.ensureTree(obs.TraceContext{}, "r1", Track{PN: "w", Root: "/w", Ver: 4}, false); err != nil {
 		t.Fatal(err)
 	}
 	if len(peer.mirrors) != 1 || peer.mirrors[0].op.Kind != FSMkdirAll {

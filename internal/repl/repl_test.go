@@ -43,39 +43,41 @@ type fakePeer struct {
 	dirs    map[string][]merkle.Entry // presence of the key = directory exists
 }
 
-func (f *fakePeer) Mirror(to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
+func (f *fakePeer) Mirror(_ obs.TraceContext, to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
 	f.mirrors = append(f.mirrors, mirrorRec{to: to, op: op, primary: primary})
 	return 0, nil
 }
 
-func (f *fakePeer) StatTree(to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
+func (f *fakePeer) StatTree(_ obs.TraceContext, to simnet.Addr, root string) (TreeStat, simnet.Cost, error) {
 	return f.stats[fmt.Sprintf("%s %s", to, root)], 0, nil
 }
 
-func (f *fakePeer) DigestTree(to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
+func (f *fakePeer) DigestTree(_ obs.TraceContext, to simnet.Addr, root string) (TreeDigest, simnet.Cost, error) {
 	return f.digests[fmt.Sprintf("%s %s", to, root)], 0, nil
 }
 
-func (f *fakePeer) DirDigests(to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
+func (f *fakePeer) DirDigests(_ obs.TraceContext, to simnet.Addr, dir string) ([]merkle.Entry, bool, simnet.Cost, error) {
 	ents, ok := f.dirs[fmt.Sprintf("%s %s", to, dir)]
 	return ents, ok, 0, nil
 }
 
-func (f *fakePeer) Promote(simnet.Addr, Track) (bool, simnet.Cost, error) { return false, 0, nil }
+func (f *fakePeer) Promote(obs.TraceContext, simnet.Addr, Track) (bool, simnet.Cost, error) {
+	return false, 0, nil
+}
 
-func (f *fakePeer) LookupPath(simnet.Addr, string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
+func (f *fakePeer) LookupPath(obs.TraceContext, simnet.Addr, string) (nfs.Handle, localfs.Attr, simnet.Cost, error) {
 	return nfs.Handle{}, localfs.Attr{}, 0, fmt.Errorf("fakePeer: no remote store")
 }
 
-func (f *fakePeer) ReadDir(simnet.Addr, nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
+func (f *fakePeer) ReadDir(obs.TraceContext, simnet.Addr, nfs.Handle) ([]nfs.DirEntry, simnet.Cost, error) {
 	return nil, 0, fmt.Errorf("fakePeer: no remote store")
 }
 
-func (f *fakePeer) ReadStream(simnet.Addr, nfs.Handle, int64, int, int) ([]byte, bool, simnet.Cost, error) {
+func (f *fakePeer) ReadStream(obs.TraceContext, simnet.Addr, nfs.Handle, int64, int, int) ([]byte, bool, simnet.Cost, error) {
 	return nil, false, 0, fmt.Errorf("fakePeer: no remote store")
 }
 
-func (f *fakePeer) ReadLink(simnet.Addr, string) (string, simnet.Cost, error) {
+func (f *fakePeer) ReadLink(obs.TraceContext, simnet.Addr, string) (string, simnet.Cost, error) {
 	return "", 0, fmt.Errorf("fakePeer: no remote store")
 }
 
@@ -316,7 +318,7 @@ func TestAdoptRootAdoptsNewerTombstone(t *testing.T) {
 	}
 	e.Track(Track{PN: "share", Root: "/share", Ver: 2}, FSOp{Kind: FSMkdirAll, Path: "/share"})
 
-	_, changed := e.AdoptRoot(Track{PN: "share", Root: "/share", Ver: 2})
+	_, changed := e.AdoptRoot(obs.TraceContext{}, Track{PN: "share", Root: "/share", Ver: 2})
 	if !changed {
 		t.Fatal("adopting a newer deletion must report a state change")
 	}

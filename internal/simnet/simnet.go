@@ -37,6 +37,12 @@ var ErrNoSuchService = errors.New("simnet: no such service")
 // with the simulated cost of local processing (disk ops, nested calls).
 type Handler func(from Addr, req []byte) (resp []byte, cost Cost, err error)
 
+// HandlerCtx is a context-aware handler: it additionally receives the trace
+// context of the exchange, already re-parented under the server span the
+// transport allocated for this request, so any nested calls the handler
+// issues nest correctly in the causal tree.
+type HandlerCtx func(ctx obs.TraceContext, from Addr, req []byte) (resp []byte, cost Cost, err error)
+
 // Caller is the client side of the transport, implemented by *Network and by
 // the TCP transport in internal/tcpnet.
 type Caller interface {
@@ -46,6 +52,17 @@ type Caller interface {
 	Call(from, to Addr, service string, req []byte) (resp []byte, cost Cost, err error)
 }
 
+// CtxCaller extends Caller with trace-context propagation. Both transports
+// and the core retrier implement it; Call is CallCtx with the zero context.
+type CtxCaller interface {
+	Caller
+	// CallCtx is Call carrying a trace context on the envelope. A valid
+	// context makes the receiving transport record a server span (if the
+	// destination installed a SpanSink) and hand the handler a re-parented
+	// child context; the zero context makes CallCtx behave exactly as Call.
+	CallCtx(ctx obs.TraceContext, from, to Addr, service string, req []byte) (resp []byte, cost Cost, err error)
+}
+
 // Transport is the full substrate surface a node needs: issuing calls and
 // serving its own services. *Network implements it for in-process
 // emulation; internal/tcpnet implements it for multi-process deployment.
@@ -53,6 +70,29 @@ type Transport interface {
 	Caller
 	// Register installs a service handler reachable at addr.
 	Register(addr Addr, service string, h Handler)
+}
+
+// CtxTransport is implemented by transports that also accept context-aware
+// registrations and per-node span sinks.
+type CtxTransport interface {
+	Transport
+	CtxCaller
+	// RegisterCtx installs a context-aware service handler at addr.
+	RegisterCtx(addr Addr, service string, h HandlerCtx)
+	// SetSpanSink installs the span recorder for a node: the transport
+	// consults it on every traced exchange delivered to addr.
+	SetSpanSink(addr Addr, s SpanSink)
+}
+
+// SpanSink is how a node plugs its tracer into the transport. The transport
+// drives it around every traced exchange: NextSpanID before the handler runs
+// (the id parents the handler's nested calls), RecordServerSpan once after
+// it returns. One exchange records exactly one span even if fault injection
+// delivers the request twice — the duplicate-request path must not inflate
+// the causal tree.
+type SpanSink interface {
+	NextSpanID() uint64
+	RecordServerSpan(ctx obs.TraceContext, span uint64, service string, from Addr, req []byte, cost Cost, err error)
 }
 
 // Downer is implemented by transports that support failure injection.
@@ -90,7 +130,8 @@ type Stats struct {
 
 type node struct {
 	mu       sync.RWMutex
-	services map[string]Handler
+	services map[string]HandlerCtx
+	sink     SpanSink
 	down     atomic.Bool
 }
 
@@ -151,7 +192,7 @@ func (n *Network) AddNode(addr Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.nodes[addr]; !ok {
-		n.nodes[addr] = &node{services: make(map[string]Handler)}
+		n.nodes[addr] = &node{services: make(map[string]HandlerCtx)}
 	}
 }
 
@@ -165,12 +206,31 @@ func (n *Network) RemoveNode(addr Addr) {
 
 // Register installs a service handler on addr, adding the node if needed.
 func (n *Network) Register(addr Addr, service string, h Handler) {
+	n.RegisterCtx(addr, service, func(_ obs.TraceContext, from Addr, req []byte) ([]byte, Cost, error) {
+		return h(from, req)
+	})
+}
+
+// RegisterCtx installs a context-aware service handler on addr.
+func (n *Network) RegisterCtx(addr Addr, service string, h HandlerCtx) {
 	n.AddNode(addr)
 	n.mu.RLock()
 	nd := n.nodes[addr]
 	n.mu.RUnlock()
 	nd.mu.Lock()
 	nd.services[service] = h
+	nd.mu.Unlock()
+}
+
+// SetSpanSink installs addr's span recorder (nil clears it). Traced
+// exchanges delivered to addr record one server span through it.
+func (n *Network) SetSpanSink(addr Addr, s SpanSink) {
+	n.AddNode(addr)
+	n.mu.RLock()
+	nd := n.nodes[addr]
+	n.mu.RUnlock()
+	nd.mu.Lock()
+	nd.sink = s
 	nd.mu.Unlock()
 }
 
@@ -268,6 +328,11 @@ func (n *Network) svc(service string) *svcCounter {
 // Call implements Caller. Local calls (from == to) skip the link cost but
 // still pay the handler's processing cost, mirroring a loopback RPC.
 func (n *Network) Call(from, to Addr, service string, req []byte) ([]byte, Cost, error) {
+	return n.CallCtx(obs.TraceContext{}, from, to, service, req)
+}
+
+// CallCtx implements CtxCaller: Call with a trace context on the envelope.
+func (n *Network) CallCtx(ctx obs.TraceContext, from, to Addr, service string, req []byte) ([]byte, Cost, error) {
 	n.messages.Add(1)
 	n.bytes.Add(uint64(len(req)))
 	sc := n.svc(service)
@@ -297,10 +362,20 @@ func (n *Network) Call(from, to Addr, service string, req []byte) ([]byte, Cost,
 
 	dst.mu.RLock()
 	h := dst.services[service]
+	sink := dst.sink
 	dst.mu.RUnlock()
 	if h == nil {
 		n.failures.Add(1)
 		return nil, n.Timeout, fmt.Errorf("%w: %q on %s", ErrNoSuchService, service, to)
+	}
+
+	// A traced exchange gets a server span: allocate its id up front so the
+	// handler's nested calls parent under it, record it once afterwards.
+	hctx := ctx
+	var span uint64
+	if ctx.Valid() && sink != nil {
+		span = sink.NextSpanID()
+		hctx = ctx.Child(span)
 	}
 
 	var wireCost Cost
@@ -311,14 +386,18 @@ func (n *Network) Call(from, to Addr, service string, req []byte) ([]byte, Cost,
 		n.delayed.Add(1)
 		wireCost = Seq(wireCost, fault.Delay)
 	}
-	resp, procCost, err := h(from, req)
+	resp, procCost, err := h(hctx, from, req)
+	if span != 0 {
+		sink.RecordServerSpan(ctx, span, service, from, req, procCost, err)
+	}
 	if fault.Dup {
 		// Deliver the retransmitted copy after the original; the caller only
 		// ever sees the first response. Servers must therefore treat
 		// non-idempotent requests at-most-once (see nfs.Server's duplicate
-		// request cache).
+		// request cache). The duplicate is the same exchange, so it records
+		// no second server span.
 		n.duped.Add(1)
-		h(from, req)
+		h(hctx, from, req)
 	}
 	if err != nil {
 		n.failures.Add(1)

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -37,7 +38,8 @@ type Net struct {
 	ln    net.Listener
 
 	mu       sync.Mutex
-	services map[string]simnet.Handler
+	services map[string]simnet.HandlerCtx
+	sink     simnet.SpanSink
 	conns    map[simnet.Addr]*conn
 	inbound  map[net.Conn]struct{}
 
@@ -63,7 +65,7 @@ func Listen(listenAddr string, link simnet.LinkModel) (*Net, error) {
 		Timeout:  5 * time.Second,
 		local:    simnet.Addr(ln.Addr().String()),
 		ln:       ln,
-		services: make(map[string]simnet.Handler),
+		services: make(map[string]simnet.HandlerCtx),
 		conns:    make(map[simnet.Addr]*conn),
 		inbound:  make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
@@ -80,7 +82,7 @@ func Dialer(from simnet.Addr, link simnet.LinkModel) *Net {
 		Link:     link,
 		Timeout:  5 * time.Second,
 		local:    from,
-		services: make(map[string]simnet.Handler),
+		services: make(map[string]simnet.HandlerCtx),
 		conns:    make(map[simnet.Addr]*conn),
 		inbound:  make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
@@ -112,6 +114,13 @@ func (n *Net) Close() error {
 // Register implements simnet.Transport. Only the local address can host
 // services; registering for another address is a programming error.
 func (n *Net) Register(addr simnet.Addr, service string, h simnet.Handler) {
+	n.RegisterCtx(addr, service, func(_ obs.TraceContext, from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
+		return h(from, req)
+	})
+}
+
+// RegisterCtx installs a context-aware service handler at the local address.
+func (n *Net) RegisterCtx(addr simnet.Addr, service string, h simnet.HandlerCtx) {
 	if addr != n.local {
 		panic(fmt.Sprintf("tcpnet: cannot register %q for remote address %s (local %s)", service, addr, n.local))
 	}
@@ -120,27 +129,60 @@ func (n *Net) Register(addr simnet.Addr, service string, h simnet.Handler) {
 	n.mu.Unlock()
 }
 
-func (n *Net) handlerFor(service string) simnet.Handler {
+// SetSpanSink installs the local node's span recorder (nil clears it).
+func (n *Net) SetSpanSink(addr simnet.Addr, s simnet.SpanSink) {
+	if addr != n.local {
+		panic(fmt.Sprintf("tcpnet: cannot set span sink for remote address %s (local %s)", addr, n.local))
+	}
+	n.mu.Lock()
+	n.sink = s
+	n.mu.Unlock()
+}
+
+func (n *Net) handlerFor(service string) (simnet.HandlerCtx, simnet.SpanSink) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.services[service]
+	return n.services[service], n.sink
+}
+
+// serve dispatches one delivered request to the local handler, recording a
+// server span when the envelope carries a trace context and a sink is
+// installed. Shared by the loopback path and the listener.
+func (n *Net) serve(ctx obs.TraceContext, from simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
+	h, sink := n.handlerFor(service)
+	if h == nil {
+		return nil, simnet.Cost(time.Second), fmt.Errorf("%w: %q on %s", simnet.ErrNoSuchService, service, n.local)
+	}
+	hctx := ctx
+	var span uint64
+	if ctx.Valid() && sink != nil {
+		span = sink.NextSpanID()
+		hctx = ctx.Child(span)
+	}
+	resp, cost, err := h(hctx, from, req)
+	if span != 0 {
+		sink.RecordServerSpan(ctx, span, service, from, req, cost, err)
+	}
+	return resp, cost, err
 }
 
 // Call implements simnet.Caller. Local calls dispatch directly (loopback);
 // remote calls go over TCP. Cost composes the modeled link cost with the
 // remote handler's reported processing cost.
 func (n *Net) Call(from, to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
+	return n.CallCtx(obs.TraceContext{}, from, to, service, req)
+}
+
+// CallCtx implements simnet.CtxCaller: the trace context rides the request
+// frame and is rehydrated by the serving side.
+func (n *Net) CallCtx(ctx obs.TraceContext, from, to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
 	if to == n.local {
-		h := n.handlerFor(service)
-		if h == nil {
-			return nil, simnet.Cost(time.Second), fmt.Errorf("%w: %q on %s", simnet.ErrNoSuchService, service, to)
-		}
-		return h(from, req)
+		return n.serve(ctx, from, service, req)
 	}
 
 	var wireCost simnet.Cost
 	wireCost = n.Link.MessageCost(len(req))
-	resp, procCost, err := n.roundTrip(to, service, req)
+	resp, procCost, err := n.roundTrip(ctx, to, service, req)
 	if err != nil {
 		return nil, simnet.Cost(time.Second), err
 	}
@@ -189,14 +231,14 @@ func (n *Net) dropConn(to simnet.Addr, c *conn) {
 // A cached connection can have been closed by the peer while idle (server
 // restart, keepalive timeout); an IO failure on one evicts it and redials
 // once before the failure is reported as unreachability.
-func (n *Net) roundTrip(to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
+func (n *Net) roundTrip(ctx obs.TraceContext, to simnet.Addr, service string, req []byte) ([]byte, simnet.Cost, error) {
 	var frame []byte
 	for attempt := 0; ; attempt++ {
 		c, fresh, err := n.getConn(to)
 		if err != nil {
 			return nil, 0, err
 		}
-		frame, err = n.exchange(c, service, req)
+		frame, err = n.exchange(c, ctx, service, req)
 		if err != nil {
 			n.dropConn(to, c)
 			if !fresh && attempt == 0 {
@@ -223,14 +265,18 @@ func (n *Net) roundTrip(to simnet.Addr, service string, req []byte) ([]byte, sim
 	return resp, cost, nil
 }
 
-// exchange performs one framed request/response on a connection.
-func (n *Net) exchange(c *conn, service string, req []byte) ([]byte, error) {
+// exchange performs one framed request/response on a connection. The trace
+// context travels as three fixed words after the service name.
+func (n *Net) exchange(c *conn, ctx obs.TraceContext, service string, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	e := wire.NewEncoder(64 + len(req))
+	e := wire.NewEncoder(88 + len(req))
 	e.PutString(string(n.local))
 	e.PutString(service)
+	e.PutUint64(ctx.Hi)
+	e.PutUint64(ctx.Lo)
+	e.PutUint64(ctx.Span)
 	e.PutOpaque(req)
 
 	c.c.SetDeadline(time.Now().Add(n.Timeout))
@@ -290,28 +336,22 @@ func (n *Net) serveConn(raw net.Conn) {
 		d := wire.NewDecoder(frame)
 		from := simnet.Addr(d.String())
 		service := d.String()
+		ctx := obs.TraceContext{Hi: d.Uint64(), Lo: d.Uint64(), Span: d.Uint64()}
 		req := d.Opaque()
 		if d.Err() != nil {
 			return
 		}
 
 		e := wire.NewEncoder(256)
-		h := n.handlerFor(service)
-		if h == nil {
+		resp, cost, herr := n.serve(ctx, from, service, req)
+		if herr != nil {
 			e.PutBool(false)
-			e.PutInt64(int64(simnet.Cost(0)))
-			e.PutString(fmt.Sprintf("%v: %q on %s", simnet.ErrNoSuchService, service, n.local))
+			e.PutInt64(int64(cost))
+			e.PutString(herr.Error())
 		} else {
-			resp, cost, herr := h(from, req)
-			if herr != nil {
-				e.PutBool(false)
-				e.PutInt64(int64(cost))
-				e.PutString(herr.Error())
-			} else {
-				e.PutBool(true)
-				e.PutInt64(int64(cost))
-				e.PutOpaque(resp)
-			}
+			e.PutBool(true)
+			e.PutInt64(int64(cost))
+			e.PutOpaque(resp)
 		}
 		raw.SetWriteDeadline(time.Now().Add(n.Timeout))
 		if err := writeFrame(raw, e.Bytes()); err != nil {
