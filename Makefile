@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test bench bench-smoke smoke metrics-smoke chaos clean
+.PHONY: all ci fmt-check vet build test bench bench-smoke smoke scale-smoke metrics-smoke chaos soak clean
 
 all: vet build test
 
@@ -13,6 +13,7 @@ ci: fmt-check vet build
 	$(MAKE) chaos
 	$(GO) test -race ./...
 	$(MAKE) smoke
+	$(MAKE) scale-smoke
 	$(MAKE) metrics-smoke
 
 # chaos runs the deterministic fault-injection harness under the race
@@ -24,6 +25,23 @@ ci: fmt-check vet build
 # its base seed with KOSHA_CHAOS_SEED=<seed>.
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos
+
+# soak is the gated slow target: the 500-node scale-out soak (internal/scale)
+# replaying >= 10K Purdue-trace operations under diurnal availability churn
+# with the overlay invariant oracle enforced every epoch. The run's seed is
+# logged; replay a failure with
+#   KOSHA_SCALE_SOAK=1 KOSHA_SCALE_SEED=<seed> go test ./internal/scale -run TestSoakLarge -v
+soak:
+	KOSHA_SCALE_SOAK=1 $(GO) test -count=1 -timeout 30m ./internal/scale -run TestSoakLarge -v
+
+# scale-smoke is the quick (<=100-node) scale-sweep variant wired into ci:
+# two soak points plus the hops-vs-N JSON fields the docs table is built from.
+scale-smoke:
+	@out=$$($(GO) run ./cmd/koshabench -exp scale -quick -format json); \
+	for f in mean_route_hops probe_mean_hops mean_join_ms replica_fanout; do \
+		echo "$$out" | grep -q "\"$$f\"" || { echo "scale-smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
+	done; \
+	echo "scale-smoke: koshabench scale JSON ok"
 
 smoke:
 	@out=$$($(GO) run ./cmd/koshabench -exp latency -quick -format json); \

@@ -127,21 +127,22 @@ func main() {
 
 	run("scale", func() error {
 		opts := experiments.DefaultScaleOptions()
-		if *runs > 0 {
-			opts.Runs = *runs
-		}
 		if *quick {
-			opts.Workload = mab.Tiny()
-			opts.Runs = 2
-			opts.NodeCounts = []int{1, 4, 16}
+			opts.NodeCounts = []int{50, 100}
+			opts.Epochs = 6
+			opts.Ops = 180
+			opts.FS = trace.SmallFSConfig()
 		}
 		res, err := experiments.RunScale(opts)
 		if err != nil {
 			return err
 		}
-		if csv {
+		switch {
+		case *format == "json":
+			return res.FprintJSON(os.Stdout)
+		case csv:
 			res.FprintCSV(os.Stdout, opts)
-		} else {
+		default:
 			res.Fprint(os.Stdout, opts)
 		}
 		return nil

@@ -36,6 +36,27 @@ func TestScenarioCrashDuringWrite(t *testing.T) {
 	})
 }
 
+// TestScenarioWriteBackCrash: the crash-during-write schedule with client
+// write-back buffering enabled. WriteFile flushes its buffered spans before
+// acknowledging, so every oracle-recorded write is durable data, and the
+// acked-history invariants (no acknowledged byte lost, reads return only
+// acknowledged contents) must hold exactly as in write-through mode.
+func TestScenarioWriteBackCrash(t *testing.T) {
+	run(t, Options{
+		Seed:           1102,
+		WriteBackBytes: 64 << 10,
+		Steps: []Step{
+			{Kind: OpCrash, A: 3},
+			{Kind: OpStabilize},
+			{Kind: OpCrash, A: 5},
+			{Kind: OpStabilize},
+			{Kind: OpRevive, A: 3},
+			{Kind: OpRevive, A: 5},
+			{Kind: OpStabilize},
+		},
+	})
+}
+
 // TestScenarioPartitionHeal: asymmetric partitions between storage nodes
 // while clients stay connected; after healing, everything re-converges.
 func TestScenarioPartitionHeal(t *testing.T) {

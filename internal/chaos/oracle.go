@@ -132,6 +132,14 @@ func (o *Oracle) Exists(p string) bool {
 	return ok
 }
 
+// FileContent returns the acknowledged contents of p, if the model knows
+// the file. The scale soak uses it to judge individual reads inline instead
+// of sweeping every file per step.
+func (o *Oracle) FileContent(p string) ([]byte, bool) {
+	data, ok := o.files[p]
+	return data, ok
+}
+
 // Files returns the model's file paths in sorted order — the deterministic
 // iteration the seeded runner needs.
 func (o *Oracle) Files() []string {

@@ -40,6 +40,11 @@ type Options struct {
 	MinLive        int // floor on live nodes (default Replicas+2)
 	FullCheckEvery int // full listing check cadence in steps (default 8)
 
+	// WriteBackBytes enables client write-back buffering (core.Config's
+	// knob). Mount.WriteFile flushes before acknowledging, so the oracle's
+	// acked-history invariants are judged on durable data, not buffers.
+	WriteBackBytes int
+
 	// Logf, when set, receives the trace live (e.g. t.Logf).
 	Logf func(format string, args ...any)
 }
@@ -116,6 +121,7 @@ func Run(o Options) (*Report, error) {
 		DistributionLevel: o.DistributionLevel,
 		AttrCacheTTL:      -1,
 		NameCacheTTL:      -1,
+		WriteBackBytes:    o.WriteBackBytes,
 	}
 	c, err := cluster.New(cluster.Options{Nodes: o.Nodes, Seed: uint64(o.Seed), Config: cfg})
 	if err != nil {

@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// TestSaltedRedirectStaleMidSync closes the ROADMAP-flagged gap: a
+// `#salt`-redirected directory whose replicas go stale mid-sync. The plain
+// placement target is filled past the utilization limit so mkdir redirects
+// the subtree to a salted name on another node; then a one-way partition
+// cuts the salted primary off from its replica set while SyncReplicas runs
+// and the workload keeps overwriting — the replicas are left holding stale
+// Merkle state. After the heal, one stabilization pass must re-converge
+// every replica digest to the acknowledged contents.
+func TestSaltedRedirectStaleMidSync(t *testing.T) {
+	const (
+		seed     = 5511
+		capacity = 1 << 20
+		replicas = 2
+	)
+	c, err := cluster.New(cluster.Options{
+		Nodes: 8,
+		Seed:  seed,
+		Config: core.Config{
+			Replicas:     replicas,
+			AttrCacheTTL: -1,
+			NameCacheTTL: -1,
+			Capacity:     capacity,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the plain placement target of "proj" past the utilization limit
+	// (0.85 default) so the mkdir below must redirect.
+	res, err := c.Nodes[0].Overlay().Route(core.Key(core.Salted("proj", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAddr := res.Node.Addr
+	var fullNode *core.Node
+	for _, nd := range c.Nodes {
+		if nd.Addr() == fullAddr {
+			fullNode = nd
+		}
+	}
+	blob := make([]byte, 64<<10)
+	for i := 0; fullNode.Store().Utilization() < 0.9; i++ {
+		if err := fullNode.Store().WriteFile(fmt.Sprintf("/fill/blob%02d", i), blob); err != nil {
+			t.Fatalf("fill %s: %v", fullAddr, err)
+		}
+	}
+
+	m := c.Mount(0)
+	model := NewOracle()
+	if _, _, err := m.MkdirAll("/proj"); err != nil {
+		t.Fatalf("mkdir /proj: %v", err)
+	}
+	model.MkdirAll("/proj")
+	place, _, err := c.Nodes[0].ResolvePath("/proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.IsSalted(place.Name) {
+		t.Fatalf("placement %q not salted: the full node did not force a redirect", place.Name)
+	}
+	if place.Node == fullAddr {
+		t.Fatalf("salted subtree still landed on the full node %s", fullAddr)
+	}
+
+	// Seed the subtree with v1 contents and let replication settle.
+	writeAll := func(version byte) {
+		for i := 0; i < 6; i++ {
+			p := fmt.Sprintf("/proj/file%02d", i)
+			data := append([]byte(fmt.Sprintf("v%d:%s:", version, p)), make([]byte, 2048)...)
+			if _, err := m.WriteFile(p, data); err != nil {
+				t.Fatalf("write %s: %v", p, err)
+			}
+			model.WriteFile(p, data)
+		}
+	}
+	writeAll(1)
+	c.Stabilize()
+	if err := ReplicaConvergence(c, model, replicas); err != nil {
+		t.Fatalf("replicas not converged before fault: %v", err)
+	}
+
+	// One-way partition: the salted primary can be reached (the client's
+	// writes keep landing and keep being acknowledged) but cannot reach
+	// anyone, so its replication fan-out and its SyncReplicas pushes die.
+	primary := place.Node
+	c.Net.SetPartition(func(a, b simnet.Addr) bool { return a == primary })
+	for _, nd := range c.Nodes {
+		if nd.Addr() == primary {
+			nd.SyncReplicas() // mid-sync: every push fails, replicas stay at v1
+		}
+	}
+	writeAll(2)
+
+	// The replica set must now be demonstrably stale — otherwise this test
+	// would pass vacuously without exercising the resync path.
+	if err := ReplicaConvergence(c, model, replicas); err == nil {
+		t.Fatal("replicas unexpectedly converged while the primary was partitioned")
+	}
+
+	// Heal and stabilize: digests must re-converge to the acknowledged v2.
+	c.Net.SetPartition(nil)
+	c.Stabilize()
+	if err := model.Check(m); err != nil {
+		t.Fatalf("post-heal oracle check: %v", err)
+	}
+	if err := ReplicaConvergence(c, model, replicas); err != nil {
+		t.Fatalf("post-heal replica convergence: %v", err)
+	}
+}

@@ -35,6 +35,11 @@ type Cluster struct {
 	Net   *simnet.Network
 	Nodes []*core.Node
 
+	// JoinCosts records the simulated cost of every overlay join (initial
+	// build, AddNode, and revives), in order — the raw data behind the
+	// join-convergence-time-vs-N curve of the scale experiment.
+	JoinCosts []simnet.Cost
+
 	seedState uint64
 	cfg       core.Config
 	nextAddr  int
@@ -77,9 +82,11 @@ func (c *Cluster) addNode(cfg core.Config) (*core.Node, error) {
 	if len(c.Nodes) > 0 {
 		boot = c.Nodes[0].Addr()
 	}
-	if _, err := nd.Join(boot); err != nil {
+	cost, err := nd.Join(boot)
+	if err != nil {
 		return nil, fmt.Errorf("cluster: join %s: %w", addr, err)
 	}
+	c.JoinCosts = append(c.JoinCosts, cost)
 	c.Nodes = append(c.Nodes, nd)
 	return nd, nil
 }
@@ -94,13 +101,33 @@ func (c *Cluster) AddNode() (*core.Node, error) {
 	return nd, nil
 }
 
-// Stabilize runs overlay repair and replica synchronization until the
-// membership views settle.
-func (c *Cluster) Stabilize() {
+// AddNodes joins k nodes (default config) and stabilizes once at the end —
+// the batch form large clusters need: stabilization is cluster-wide, so
+// running it per join (as AddNode does) turns an N-node bring-up into an
+// O(N^2) affair.
+func (c *Cluster) AddNodes(k int) ([]*core.Node, error) {
+	added := make([]*core.Node, 0, k)
+	for i := 0; i < k; i++ {
+		nd, err := c.addNode(c.cfg)
+		if err != nil {
+			return added, err
+		}
+		added = append(added, nd)
+	}
+	c.Stabilize()
+	return added, nil
+}
+
+// Stabilize runs overlay repair — leaf-set probing plus background
+// routing-table maintenance — and replica synchronization until the
+// membership views settle, returning the total simulated cost.
+func (c *Cluster) Stabilize() simnet.Cost {
+	var total simnet.Cost
 	for round := 0; round < 3; round++ {
 		for _, nd := range c.Nodes {
 			if !c.Net.IsDown(nd.Addr()) {
-				nd.Overlay().Stabilize()
+				total = simnet.Seq(total, nd.Overlay().Stabilize())
+				total = simnet.Seq(total, nd.Overlay().RepairTable())
 			}
 		}
 	}
@@ -110,10 +137,11 @@ func (c *Cluster) Stabilize() {
 	for round := 0; round < 2; round++ {
 		for _, nd := range c.Nodes {
 			if !c.Net.IsDown(nd.Addr()) {
-				nd.SyncReplicas()
+				total = simnet.Seq(total, nd.SyncReplicas())
 			}
 		}
 	}
+	return total
 }
 
 // Mount returns a client mount attached through node i's koshad.
@@ -123,11 +151,36 @@ func (c *Cluster) Mount(i int) *core.Mount { return c.Nodes[i].NewMount() }
 func (c *Cluster) Fail(i int) { c.Nodes[i].Fail() }
 
 // Revive restarts node i with a fresh overlay identifier (its store is
-// purged, Section 4.3.2) and stabilizes. The rejoin bootstraps through the
-// first node that is actually alive — under churn the next node in index
-// order may itself be down, and bootstrapping through a dead seed would
-// fail the whole revival.
+// purged, Section 4.3.2) and stabilizes.
 func (c *Cluster) Revive(i int) error {
+	if err := c.reviveOne(i); err != nil {
+		return err
+	}
+	c.Stabilize()
+	return nil
+}
+
+// ReviveNodes restarts a batch of crashed nodes and stabilizes once at the
+// end. Under trace-driven churn a single epoch revives many machines;
+// stabilizing the whole cluster once per machine (as Revive does) is the
+// O(N) scan that made large-cluster churn intractable.
+func (c *Cluster) ReviveNodes(idxs []int) error {
+	for _, i := range idxs {
+		if err := c.reviveOne(i); err != nil {
+			return err
+		}
+	}
+	if len(idxs) > 0 {
+		c.Stabilize()
+	}
+	return nil
+}
+
+// reviveOne rejoins one crashed node without stabilizing. The rejoin
+// bootstraps through the first node that is actually alive — under churn
+// the next node in index order may itself be down, and bootstrapping
+// through a dead seed would fail the whole revival.
+func (c *Cluster) reviveOne(i int) error {
 	var seed simnet.Addr
 	for off := 1; off < len(c.Nodes); off++ {
 		cand := c.Nodes[(i+off)%len(c.Nodes)]
@@ -139,10 +192,11 @@ func (c *Cluster) Revive(i int) error {
 	if seed == "" {
 		return fmt.Errorf("cluster: revive %d: no live seed node", i)
 	}
-	if _, err := c.Nodes[i].Revive(id.Rand128(&c.seedState), seed); err != nil {
+	cost, err := c.Nodes[i].Revive(id.Rand128(&c.seedState), seed)
+	if err != nil {
 		return err
 	}
-	c.Stabilize()
+	c.JoinCosts = append(c.JoinCosts, cost)
 	return nil
 }
 

@@ -254,9 +254,28 @@ func (m *Mount) readdir(tr *obs.Trace, dir VH) ([]DirEntry, simnet.Cost, error) 
 func (m *Mount) readdirRoot(tr *obs.Trace) ([]DirEntry, simnet.Cost, error) {
 	total := m.n.cfg.InterposeCost
 	seen := make(map[string]localfs.FileType)
+	// The union must cover *every* live node, not just the ones this node's
+	// routing state happens to name: at large N, Known() is O(log N) of the
+	// membership and the union would silently drop top-level directories
+	// hosted on strangers. A clockwise ring walk enumerates the live
+	// membership at one leaf-set RPC per l/2 positions; Known() is folded in
+	// as a free extra so a mid-churn walk cut short by a stale leaf entry
+	// still sees this node's own horizon.
 	nodes := []simnet.Addr{m.n.addr}
+	dup := map[simnet.Addr]bool{m.n.addr: true}
+	ring, c := m.n.overlay.EnumerateRing()
+	total = simnet.Seq(total, c)
+	for _, p := range ring {
+		if !dup[p.Addr] {
+			dup[p.Addr] = true
+			nodes = append(nodes, p.Addr)
+		}
+	}
 	for _, p := range m.n.overlay.Known() {
-		nodes = append(nodes, p.Addr)
+		if !dup[p.Addr] {
+			dup[p.Addr] = true
+			nodes = append(nodes, p.Addr)
+		}
 	}
 	for _, addr := range nodes {
 		var ents []nfs.DirEntry

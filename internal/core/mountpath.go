@@ -104,6 +104,15 @@ func (m *Mount) writeFileOnce(vpath string, data []byte) (simnet.Cost, error) {
 	}
 	defer m.forget(fvh)
 	_, c, err = m.Write(fvh, 0, data)
+	total = simnet.Seq(total, c)
+	if err != nil {
+		return total, err
+	}
+	// Under write-back the Write above may only have buffered. WriteFile's
+	// contract is an acknowledged durable write, so flush before the handle
+	// is dropped: forget's flush is best-effort and would swallow the error,
+	// acknowledging data that was never placed.
+	c, err = m.flushVH(nil, fvh)
 	return simnet.Seq(total, c), err
 }
 

@@ -1,98 +1,127 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/mab"
-	"repro/internal/simnet"
-	"repro/internal/stats"
+	"repro/internal/scale"
+	"repro/internal/trace"
 )
 
-// ScaleOptions parameterizes the overlay-size sweep, an extension beyond
-// the paper's Table 1: the paper measures 1..8 nodes and *argues* that the
-// overhead saturates ("For larger number of nodes, the additional overhead
-// increases slowly", §6.1.2's (N-1)/N analysis plus log-base-16 hops);
-// this experiment measures it.
+// ScaleOptions parameterizes the scale-out sweep: each point runs the
+// internal/scale soak — sustained Purdue-trace traffic under diurnal
+// availability churn with the overlay invariant oracle enforced — and
+// records how routing, latency, replication fan-out, and join convergence
+// behave as the overlay grows from LAN scale to the thousand-node
+// population Pastry was designed for. The paper measures 1..8 nodes
+// (Section 6) and argues O(log16 N) scaling; this experiment measures it.
 type ScaleOptions struct {
 	NodeCounts []int
-	Runs       int
-	Workload   mab.Config
-	Seed       uint64
+	// Epochs/Ops are per sweep point (see scale.Options).
+	Epochs int
+	Ops    int
+	Seed   uint64
+	FS     trace.FSConfig
 }
 
-// DefaultScaleOptions extends Table 1 to 64 nodes.
+// DefaultScaleOptions sweeps 100 to 1000 nodes.
 func DefaultScaleOptions() ScaleOptions {
 	return ScaleOptions{
-		NodeCounts: []int{1, 2, 4, 8, 16, 32, 64},
-		Runs:       5,
-		Workload:   mab.Paper51MB(),
+		NodeCounts: []int{100, 250, 500, 1000},
+		Epochs:     12,
+		Ops:        600,
 		Seed:       9,
+		FS:         trace.PurdueFSConfig(),
 	}
 }
 
-// ScaleRow is one overlay size's result.
+// ScaleRow is one overlay size's soak summary.
 type ScaleRow struct {
-	Nodes    int
-	Seconds  float64
-	Overhead float64 // percent vs the NFS baseline
+	Nodes int `json:"nodes"`
+	// MeanRouteHops averages over the workload's actual routes;
+	// ProbeMeanHops/ProbeMaxHops over the invariant oracle's uniform
+	// key samples at final quiesce. Log16N is the model's prediction.
+	MeanRouteHops float64 `json:"mean_route_hops"`
+	ProbeMeanHops float64 `json:"probe_mean_hops"`
+	ProbeMaxHops  int     `json:"probe_max_hops"`
+	Log16N        float64 `json:"log16_n"`
+	MeanOpMS      float64 `json:"mean_op_ms"`
+	ReplicaFanout float64 `json:"replica_fanout"`
+	MeanJoinMS    float64 `json:"mean_join_ms"`
+	Crashes       int     `json:"crashes"`
+	Revives       int     `json:"revives"`
 }
 
 // ScaleResult carries the sweep.
 type ScaleResult struct {
-	NFSTotal float64
-	Rows     []ScaleRow
+	Rows []ScaleRow `json:"rows"`
 }
 
-// RunScale executes the sweep.
+// RunScale executes the sweep. Every point must pass the soak's oracle and
+// invariant checks; a violation fails the experiment.
 func RunScale(opts ScaleOptions) (*ScaleResult, error) {
-	w := mab.Generate(opts.Workload, opts.Seed)
-	base, err := mab.Run(mab.NewBaseline(simnet.LAN100, simnet.Disk7200), w)
-	if err != nil {
-		return nil, err
-	}
-	res := &ScaleResult{NFSTotal: base.Total().Seconds()}
+	res := &ScaleResult{}
 	for _, n := range opts.NodeCounts {
-		var acc stats.Accum
-		for run := 0; run < opts.Runs; run++ {
-			c, err := cluster.New(cluster.Options{
-				Nodes:  n,
-				Seed:   opts.Seed + uint64(run)*65537,
-				Config: koshaCfg(),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("scale n=%d: %w", n, err)
-			}
-			r, err := mab.Run(mab.NewKoshaFS(c.Mount(0)), mab.Generate(opts.Workload, opts.Seed))
-			if err != nil {
-				return nil, fmt.Errorf("scale n=%d run=%d: %w", n, run, err)
-			}
-			acc.Add(r.Total().Seconds())
-		}
-		res.Rows = append(res.Rows, ScaleRow{
-			Nodes:    n,
-			Seconds:  acc.Mean(),
-			Overhead: (acc.Mean()/res.NFSTotal - 1) * 100,
+		rep, err := scale.Run(scale.Options{
+			Nodes:  n,
+			Seed:   opts.Seed + uint64(n)*65537,
+			Epochs: opts.Epochs,
+			Ops:    opts.Ops,
+			FS:     opts.FS,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("scale n=%d: %w", n, err)
+		}
+		row := ScaleRow{
+			Nodes:         n,
+			MeanRouteHops: rep.MeanRouteHops,
+			ProbeMeanHops: rep.ProbeMeanHops,
+			ProbeMaxHops:  rep.ProbeMaxHops,
+			Log16N:        math.Log(float64(n)) / math.Log(16),
+			ReplicaFanout: rep.ReplicaFanout,
+			Crashes:       rep.Crashes,
+			Revives:       rep.Revives,
+		}
+		if rep.Ops > 0 {
+			row.MeanOpMS = rep.OpCost.Duration().Seconds() * 1e3 / float64(rep.Ops)
+		}
+		if rep.Joins > 0 {
+			row.MeanJoinMS = float64(rep.MeanJoinCost.Duration()) / float64(time.Millisecond)
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
 
 // Fprint renders the sweep.
 func (r *ScaleResult) Fprint(w io.Writer, opts ScaleOptions) {
-	fmt.Fprintf(w, "Scale sweep: MAB total vs overlay size (NFS baseline %.2fs, %d runs)\n",
-		r.NFSTotal, opts.Runs)
-	fmt.Fprintf(w, "%-8s %12s %10s\n", "nodes", "seconds", "overhead")
+	fmt.Fprintf(w, "Scale-out sweep: soak metrics vs overlay size (%d epochs, %d ops per point)\n",
+		opts.Epochs, opts.Ops)
+	fmt.Fprintf(w, "%-7s %9s %10s %9s %8s %9s %8s %9s %8s %8s\n",
+		"nodes", "hops", "probehops", "maxhops", "log16N", "op_ms", "fanout", "join_ms", "crashes", "revives")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-8d %12.2f %9.1f%%\n", row.Nodes, row.Seconds, row.Overhead)
+		fmt.Fprintf(w, "%-7d %9.2f %10.2f %9d %8.2f %9.3f %8.2f %9.3f %8d %8d\n",
+			row.Nodes, row.MeanRouteHops, row.ProbeMeanHops, row.ProbeMaxHops, row.Log16N,
+			row.MeanOpMS, row.ReplicaFanout, row.MeanJoinMS, row.Crashes, row.Revives)
 	}
 }
 
-// FprintCSV renders the sweep as nodes,seconds,overhead_pct rows.
+// FprintCSV renders the sweep as CSV rows.
 func (r *ScaleResult) FprintCSV(w io.Writer, opts ScaleOptions) {
-	fmt.Fprintln(w, "nodes,seconds,overhead_pct")
+	fmt.Fprintln(w, "nodes,mean_route_hops,probe_mean_hops,probe_max_hops,log16_n,mean_op_ms,replica_fanout,mean_join_ms,crashes,revives")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%d,%.4f,%.2f\n", row.Nodes, row.Seconds, row.Overhead)
+		fmt.Fprintf(w, "%d,%.4f,%.4f,%d,%.4f,%.4f,%.4f,%.4f,%d,%d\n",
+			row.Nodes, row.MeanRouteHops, row.ProbeMeanHops, row.ProbeMaxHops, row.Log16N,
+			row.MeanOpMS, row.ReplicaFanout, row.MeanJoinMS, row.Crashes, row.Revives)
 	}
+}
+
+// FprintJSON emits the sweep as an indented JSON document.
+func (r *ScaleResult) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }

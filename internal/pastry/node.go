@@ -3,6 +3,7 @@ package pastry
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/id"
@@ -88,6 +89,133 @@ func (n *Node) Known() []NodeInfo {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.st.allKnown()
+}
+
+// EnumerateRing walks the live ring clockwise from this node — one leaf-set
+// query per l/2 positions — and returns every member discovered, self
+// included, sorted by ID. Operations that need the *whole* membership (the
+// virtual-root listing is a union over all store roots, Section 3) cannot
+// rely on Known(): a node's own routing state only names O(log N) peers, so
+// at large N the union would silently drop directories hosted on strangers.
+// Dead leaf-set entries not yet repaired are skipped; the walk advances
+// through the farthest responsive successor each step.
+func (n *Node) EnumerateRing() ([]NodeInfo, simnet.Cost) {
+	self := n.Info()
+	members := map[id.ID]NodeInfo{self.ID: self}
+	var total simnet.Cost
+
+	// curDist is CWDist(self, cur): strictly increasing as the walk
+	// advances, which both orders candidates and detects the wrap. The walk
+	// only ever steps to candidates in the current node's successor half, a
+	// contiguous run of ring positions, so jumping to the farthest one skips
+	// nobody. That is also why the initial frontier must be self's succs
+	// only: self's preds sit *behind* self — the largest clockwise distances
+	// — and stepping to one would leap over the whole middle of the ring.
+	var curDist id.ID
+	succs, _ := n.LeafHalves()
+	frontier := aheadOf(self, curDist, succs, members)
+	for len(frontier) > 0 {
+		var peers []NodeInfo
+		stepped := false
+		for _, p := range frontier {
+			leafs, cost, err := n.rpcGetLeafSet(p.Addr)
+			total = simnet.Seq(total, cost)
+			if err != nil {
+				continue // stale leaf entry; try the next-farthest
+			}
+			curDist = self.ID.CWDist(p.ID)
+			peers = leafs
+			stepped = true
+			break
+		}
+		if !stepped {
+			break
+		}
+		frontier = aheadOf(self, curDist, peers, members)
+	}
+
+	out := make([]NodeInfo, 0, len(members))
+	for _, m := range members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out, total
+}
+
+// aheadOf records every peer strictly clockwise-ahead of the walk position
+// into members and returns them ordered farthest-first (ties by ID) as the
+// next frontier.
+func aheadOf(self NodeInfo, curDist id.ID, peers []NodeInfo, members map[id.ID]NodeInfo) []NodeInfo {
+	var ahead []NodeInfo
+	for _, p := range peers {
+		if p.ID == self.ID {
+			continue
+		}
+		d := self.ID.CWDist(p.ID)
+		if !curDist.Less(d) {
+			continue // at or behind the walk position, or wrapped past self
+		}
+		members[p.ID] = p
+		ahead = append(ahead, p)
+	}
+	sort.Slice(ahead, func(i, j int) bool {
+		di, dj := self.ID.CWDist(ahead[i].ID), self.ID.CWDist(ahead[j].ID)
+		if di != dj {
+			return dj.Less(di)
+		}
+		return ahead[i].ID.Less(ahead[j].ID)
+	})
+	return ahead
+}
+
+// LeafHalves returns copies of the leaf-set halves: successors sorted by
+// increasing clockwise distance from self, predecessors by increasing
+// counter-clockwise distance. The invariant oracle compares these against
+// the ground-truth ring neighborhoods.
+func (n *Node) LeafHalves() (succs, preds []NodeInfo) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]NodeInfo(nil), n.st.succs...), append([]NodeInfo(nil), n.st.preds...)
+}
+
+// LeafSize returns the configured leaf-set size l.
+func (n *Node) LeafSize() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st.leafSize
+}
+
+// Alive reports whether the node has bootstrapped and not left.
+func (n *Node) Alive() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.alive
+}
+
+// TableEntries returns every non-empty routing-table entry with its row and
+// column, for structural invariant checks and table-maintenance sweeps.
+func (n *Node) TableEntries() []TableEntry {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []TableEntry
+	for r := range n.st.table {
+		for c := range n.st.table[r] {
+			if e := n.st.table[r][c]; !e.IsZero() {
+				out = append(out, TableEntry{Row: r, Col: c, Node: e})
+			}
+		}
+	}
+	return out
+}
+
+// NextHopLocal computes the routing decision for key from this node's
+// current state without any network traffic — the primitive the invariant
+// oracle uses to walk routes hop by hop and prove loop freedom and hop
+// bounds against the live membership ground truth.
+func (n *Node) NextHopLocal(key id.ID, excluded []id.ID) (next NodeInfo, isRoot bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st.nextHop(key, excluded)
 }
 
 // ReplicaCandidates returns up to k ring-adjacent leaf-set nodes,
@@ -375,6 +503,80 @@ func (n *Node) Stabilize() simnet.Cost {
 	return total
 }
 
+// RepairTable is the background routing-table maintenance pass that
+// Stabilize's leaf-set repair does not cover. Leaf repair keeps the ring
+// correct, but routing-table entries are only ever replaced when a route
+// through them fails — under sustained churn a table silently rots into
+// dead entries and routing degrades to leaf-set crawling (the IPFS
+// measurement study's "stale routing entries" failure mode). This pass
+// (1) probes every table entry and purges the dead, and (2) refills each
+// row from a live same-row peer: a peer in our row r shares our first r
+// digits, so every entry of its row r is a valid candidate for ours.
+func (n *Node) RepairTable() simnet.Cost {
+	var total simnet.Cost
+	self := n.Info()
+	dead := map[id.ID]bool{}
+	probed := map[id.ID]bool{}
+	for _, te := range n.TableEntries() {
+		if probed[te.Node.ID] {
+			continue
+		}
+		probed[te.Node.ID] = true
+		cost, err := n.rpcPing(te.Node.Addr)
+		total = simnet.Seq(total, cost)
+		if err != nil {
+			dead[te.Node.ID] = true
+			n.removePeer(te.Node)
+		}
+	}
+	// Refill pass: one row fetch per occupied row, from the first surviving
+	// entry of that row (the snapshot follows the purge, so the peers asked
+	// were just probed alive). Peers that have not run their own repair yet
+	// may still advertise dead nodes, so a candidate this node has not
+	// vetted is pinged before adoption — the pass never re-plants a dead
+	// entry it just removed, which is what lets concurrent repairs converge.
+	n.mu.RLock()
+	rows := make([]NodeInfo, id.Digits)
+	for r := 0; r < id.Digits; r++ {
+		if es := n.st.row(r); len(es) > 0 {
+			rows[r] = es[0]
+		}
+	}
+	n.mu.RUnlock()
+	known := map[id.ID]bool{}
+	for _, p := range n.Known() {
+		known[p.ID] = true
+	}
+	for r, peer := range rows {
+		if peer.IsZero() || dead[peer.ID] {
+			continue
+		}
+		entries, cost, err := n.rpcGetRow(peer.Addr, r)
+		total = simnet.Seq(total, cost)
+		if err != nil {
+			dead[peer.ID] = true
+			n.removePeer(peer)
+			continue
+		}
+		for _, cand := range entries {
+			if cand.ID == self.ID || dead[cand.ID] {
+				continue
+			}
+			if !known[cand.ID] {
+				cost, err := n.rpcPing(cand.Addr)
+				total = simnet.Seq(total, cost)
+				if err != nil {
+					dead[cand.ID] = true
+					continue
+				}
+				known[cand.ID] = true
+			}
+			n.addPeer(cand)
+		}
+	}
+	return total
+}
+
 // Leave announces departure to all known nodes and marks the node dead.
 func (n *Node) Leave() simnet.Cost {
 	self := n.Info()
@@ -460,6 +662,14 @@ func (n *Node) rpcNotify(to simnet.Addr, who NodeInfo) (simnet.Cost, error) {
 	return cost, err
 }
 
+func (n *Node) rpcGetRow(to simnet.Addr, row int) ([]NodeInfo, simnet.Cost, error) {
+	d, cost, err := n.call(to, pGetRow, func(e *wire.Encoder) { e.PutUint32(uint32(row)) })
+	if err != nil {
+		return nil, cost, err
+	}
+	return getNodeInfos(d), cost, d.Err()
+}
+
 func (n *Node) rpcRemoveNode(to simnet.Addr, dead id.ID) (simnet.Cost, error) {
 	_, cost, err := n.call(to, pRemoveNode, func(e *wire.Encoder) { e.PutFixedOpaque(dead[:]) })
 	return cost, err
@@ -502,6 +712,22 @@ func (n *Node) handle(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error)
 		leafs := append(n.st.leafMembers(), n.st.self)
 		n.mu.RUnlock()
 		putNodeInfos(e, leafs)
+
+	case pGetRow:
+		row := int(d.Uint32())
+		if d.Err() != nil {
+			return nil, 0, d.Err()
+		}
+		if row < 0 || row >= id.Digits {
+			return nil, 0, fmt.Errorf("pastry: get-row: row %d out of range", row)
+		}
+		n.mu.RLock()
+		// The responder itself shares the requester's row-r prefix (the
+		// requester picked it from its own row r), so include it: a row with
+		// a single mutual entry still self-heals.
+		entries := append(n.st.row(row), n.st.self)
+		n.mu.RUnlock()
+		putNodeInfos(e, entries)
 
 	case pNotify:
 		who := getNodeInfo(d)

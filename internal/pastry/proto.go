@@ -31,6 +31,7 @@ const (
 	pGetLeafSet = 3
 	pNotify     = 4
 	pRemoveNode = 5
+	pGetRow     = 6
 )
 
 // ProcName names an overlay procedure number for trace span labels.
@@ -48,8 +49,16 @@ func ProcName(p uint32) string {
 		return "notify"
 	case pRemoveNode:
 		return "remove-node"
+	case pGetRow:
+		return "get-row"
 	}
 	return "?"
+}
+
+// TableEntry is one occupied routing-table slot.
+type TableEntry struct {
+	Row, Col int
+	Node     NodeInfo
 }
 
 // NodeInfo identifies an overlay member.

@@ -117,6 +117,17 @@ func removeLeaf(half *[]NodeInfo, dead id.ID) bool {
 	return false
 }
 
+// row returns the non-empty entries of routing-table row r.
+func (s *state) row(r int) []NodeInfo {
+	var out []NodeInfo
+	for c := range s.table[r] {
+		if e := s.table[r][c]; !e.IsZero() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // leafMembers returns the deduplicated leaf set (not including self).
 func (s *state) leafMembers() []NodeInfo {
 	seen := make(map[id.ID]bool, len(s.succs)+len(s.preds))

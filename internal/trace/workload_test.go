@@ -1,0 +1,58 @@
+package trace
+
+import "testing"
+
+func TestWorkloadSelfConsistent(t *testing.T) {
+	fs := GenFS(SmallFSConfig(), 11)
+	w := NewWorkload(fs, DefaultWorkloadConfig(), 12)
+
+	inTrace := map[string]bool{}
+	dirInTrace := map[string]bool{}
+	for _, f := range fs.Files {
+		inTrace[f.Path] = true
+		dirInTrace[DirOf(f.Path)] = true
+	}
+
+	written := map[string]bool{}
+	var writes, reads int
+	for i := 0; i < 5000; i++ {
+		op := w.Next()
+		switch op.Kind {
+		case OpWrite:
+			if !inTrace[op.Path] {
+				t.Fatalf("op %d: write path %q not in trace", i, op.Path)
+			}
+			if op.Size <= 0 || op.Size > 4<<10 {
+				t.Fatalf("op %d: write size %d outside (0, 4KiB]", i, op.Size)
+			}
+			written[op.Path] = true
+			writes++
+		case OpRead, OpStat:
+			if !written[op.Path] {
+				t.Fatalf("op %d: %s of never-written path %q", i, op.Kind, op.Path)
+			}
+			reads++
+		case OpReaddir:
+			if !dirInTrace[op.Path] {
+				t.Fatalf("op %d: readdir of unknown dir %q", i, op.Path)
+			}
+		}
+	}
+	if writes == 0 || reads == 0 {
+		t.Fatalf("degenerate mix: %d writes, %d reads", writes, reads)
+	}
+	if w.Written() == 0 {
+		t.Fatalf("no distinct files written")
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	fs := GenFS(SmallFSConfig(), 11)
+	a := NewWorkload(fs, DefaultWorkloadConfig(), 99)
+	b := NewWorkload(fs, DefaultWorkloadConfig(), 99)
+	for i := 0; i < 2000; i++ {
+		if oa, ob := a.Next(), b.Next(); oa != ob {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
