@@ -54,6 +54,11 @@ smoke:
 		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
 	done; \
 	echo "smoke: koshabench sync JSON ok"
+	@out=$$($(GO) run ./cmd/koshabench -exp dedup -quick -format json); \
+	for f in dedup_ratio stored_bytes edit_delta_bytes promote_delta_bytes; do \
+		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
+	done; \
+	echo "smoke: koshabench dedup JSON ok"
 	@out=$$($(GO) run ./cmd/koshabench -exp stream -quick -format json); \
 	for f in seq_rpcs_base seq_rpcs_stream read_rpc_ratio write_rpc_ratio seq_mbps_stream; do \
 		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
@@ -94,12 +99,15 @@ test:
 
 # bench runs the concurrency-scaling benchmark (sweep goroutine counts to
 # see the sharded hot path scale) alongside the cache-ablation benchmark,
-# the full-vs-delta replica sync comparison, and the large-file streaming
-# comparison (stop-and-wait vs pipelined readahead + write-back).
+# the full-vs-delta replica sync comparison, the content-addressed chunk
+# store comparison (dedup ratio, chunk-delta edits, promote repair), and
+# the large-file streaming comparison (stop-and-wait vs pipelined
+# readahead + write-back).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallelMetadata' -cpu=1,2,4,8 -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkAblationMetadataCache' -short -benchtime=1x .
 	$(GO) run ./cmd/koshabench -exp sync
+	$(GO) run ./cmd/koshabench -exp dedup
 	$(GO) run ./cmd/koshabench -exp stream
 
 bench-smoke:

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|latency|sync|stream|churn|all [-runs N] [-quick] [-format table|csv|json]
+//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|latency|sync|dedup|stream|churn|all [-runs N] [-quick] [-format table|csv|json]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, latency, sync, stream, churn, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, latency, sync, dedup, stream, churn, all")
 	runs := flag.Int("runs", 0, "override the number of averaged runs (0 = default)")
 	quick := flag.Bool("quick", false, "scaled-down workloads for a fast smoke run")
 	format := flag.String("format", "table", "output format: table, csv, or json (json: latency only)")
@@ -210,6 +210,29 @@ func main() {
 			opts.FileSize = 2 << 10
 		}
 		res, err := experiments.RunSync(opts)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "json":
+			return res.FprintJSON(os.Stdout)
+		case "csv":
+			res.FprintCSV(os.Stdout, opts)
+		default:
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("dedup", func() error {
+		opts := experiments.DefaultDedupOptions()
+		if *quick {
+			opts.Users = 2
+			opts.FilesPerUser = 8
+			opts.FileSize = 64 << 10
+			opts.EditFileSize = 1 << 20
+		}
+		res, err := experiments.RunDedup(opts)
 		if err != nil {
 			return err
 		}

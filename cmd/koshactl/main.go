@@ -433,6 +433,11 @@ func printStats(title string, p core.StatsPayload) {
 			s.Counters["repl.sync.files.skipped"],
 			float64(hits)/float64(hits+misses)*100, hits, hits+misses)
 	}
+	if stored, deduped := s.Counters["repl.cas.blocks.stored"], s.Counters["repl.cas.blocks.deduped"]; stored+deduped > 0 {
+		fmt.Printf("  chunk store: %d blocks stored, %d deduped, %d fetched, %d bytes gc'd\n",
+			stored, deduped, s.Counters["repl.cas.blocks.fetched"],
+			s.Counters["repl.cas.bytes.gc"])
+	}
 	if ra := s.Counters["io.readahead.hits"] + s.Counters["io.readahead.wasted"]; ra > 0 {
 		fmt.Printf("  readahead: %d hits, %d wasted\n",
 			s.Counters["io.readahead.hits"], s.Counters["io.readahead.wasted"])

@@ -121,6 +121,7 @@ func Run(o Options) (*Report, error) {
 		DistributionLevel: o.DistributionLevel,
 		AttrCacheTTL:      -1,
 		NameCacheTTL:      -1,
+		RingCacheTTL:      -1,
 		WriteBackBytes:    o.WriteBackBytes,
 	}
 	c, err := cluster.New(cluster.Options{Nodes: o.Nodes, Seed: uint64(o.Seed), Config: cfg})

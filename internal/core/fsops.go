@@ -91,6 +91,32 @@ func (n *Node) applyFSOp(op FSOp, lenient bool) (localfs.Attr, simnet.Cost, erro
 		attr, _ = n.store.LookupPath(op.Path)
 		return attr, total, nil
 
+	case FSChunkWrite:
+		// A manifest span: assemble the bytes first — inline chunks from the
+		// op, referenced chunks from the local block index — and only then
+		// touch the file. Assembly failure (a reference this node promised
+		// but no longer holds) must leave the file untouched: the sender
+		// answers the error by re-shipping the span verbatim.
+		data, aerr := n.rep.AssembleChunks(op)
+		if aerr != nil {
+			return localfs.Attr{}, resolveCost, aerr
+		}
+		attr, err := n.store.LookupPath(op.Path)
+		if err != nil && lenient {
+			if werr := n.store.WriteFile(op.Path, nil); werr == nil {
+				attr, err = n.store.LookupPath(op.Path)
+			}
+		}
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		_, cost, err := n.store.Write(attr.Ino, op.Offset, data)
+		if err != nil {
+			return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
+		}
+		attr, _ = n.store.LookupPath(op.Path)
+		return attr, simnet.Seq(resolveCost, cost), nil
+
 	case FSWriteFile:
 		if err := n.store.WriteFile(op.Path, op.Data); err != nil {
 			return localfs.Attr{}, resolveCost, err

@@ -70,6 +70,16 @@ type Mount struct {
 	// can warp time per mount.
 	now  func() time.Time // injectable clock for TTL tests
 	meta metaCache        // sharded attribute + name caches
+
+	// Ring-walk cache for root listings: enumerating the live membership is
+	// O(ring) leaf-set RPCs, so the mount memoizes the node list briefly
+	// (Config.RingCacheTTL), keyed on the node's ring epoch so overlay
+	// membership events (joins, departures, revivals) invalidate it ahead of
+	// the TTL.
+	ringMu    sync.Mutex
+	ringNodes []simnet.Addr
+	ringEpoch uint64
+	ringAt    time.Time
 }
 
 // NewMount attaches a client to the node's koshad.

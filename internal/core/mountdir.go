@@ -261,22 +261,8 @@ func (m *Mount) readdirRoot(tr *obs.Trace) ([]DirEntry, simnet.Cost, error) {
 	// membership at one leaf-set RPC per l/2 positions; Known() is folded in
 	// as a free extra so a mid-churn walk cut short by a stale leaf entry
 	// still sees this node's own horizon.
-	nodes := []simnet.Addr{m.n.addr}
-	dup := map[simnet.Addr]bool{m.n.addr: true}
-	ring, c := m.n.overlay.EnumerateRing()
+	nodes, c := m.ringWalk()
 	total = simnet.Seq(total, c)
-	for _, p := range ring {
-		if !dup[p.Addr] {
-			dup[p.Addr] = true
-			nodes = append(nodes, p.Addr)
-		}
-	}
-	for _, p := range m.n.overlay.Known() {
-		if !dup[p.Addr] {
-			dup[p.Addr] = true
-			nodes = append(nodes, p.Addr)
-		}
-	}
 	for _, addr := range nodes {
 		var ents []nfs.DirEntry
 		ok := false
@@ -330,6 +316,49 @@ func (m *Mount) readdirRoot(tr *obs.Trace) ([]DirEntry, simnet.Cost, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, total, nil
+}
+
+// ringWalk returns the live node list the root listing unions over,
+// memoized per mount. A fresh walk enumerates the ring clockwise and folds
+// in Known(); the result is cached for Config.RingCacheTTL and reused for
+// free (no RPCs, no cost) as long as the node's ring epoch is unchanged —
+// any membership event bumps the epoch and forces a re-walk. Callers must
+// not mutate the returned slice.
+func (m *Mount) ringWalk() ([]simnet.Addr, simnet.Cost) {
+	ttl := m.n.cfg.RingCacheTTL
+	epoch := m.n.ringEpoch.Load()
+	if ttl > 0 {
+		m.ringMu.Lock()
+		if m.ringNodes != nil && m.ringEpoch == epoch && m.now().Sub(m.ringAt) < ttl {
+			nodes := m.ringNodes
+			m.ringMu.Unlock()
+			return nodes, 0
+		}
+		m.ringMu.Unlock()
+	}
+	nodes := []simnet.Addr{m.n.addr}
+	dup := map[simnet.Addr]bool{m.n.addr: true}
+	ring, c := m.n.overlay.EnumerateRing()
+	for _, p := range ring {
+		if !dup[p.Addr] {
+			dup[p.Addr] = true
+			nodes = append(nodes, p.Addr)
+		}
+	}
+	for _, p := range m.n.overlay.Known() {
+		if !dup[p.Addr] {
+			dup[p.Addr] = true
+			nodes = append(nodes, p.Addr)
+		}
+	}
+	if ttl > 0 {
+		m.ringMu.Lock()
+		m.ringNodes = nodes
+		m.ringEpoch = epoch
+		m.ringAt = m.now()
+		m.ringMu.Unlock()
+	}
+	return nodes, c
 }
 
 // Remove unlinks a file or user symlink (Section 4.1.5): the RPC is

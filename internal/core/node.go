@@ -90,6 +90,16 @@ type Config struct {
 	// place of the Merkle delta protocol. Kept as the baseline arm of the
 	// sync experiment (koshabench -exp sync).
 	FullTreePush bool
+	// WholeFileSync disables block-level manifest negotiation in the
+	// replication engine: changed files ship and fetch whole (the
+	// pre-chunk-store behavior). Kept as the baseline arm of the dedup
+	// experiment (koshabench -exp dedup); implied by FullTreePush.
+	WholeFileSync bool
+	// RingCacheTTL bounds how long a mount may serve a memoized ring walk
+	// (the EnumerateRing behind root READDIR) before re-walking. The cache
+	// is additionally invalidated by overlay-health events (joins,
+	// departures, revivals). Default 2s; negative disables the cache.
+	RingCacheTTL time.Duration
 	// AttrCacheTTL bounds how long a mount may serve cached attributes
 	// without revalidating, mirroring the kernel NFS client's
 	// acregmin/acdirmin window the paper relies on for its low overhead
@@ -184,6 +194,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceBufSize == 0 {
 		c.TraceBufSize = obs.DefaultTraceBuf
+	}
+	if c.RingCacheTTL == 0 {
+		c.RingCacheTTL = 2 * time.Second
 	}
 	if c.RetryAttempts == 0 {
 		c.RetryAttempts = 3
@@ -309,6 +322,12 @@ type Node struct {
 
 	storeSeq atomic.Uint64 // storage-root allocation counter
 	gen      uint64        // store incarnation counter
+
+	// ringEpoch versions this node's view of overlay membership: bumped on
+	// every leaf-set change, node invalidation, and revival. Mount-level
+	// ring-walk caches key on it so a membership event invalidates them
+	// immediately, ahead of the TTL.
+	ringEpoch atomic.Uint64
 }
 
 // nodeHistNames are the histogram keys every node registers at
@@ -379,16 +398,17 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 	n.rpc = newRetrier(net, cfg, n.reg)
 	n.nfsc = nfs.NewClientWithRegistry(n.rpc, addr, n.reg)
 	n.rep = repl.New(repl.Options{
-		Self:     addr,
-		Store:    store,
-		Overlay:  engineOverlay{n},
-		Peer:     enginePeer{n},
-		Replicas: cfg.Replicas,
-		Key:      Key,
-		Events:   n.events,
-		Registry: n.reg,
-		Tracer:   n.tracer,
-		FullPush: cfg.FullTreePush,
+		Self:      addr,
+		Store:     store,
+		Overlay:   engineOverlay{n},
+		Peer:      enginePeer{n},
+		Replicas:  cfg.Replicas,
+		Key:       Key,
+		Events:    n.events,
+		Registry:  n.reg,
+		Tracer:    n.tracer,
+		FullPush:  cfg.FullTreePush,
+		WholeFile: cfg.WholeFileSync,
 	})
 	n.overlay = pastry.NewNode(nodeID, addr, net, cfg.LeafSize)
 	n.overlay.OnLeafSetChange(n.onLeafChange)
@@ -474,6 +494,7 @@ func (n *Node) onLeafChange(c pastry.LeafSetChange) {
 		n.events.Add(obs.EvDeparture, string(p.Addr), p.ID.Short())
 	}
 	n.events.Add(obs.EvCachePurge, string(n.addr), "leaf-set change")
+	n.ringEpoch.Add(1)
 	n.cacheMu.Lock()
 	n.dirCache = make(map[string]Place)
 	n.cacheMu.Unlock()
@@ -488,6 +509,7 @@ func (n *Node) onLeafChange(c pastry.LeafSetChange) {
 // invalidateNode drops all client-side state naming a (presumed dead) node
 // and tells the overlay, so re-resolution routes around it (Section 4.4).
 func (n *Node) invalidateNode(dead simnet.Addr) {
+	n.ringEpoch.Add(1)
 	n.mu.Lock()
 	delete(n.rootHandles, dead)
 	n.replicaCache = make(map[string][]simnet.Addr)
@@ -519,6 +541,7 @@ func (n *Node) Revive(newID id.ID, seed simnet.Addr) (simnet.Cost, error) {
 	}
 	n.store.RemoveAll("/")
 	n.rep.Reset()
+	n.ringEpoch.Add(1)
 	n.mu.Lock()
 	n.gen++
 	n.rootHandles = make(map[simnet.Addr]nfs.Handle)

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/id"
 	"repro/internal/localfs"
 	"repro/internal/merkle"
@@ -67,6 +68,14 @@ func (p enginePeer) ReadStream(tc obs.TraceContext, to simnet.Addr, fh nfs.Handl
 
 func (p enginePeer) ReadLink(tc obs.TraceContext, to simnet.Addr, phys string) (string, simnet.Cost, error) {
 	return p.n.readLink(tc, to, phys)
+}
+
+func (p enginePeer) ChunkManifest(tc obs.TraceContext, to simnet.Addr, phys string, want []cas.Hash) (cas.Manifest, bool, []bool, simnet.Cost, error) {
+	return p.n.remoteChunkManifest(tc, to, phys, want)
+}
+
+func (p enginePeer) ChunkFetch(tc obs.TraceContext, to simnet.Addr, phys string, hashes []cas.Hash) ([][]byte, simnet.Cost, error) {
+	return p.n.remoteChunkFetch(tc, to, phys, hashes)
 }
 
 var _ repl.Peer = enginePeer{}
@@ -178,6 +187,66 @@ func (n *Node) remoteDirDigests(tc obs.TraceContext, to simnet.Addr, dir string)
 	ok := d.Bool()
 	ents := merkle.GetEntries(d)
 	return ents, ok, cost, d.Err()
+}
+
+// remoteChunkManifest fetches the chunk manifest of a remote regular file
+// plus the remote block index's HAVE bits for a WANT list (CHUNK_MANIFEST).
+// A short or missing HAVE reply is normalized to all-false: negotiation is
+// an optimization, so "don't know" must read as "ship it".
+func (n *Node) remoteChunkManifest(tc obs.TraceContext, to simnet.Addr, phys string, want []cas.Hash) (cas.Manifest, bool, []bool, simnet.Cost, error) {
+	e := wire.NewEncoder(64 + len(want)*32)
+	e.PutUint32(kChunkManifest)
+	e.PutString(phys)
+	cas.PutHashes(e, want)
+	resp, cost, err := n.callKosha(tc, to, e.Bytes())
+	if err != nil {
+		return nil, false, nil, cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	if code := d.Uint32(); code != codeOK {
+		return nil, false, nil, cost, codeToError(code)
+	}
+	exists := d.Bool()
+	man := cas.GetManifest(d)
+	have := cas.GetBools(d)
+	if d.Err() != nil {
+		return nil, false, nil, cost, d.Err()
+	}
+	if len(have) != len(want) {
+		have = make([]bool, len(want))
+	}
+	return man, exists, have, cost, nil
+}
+
+// remoteChunkFetch retrieves blocks by content hash (CHUNK_FETCH); blocks[i]
+// is nil for hashes the remote could not serve. The engine verifies every
+// returned block against its hash, so no verification happens here.
+func (n *Node) remoteChunkFetch(tc obs.TraceContext, to simnet.Addr, phys string, hashes []cas.Hash) ([][]byte, simnet.Cost, error) {
+	e := wire.NewEncoder(64 + len(hashes)*32)
+	e.PutUint32(kChunkFetch)
+	e.PutString(phys)
+	cas.PutHashes(e, hashes)
+	resp, cost, err := n.callKosha(tc, to, e.Bytes())
+	if err != nil {
+		return nil, cost, n.noteErr(to, err)
+	}
+	d := wire.NewDecoder(resp)
+	if code := d.Uint32(); code != codeOK {
+		return nil, cost, codeToError(code)
+	}
+	cnt := d.ArrayLen()
+	blocks := make([][]byte, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		if d.Bool() {
+			blocks = append(blocks, d.Opaque())
+		} else {
+			blocks = append(blocks, nil)
+		}
+	}
+	if d.Err() != nil {
+		return nil, cost, d.Err()
+	}
+	return blocks, cost, nil
 }
 
 // replicaSet asks the primary for its current replica holders of a key,

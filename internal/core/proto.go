@@ -26,6 +26,12 @@ const (
 	kReplicas   = 6 // report the primary's current replica holders for a key
 	kTreeDigest = 7 // Merkle root digest of a subtree (anti-entropy check)
 	kDirDigests = 8 // immediate children of a directory with subtree digests
+	// Block-level negotiation (CHUNK_MANIFEST / CHUNK_FETCH): the
+	// content-addressed delta-sync procedures layered under the digest
+	// exchange. kChunkManifest returns a file's chunk manifest plus HAVE
+	// bits for a WANT list; kChunkFetch serves block bytes by content hash.
+	kChunkManifest = 9
+	kChunkFetch    = 10
 )
 
 // kosha reply codes beyond NFS statuses.
@@ -65,18 +71,19 @@ type (
 )
 
 const (
-	FSMkdirAll  = repl.FSMkdirAll
-	FSMkdir     = repl.FSMkdir
-	FSCreate    = repl.FSCreate
-	FSWrite     = repl.FSWrite
-	FSSetattr   = repl.FSSetattr
-	FSRemove    = repl.FSRemove
-	FSRmdir     = repl.FSRmdir
-	FSRemoveAll = repl.FSRemoveAll
-	FSRename    = repl.FSRename
-	FSSymlink   = repl.FSSymlink
-	FSWriteFile = repl.FSWriteFile
-	FSWriteV    = repl.FSWriteV
+	FSMkdirAll   = repl.FSMkdirAll
+	FSMkdir      = repl.FSMkdir
+	FSCreate     = repl.FSCreate
+	FSWrite      = repl.FSWrite
+	FSSetattr    = repl.FSSetattr
+	FSRemove     = repl.FSRemove
+	FSRmdir      = repl.FSRmdir
+	FSRemoveAll  = repl.FSRemoveAll
+	FSRename     = repl.FSRename
+	FSSymlink    = repl.FSSymlink
+	FSWriteFile  = repl.FSWriteFile
+	FSWriteV     = repl.FSWriteV
+	FSChunkWrite = repl.FSChunkWrite
 )
 
 func putFSOp(e *wire.Encoder, op FSOp) {
@@ -91,6 +98,12 @@ func putFSOp(e *wire.Encoder, op FSOp) {
 	putSetAttr(e, op.SetAttr)
 	e.PutBool(op.Prune)
 	nfs.PutWriteSpans(e, op.Spans)
+	e.PutUint32(uint32(len(op.Chunks)))
+	for _, cr := range op.Chunks {
+		e.PutDigest(cr.Hash)
+		e.PutUint32(cr.Len)
+		e.PutBool(cr.Inline)
+	}
 }
 
 func getFSOp(d *wire.Decoder) FSOp {
@@ -106,6 +119,12 @@ func getFSOp(d *wire.Decoder) FSOp {
 	op.SetAttr = getSetAttr(d)
 	op.Prune = d.Bool()
 	op.Spans = nfs.GetWriteSpans(d)
+	if n := d.ArrayLen(); n > 0 && d.Err() == nil {
+		op.Chunks = make([]repl.ChunkRef, 0, n)
+		for i := 0; i < n; i++ {
+			op.Chunks = append(op.Chunks, repl.ChunkRef{Hash: d.Digest(), Len: d.Uint32(), Inline: d.Bool()})
+		}
+	}
 	return op
 }
 

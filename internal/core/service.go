@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/id"
 	"repro/internal/localfs"
 	"repro/internal/merkle"
@@ -51,14 +52,16 @@ func (n *Node) dispatch(table serviceTable, service string, ctx obs.TraceContext
 
 // koshaProcs is the kosha replication service (Sections 4.2-4.4).
 var koshaProcs = serviceTable{
-	kApply:      (*Node).serveApply,
-	kMirror:     (*Node).serveMirror,
-	kStatTree:   (*Node).serveStatTree,
-	kUntrack:    (*Node).serveUntrack,
-	kPromote:    (*Node).servePromote,
-	kReplicas:   (*Node).serveReplicas,
-	kTreeDigest: (*Node).serveTreeDigest,
-	kDirDigests: (*Node).serveDirDigests,
+	kApply:         (*Node).serveApply,
+	kMirror:        (*Node).serveMirror,
+	kStatTree:      (*Node).serveStatTree,
+	kUntrack:       (*Node).serveUntrack,
+	kPromote:       (*Node).servePromote,
+	kReplicas:      (*Node).serveReplicas,
+	kTreeDigest:    (*Node).serveTreeDigest,
+	kDirDigests:    (*Node).serveDirDigests,
+	kChunkManifest: (*Node).serveChunkManifest,
+	kChunkFetch:    (*Node).serveChunkFetch,
 }
 
 func (n *Node) handleKosha(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error) {
@@ -277,6 +280,54 @@ func (n *Node) servePromote(ctx obs.TraceContext, from simnet.Addr, d *wire.Deco
 	e.PutUint32(codeOK)
 	e.PutBool(changed)
 	return simnet.Seq(cost, n.cfg.Disk.OpCost(0)), nil
+}
+
+// serveChunkManifest answers a CHUNK_MANIFEST negotiation: the chunk
+// manifest of the local regular file at phys (computing it also indexes the
+// file's blocks, so a stale local copy of the very file being negotiated
+// yields HAVE answers for its unchanged chunks) plus HAVE bits for the
+// caller's WANT list.
+func (n *Node) serveChunkManifest(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	phys := d.String()
+	want := cas.GetHashes(d)
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	man, exists := n.rep.ManifestLocal(phys)
+	have := n.rep.HaveBlocks(want)
+	e.PutUint32(codeOK)
+	e.PutBool(exists)
+	cas.PutManifest(e, man)
+	cas.PutBools(e, have)
+	return n.cfg.Disk.OpCost(len(man)*36 + len(want)*32), nil
+}
+
+// serveChunkFetch serves block bytes by content hash (CHUNK_FETCH). The phys
+// hint names a file whose manifest covers the hashes: indexing it on demand
+// lets a holder that never digested its copy still answer. Each reply slot
+// carries a presence bool so missing blocks are distinguishable from empty
+// ones; callers hash-verify whatever comes back.
+func (n *Node) serveChunkFetch(ctx obs.TraceContext, from simnet.Addr, d *wire.Decoder, e *wire.Encoder) (simnet.Cost, error) {
+	phys := d.String()
+	hashes := cas.GetHashes(d)
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	if phys != "" {
+		n.rep.ManifestLocal(phys)
+	}
+	e.PutUint32(codeOK)
+	e.PutUint32(uint32(len(hashes)))
+	total := 0
+	for _, h := range hashes {
+		b, ok := n.rep.GetBlock(h)
+		e.PutBool(ok)
+		if ok {
+			e.PutOpaque(b)
+			total += len(b)
+		}
+	}
+	return n.cfg.Disk.OpCost(total), nil
 }
 
 func putApplyReplyBody(e *wire.Encoder, attr localfs.Attr, fh nfs.Handle, fanout int) {

@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/simnet"
+)
+
+// DedupOptions parameterizes the content-addressed chunk-store experiment:
+// several users publish duplicate-heavy trees (many files drawn from a small
+// payload pool), one big file takes a one-chunk edit, and a primary crash
+// forces a promote repair. The three arms measure what the chunk store buys
+// in each case: index dedup, sync bytes, and promote-repair fetch bytes.
+type DedupOptions struct {
+	Nodes            int
+	Users            int // duplicate-heavy trees, one per user
+	FilesPerUser     int // files per tree
+	DistinctPayloads int // payload pool the files cycle through
+	FileSize         int // bytes per duplicate-heavy file
+	EditFileSize     int // bytes of the big file the edit/promote arms touch
+	Seed             uint64
+}
+
+// DefaultDedupOptions uses the acceptance shape: a >=2x-duplicated corpus
+// and a 16-byte edit in a 4 MiB file.
+func DefaultDedupOptions() DedupOptions {
+	return DedupOptions{
+		Nodes:            4,
+		Users:            3,
+		FilesPerUser:     12,
+		DistinctPayloads: 3,
+		FileSize:         128 << 10,
+		EditFileSize:     4 << 20,
+		Seed:             29,
+	}
+}
+
+// DedupResult carries all three measurements.
+type DedupResult struct {
+	Nodes            int   `json:"nodes"`
+	Users            int   `json:"users"`
+	FilesPerUser     int   `json:"files_per_user"`
+	DistinctPayloads int   `json:"distinct_payloads"`
+	FileSize         int   `json:"file_size"`
+	LogicalBytes     int64 `json:"logical_bytes"` // bytes the indexed files hold
+	StoredBytes      int64 `json:"stored_bytes"`  // bytes of distinct blocks behind them
+	// DedupRatio is LogicalBytes/StoredBytes over every node's block index.
+	DedupRatio float64 `json:"dedup_ratio"`
+
+	EditFileSize   int     `json:"edit_file_size"`
+	EditFullBytes  uint64  `json:"edit_full_bytes"`  // whole-file refresh after a 16-byte edit
+	EditDeltaBytes uint64  `json:"edit_delta_bytes"` // chunk-negotiated refresh of the same edit
+	EditDeltaPct   float64 `json:"edit_delta_pct"`   // delta as % of whole-file
+
+	PromoteFullBytes  uint64  `json:"promote_full_bytes"`  // fetch bytes of a whole-file promote repair
+	PromoteDeltaBytes uint64  `json:"promote_delta_bytes"` // fetch bytes of the block-level repair
+	PromoteDeltaPct   float64 `json:"promote_delta_pct"`
+}
+
+// dedupPayload deterministically fills n bytes from a seeded LCG; distinct
+// seeds give chunk-wise unrelated payloads, equal seeds byte-identical ones.
+func dedupPayload(n int, seed uint64) []byte {
+	b := make([]byte, n)
+	s := seed*0x9e3779b97f4a7c15 + 1
+	for i := range b {
+		s = s*6364136223846793005 + 1442695040888963407
+		b[i] = byte(s >> 33)
+	}
+	return b
+}
+
+// spliceEdit returns data with a 16-byte marker written at off — the
+// "one chunk changed" mutation the edit and promote arms use.
+func spliceEdit(data []byte, off int) []byte {
+	out := append([]byte(nil), data...)
+	copy(out[off:], "EDITED-SIXTEEN-B")
+	return out
+}
+
+// primaryOf locates the cluster node that owns vpath.
+func primaryOf(c *cluster.Cluster, vpath string) (*core.Node, int, error) {
+	pl, _, err := c.Nodes[0].ResolvePath(vpath)
+	if err != nil {
+		return nil, 0, fmt.Errorf("resolve %s: %w", vpath, err)
+	}
+	for i, nd := range c.Nodes {
+		if nd.Addr() == pl.Node {
+			return nd, i, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("primary %s not in cluster", pl.Node)
+}
+
+// runDedupRatioArm publishes the duplicate-heavy corpus and reads the
+// cluster-wide block-index accounting. Each tree's first file seeds the
+// hierarchy normally; the rest are written while the network is fully
+// partitioned, so the replicas catch up through the measured anti-entropy
+// push (the path that chunks, negotiates, and indexes) instead of the
+// per-op mirror fan-out.
+func runDedupRatioArm(opts DedupOptions) (logical, stored int64, err error) {
+	cfg := koshaCfg()
+	cfg.NoAutoSync = true
+	c, err := cluster.New(cluster.Options{Nodes: opts.Nodes, Seed: opts.Seed, Config: cfg})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	m := c.Mount(0)
+	payload := func(u, f int) []byte {
+		return dedupPayload(opts.FileSize, uint64((u*opts.FilesPerUser+f)%opts.DistinctPayloads)+101)
+	}
+	for u := 0; u < opts.Users; u++ {
+		if _, err := m.WriteFile(fmt.Sprintf("/dedup%02d/f%03d", u, 0), payload(u, 0)); err != nil {
+			return 0, 0, fmt.Errorf("seed tree %d: %w", u, err)
+		}
+	}
+	c.Stabilize()
+
+	primaries := make([]*core.Node, opts.Users)
+	for u := 0; u < opts.Users; u++ {
+		nd, _, err := primaryOf(c, fmt.Sprintf("/dedup%02d", u))
+		if err != nil {
+			return 0, 0, err
+		}
+		primaries[u] = nd
+	}
+
+	// Write the corpus on each tree's own primary with every link cut: the
+	// applies are local, the mirrors drop, and the replicas are now stale
+	// by the whole corpus.
+	c.Net.SetPartition(func(a, b simnet.Addr) bool { return true })
+	for u := 0; u < opts.Users; u++ {
+		pm := primaries[u].NewMount()
+		for f := 1; f < opts.FilesPerUser; f++ {
+			if _, err := pm.WriteFile(fmt.Sprintf("/dedup%02d/f%03d", u, f), payload(u, f)); err != nil {
+				c.Net.SetPartition(nil)
+				return 0, 0, fmt.Errorf("populate u%d f%03d: %w", u, f, err)
+			}
+		}
+	}
+	c.Net.SetPartition(nil)
+	c.Stabilize()
+
+	for _, nd := range c.Nodes {
+		st := nd.Repl().CASStats()
+		logical += st.LogicalBytes
+		stored += st.UniqueBytes
+	}
+	return logical, stored, nil
+}
+
+// runDedupEditArm replicates one big file, makes the replica stale by a
+// 16-byte edit applied behind a partition, and returns the kosha-service
+// bytes the primary's next SyncReplicas moves to reconverge.
+func runDedupEditArm(opts DedupOptions, wholeFile bool) (uint64, error) {
+	cfg := koshaCfg()
+	cfg.NoAutoSync = true
+	cfg.WholeFileSync = wholeFile
+	c, err := cluster.New(cluster.Options{Nodes: opts.Nodes, Seed: opts.Seed, Config: cfg})
+	if err != nil {
+		return 0, err
+	}
+
+	data := dedupPayload(opts.EditFileSize, 7)
+	if _, err := c.Mount(0).WriteFile("/dedit00/blob.bin", data); err != nil {
+		return 0, fmt.Errorf("populate blob: %w", err)
+	}
+	c.Stabilize()
+
+	primary, _, err := primaryOf(c, "/dedit00")
+	if err != nil {
+		return 0, err
+	}
+	cands := primary.Overlay().ReplicaCandidates(cfg.Replicas)
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("primary %s has no replica candidates", primary.Addr())
+	}
+	replica := cands[0].Addr
+
+	c.Net.SetPartition(func(a, b simnet.Addr) bool {
+		return (a == primary.Addr() && b == replica) || (a == replica && b == primary.Addr())
+	})
+	if _, err := primary.NewMount().WriteFile("/dedit00/blob.bin", spliceEdit(data, opts.EditFileSize/2)); err != nil {
+		c.Net.SetPartition(nil)
+		return 0, fmt.Errorf("edit: %w", err)
+	}
+	c.Net.SetPartition(nil)
+	// Overlay repair only — a full Stabilize would converge the tree before
+	// the measured refresh.
+	for round := 0; round < 3; round++ {
+		for _, nd := range c.Nodes {
+			nd.Overlay().Stabilize()
+		}
+	}
+
+	c.Net.ResetStats()
+	primary.SyncReplicas()
+	return c.Net.ServiceStats(core.KoshaService).Bytes, nil
+}
+
+// runDedupPromoteArm replicates one big file at K=2, makes the would-be
+// successor's copy stale by the 16-byte edit, crashes the primary, and
+// returns how many bytes the successor's pull repair fetches while
+// promoting (the repl.fetch.bytes counter, which charges only the pull
+// path — block fetches, ranged reads, and whole-file streams).
+func runDedupPromoteArm(opts DedupOptions, wholeFile bool) (uint64, error) {
+	cfg := koshaCfg()
+	cfg.NoAutoSync = true
+	cfg.WholeFileSync = wholeFile
+	cfg.Replicas = 2
+	nodes := opts.Nodes
+	if nodes < 5 {
+		nodes = 5
+	}
+	c, err := cluster.New(cluster.Options{Nodes: nodes, Seed: opts.Seed, Config: cfg})
+	if err != nil {
+		return 0, err
+	}
+
+	data := dedupPayload(opts.EditFileSize, 13)
+	if _, err := c.Mount(0).WriteFile("/djob00/blob.bin", data); err != nil {
+		return 0, fmt.Errorf("populate blob: %w", err)
+	}
+	c.Stabilize()
+
+	primary, pi, err := primaryOf(c, "/djob00")
+	if err != nil {
+		return 0, err
+	}
+	cands := primary.Overlay().ReplicaCandidates(cfg.Replicas)
+	if len(cands) < 2 {
+		return 0, fmt.Errorf("primary %s has %d replica candidates, want 2", primary.Addr(), len(cands))
+	}
+	// The candidate closest to the tree's key inherits the root when the
+	// primary dies; stale that one so the promote has a repair to do.
+	ids := make([]id.ID, len(cands))
+	for i, cd := range cands {
+		ids[i] = cd.ID
+	}
+	best, _ := id.Closest(core.Key("djob00"), ids)
+	succ := cands[0].Addr
+	for _, cd := range cands {
+		if cd.ID == best {
+			succ = cd.Addr
+		}
+	}
+
+	c.Net.SetPartition(func(a, b simnet.Addr) bool {
+		return (a == primary.Addr() && b == succ) || (a == succ && b == primary.Addr())
+	})
+	if _, err := primary.NewMount().WriteFile("/djob00/blob.bin", spliceEdit(data, opts.EditFileSize/2)); err != nil {
+		c.Net.SetPartition(nil)
+		return 0, fmt.Errorf("edit: %w", err)
+	}
+	c.Net.SetPartition(nil)
+	for round := 0; round < 3; round++ {
+		for _, nd := range c.Nodes {
+			nd.Overlay().Stabilize()
+		}
+	}
+
+	before := uint64(0)
+	for _, nd := range c.Nodes {
+		before += nd.Obs().Snapshot().Counters["repl.fetch.bytes"]
+	}
+	c.Fail(pi)
+	c.Stabilize()
+	after := uint64(0)
+	for _, nd := range c.Nodes {
+		after += nd.Obs().Snapshot().Counters["repl.fetch.bytes"]
+	}
+	return after - before, nil
+}
+
+// RunDedup executes all three arms.
+func RunDedup(opts DedupOptions) (*DedupResult, error) {
+	logical, stored, err := runDedupRatioArm(opts)
+	if err != nil {
+		return nil, fmt.Errorf("dedup ratio arm: %w", err)
+	}
+	editFull, err := runDedupEditArm(opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("edit whole-file arm: %w", err)
+	}
+	editDelta, err := runDedupEditArm(opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("edit delta arm: %w", err)
+	}
+	promFull, err := runDedupPromoteArm(opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("promote whole-file arm: %w", err)
+	}
+	promDelta, err := runDedupPromoteArm(opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("promote delta arm: %w", err)
+	}
+
+	res := &DedupResult{
+		Nodes:             opts.Nodes,
+		Users:             opts.Users,
+		FilesPerUser:      opts.FilesPerUser,
+		DistinctPayloads:  opts.DistinctPayloads,
+		FileSize:          opts.FileSize,
+		LogicalBytes:      logical,
+		StoredBytes:       stored,
+		EditFileSize:      opts.EditFileSize,
+		EditFullBytes:     editFull,
+		EditDeltaBytes:    editDelta,
+		PromoteFullBytes:  promFull,
+		PromoteDeltaBytes: promDelta,
+	}
+	if stored > 0 {
+		res.DedupRatio = float64(logical) / float64(stored)
+	}
+	if editFull > 0 {
+		res.EditDeltaPct = float64(editDelta) / float64(editFull) * 100
+	}
+	if promFull > 0 {
+		res.PromoteDeltaPct = float64(promDelta) / float64(promFull) * 100
+	}
+	return res, nil
+}
+
+// FprintJSON emits the result as an indented JSON document; make ci's
+// smoke run greps it for the ratio and byte fields.
+func (r *DedupResult) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Fprint renders the result as a text report.
+func (r *DedupResult) Fprint(w io.Writer, opts DedupOptions) {
+	fmt.Fprintf(w, "Content-addressed chunk store, %d nodes\n", r.Nodes)
+	fmt.Fprintf(w, "corpus: %d users x %d files x %d B (%d distinct payloads)\n",
+		r.Users, r.FilesPerUser, r.FileSize, r.DistinctPayloads)
+	fmt.Fprintf(w, "%-26s %12d\n", "logical bytes indexed", r.LogicalBytes)
+	fmt.Fprintf(w, "%-26s %12d\n", "distinct block bytes", r.StoredBytes)
+	fmt.Fprintf(w, "%-26s %12.2fx\n", "dedup ratio", r.DedupRatio)
+	fmt.Fprintf(w, "16-byte edit in a %d B file, sync bytes to reconverge:\n", r.EditFileSize)
+	fmt.Fprintf(w, "%-26s %12d\n", "whole-file refresh", r.EditFullBytes)
+	fmt.Fprintf(w, "%-26s %12d  (%.1f%% of whole-file)\n", "chunk delta", r.EditDeltaBytes, r.EditDeltaPct)
+	fmt.Fprintf(w, "promote repair after primary crash, fetch bytes:\n")
+	fmt.Fprintf(w, "%-26s %12d\n", "whole-file fetch", r.PromoteFullBytes)
+	fmt.Fprintf(w, "%-26s %12d  (%.1f%% of whole-file)\n", "block-level repair", r.PromoteDeltaBytes, r.PromoteDeltaPct)
+}
+
+// FprintCSV renders the three arms as CSV.
+func (r *DedupResult) FprintCSV(w io.Writer, opts DedupOptions) {
+	fmt.Fprintln(w, "metric,full,delta")
+	fmt.Fprintf(w, "corpus_bytes,%d,%d\n", r.LogicalBytes, r.StoredBytes)
+	fmt.Fprintf(w, "edit_sync_bytes,%d,%d\n", r.EditFullBytes, r.EditDeltaBytes)
+	fmt.Fprintf(w, "promote_fetch_bytes,%d,%d\n", r.PromoteFullBytes, r.PromoteDeltaBytes)
+}

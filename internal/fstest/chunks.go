@@ -1,0 +1,86 @@
+package fstest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cas"
+	"repro/internal/merkle"
+)
+
+// chunkGoldenDigest pins the chunk decomposition of the 1 MiB reference
+// payload: boundaries, chunk hashes, and their order. Manifests are
+// protocol state — peers compare them across versions — so the chunker
+// must produce this exact manifest forever, on every backend. Recompute
+// only with a deliberate, wire-breaking chunker change.
+const chunkGoldenDigest = "37fe86b179356c30a4140a3708de355815eb8f5e848a85351c80ea70ee9c399a"
+
+// chunkPayload is the deterministic reference payload (same LCG family the
+// benchmarks use, fixed seed).
+func chunkPayload(n int) []byte {
+	b := make([]byte, n)
+	s := uint64(0x6b6f736861) // "kosha"
+	for i := range b {
+		s = s*6364136223846793005 + 1442695040888963407
+		b[i] = byte(s >> 33)
+	}
+	return b
+}
+
+// testChunkManifestStability verifies the chunk-store contract every
+// backend must honor: the content-defined chunker is a pure function of
+// the bytes (identical manifest wherever the file lives), the manifest
+// digest matches the pinned golden value, and a block index layered over
+// the backend serves every chunk back hash-verified.
+func testChunkManifestStability(t *testing.T, factory Factory) {
+	f := factory(t, 0)
+	data := chunkPayload(1 << 20)
+	if err := f.WriteFile("/data/blob.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("/.rep/data/blob.bin", data); err != nil {
+		t.Fatal(err)
+	}
+
+	man := cas.Split(data)
+	if len(man) < 4 {
+		t.Fatalf("1 MiB split into %d chunks, want several", len(man))
+	}
+	if man.TotalLen() != int64(len(data)) {
+		t.Fatalf("manifest covers %d bytes, file has %d", man.TotalLen(), len(data))
+	}
+	if got := fmt.Sprintf("%x", merkle.ManifestDigest(man)); got != chunkGoldenDigest {
+		t.Fatalf("chunker drifted: manifest digest %s, pinned %s", got, chunkGoldenDigest)
+	}
+
+	// The cache computes the same manifest through the backend's read path,
+	// for both copies.
+	store := cas.NewStore(f, nil)
+	mk := merkle.NewCacheWithStore(f, store)
+	for _, p := range []string{"/data/blob.bin", "/.rep/data/blob.bin"} {
+		got, err := mk.ManifestOf(p)
+		if err != nil {
+			t.Fatalf("ManifestOf(%s): %v", p, err)
+		}
+		if !got.Equal(man) {
+			t.Fatalf("backend manifest of %s diverges from cas.Split", p)
+		}
+	}
+
+	// Every chunk resolves from the index, hash-verified, and reassembles
+	// the file byte for byte.
+	var rebuilt []byte
+	for i, ch := range man {
+		b, ok := store.Get(ch.Hash)
+		if !ok {
+			t.Fatalf("chunk %d missing from index", i)
+		}
+		if len(b) != int(ch.Len) || cas.SumChunk(b) != ch.Hash {
+			t.Fatalf("chunk %d came back corrupt", i)
+		}
+		rebuilt = append(rebuilt, b...)
+	}
+	if string(rebuilt) != string(data) {
+		t.Fatal("reassembled file diverges from original")
+	}
+}

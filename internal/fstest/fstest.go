@@ -33,6 +33,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("Statfs", func(t *testing.T) { testStatfs(t, factory) })
 	t.Run("BadNames", func(t *testing.T) { testBadNames(t, factory) })
 	t.Run("MerkleDigestStability", func(t *testing.T) { testMerkleDigest(t, factory) })
+	t.Run("ChunkManifestStability", func(t *testing.T) { testChunkManifestStability(t, factory) })
 }
 
 func testCreateWriteRead(t *testing.T, factory Factory) {

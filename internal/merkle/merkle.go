@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cas"
 	"repro/internal/localfs"
 )
 
@@ -48,11 +49,28 @@ func typeByte(t localfs.FileType) byte {
 	}
 }
 
-// FileDigest hashes a regular file's contents.
+// FileDigest hashes a regular file's contents. Since the chunk-store
+// refactor the digest is derived from the file's chunk manifest rather than
+// the raw byte stream, so the manifest is the digest's leaf level: equal
+// digests imply equal manifests, and a file-level digest mismatch hands the
+// sync protocol a manifest it can diff block by block.
 func FileDigest(data []byte) Digest {
+	return ManifestDigest(cas.Split(data))
+}
+
+// ManifestDigest hashes a file's chunk manifest: the ordered (hash, length)
+// pairs under the regular-file domain byte. Two files have equal digests
+// exactly when their chunk decompositions — and therefore their bytes —
+// are identical.
+func ManifestDigest(m cas.Manifest) Digest {
 	h := sha256.New()
 	h.Write([]byte{typeByte(localfs.TypeRegular)})
-	h.Write(data)
+	var lenBuf [4]byte
+	for _, c := range m {
+		h.Write(c.Hash[:])
+		binary.BigEndian.PutUint32(lenBuf[:], c.Len)
+		h.Write(lenBuf[:])
+	}
 	var d Digest
 	h.Sum(d[:0])
 	return d
@@ -101,20 +119,32 @@ type Entry struct {
 type Cache struct {
 	fs      localfs.FileSystem
 	caching bool
+	store   *cas.Store // optional: fed every computed manifest, invalidated in step
 
-	mu   sync.Mutex
-	memo map[string]Digest
-	gen  uint64 // bumped on every invalidation; guards stale memoization
+	mu        sync.Mutex
+	memo      map[string]Digest
+	manifests map[string]cas.Manifest
+	gen       uint64 // bumped on every invalidation; guards stale memoization
 }
 
 // NewCache builds a digest cache over fs, subscribing to its mutation
 // notifications when available.
 func NewCache(fs localfs.FileSystem) *Cache {
-	c := &Cache{fs: fs, memo: make(map[string]Digest)}
+	c := &Cache{fs: fs, memo: make(map[string]Digest), manifests: make(map[string]cas.Manifest)}
 	if n, ok := fs.(localfs.MutationNotifier); ok {
 		c.caching = true
 		n.OnMutation(c.Invalidate)
 	}
+	return c
+}
+
+// NewCacheWithStore is NewCache plus a content-addressed block index kept in
+// lockstep: every manifest the cache computes is registered with store, and
+// every invalidation forgets the affected subtree there, so the index's
+// HAVE answers track the digests the node serves.
+func NewCacheWithStore(fs localfs.FileSystem, store *cas.Store) *Cache {
+	c := NewCache(fs)
+	c.store = store
 	return c
 }
 
@@ -124,13 +154,20 @@ func NewCache(fs localfs.FileSystem) *Cache {
 // it takes only the cache's own mutex and never calls back into the store.
 func (c *Cache) Invalidate(p string) {
 	p = path.Clean("/" + p)
+	if c.store != nil {
+		// The block index only holds regular files, so ancestors need no
+		// forgetting there — just p and its descendants. ForgetTree takes
+		// only the index mutex (see the cas.Store lock-order note).
+		c.store.ForgetTree(p)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
-	if len(c.memo) == 0 {
+	if len(c.memo) == 0 && len(c.manifests) == 0 {
 		return
 	}
 	delete(c.memo, p)
+	delete(c.manifests, p)
 	for dir := p; dir != "/"; {
 		dir = path.Dir(dir)
 		delete(c.memo, dir)
@@ -144,13 +181,22 @@ func (c *Cache) Invalidate(p string) {
 			delete(c.memo, k)
 		}
 	}
+	for k := range c.manifests {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.manifests, k)
+		}
+	}
 }
 
 // InvalidateAll empties the memo.
 func (c *Cache) InvalidateAll() {
+	if c.store != nil {
+		c.store.Reset()
+	}
 	c.mu.Lock()
 	c.gen++
 	c.memo = make(map[string]Digest)
+	c.manifests = make(map[string]cas.Manifest)
 	c.mu.Unlock()
 }
 
@@ -214,12 +260,50 @@ func (c *Cache) compute(p string, attr localfs.Attr) (Digest, error) {
 		}
 		return DirDigest(list), nil
 	default:
-		data, err := c.fs.ReadFile(p)
+		m, err := c.ManifestOf(p)
 		if err != nil {
 			return Digest{}, err
 		}
-		return FileDigest(data), nil
+		return ManifestDigest(m), nil
 	}
+}
+
+// ManifestOf returns the chunk manifest of the regular file at p, computing
+// (and memoizing) as needed. Computing a manifest also registers it with the
+// attached block index, so serving a digest for a file doubles as indexing
+// its blocks for later HAVE/CHUNK_FETCH queries. Same locking discipline as
+// DigestOf: the cache mutex is never held across store calls.
+func (c *Cache) ManifestOf(p string) (cas.Manifest, error) {
+	p = path.Clean("/" + p)
+	var gen uint64
+	if c.caching {
+		c.mu.Lock()
+		if m, ok := c.manifests[p]; ok {
+			c.mu.Unlock()
+			return m, nil
+		}
+		gen = c.gen
+		c.mu.Unlock()
+	}
+	data, err := c.fs.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	m := cas.Split(data)
+	fresh := true
+	if c.caching {
+		c.mu.Lock()
+		if c.gen == gen {
+			c.manifests[p] = m
+		} else {
+			fresh = false
+		}
+		c.mu.Unlock()
+	}
+	if fresh && c.store != nil {
+		c.store.AddFile(p, m)
+	}
+	return m, nil
 }
 
 // Entries lists the immediate children of a directory with their subtree

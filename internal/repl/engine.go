@@ -1,12 +1,14 @@
 package repl
 
 import (
+	"errors"
 	"path"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/id"
 	"repro/internal/localfs"
 	"repro/internal/merkle"
@@ -61,6 +63,17 @@ type Peer interface {
 	ReadStream(tc obs.TraceContext, to simnet.Addr, fh nfs.Handle, off int64, chunk, chunks int) ([]byte, bool, simnet.Cost, error)
 	// ReadLink reads a remote symlink target by physical path.
 	ReadLink(tc obs.TraceContext, to simnet.Addr, phys string) (string, simnet.Cost, error)
+	// ChunkManifest negotiates at the block level (CHUNK_MANIFEST): it
+	// returns the chunk manifest of the remote regular file at phys (exists
+	// false when phys is missing or not a regular file, which also indexes
+	// the remote copy's blocks as a side effect) and, for each hash in want,
+	// whether the remote's block index already holds those bytes.
+	ChunkManifest(tc obs.TraceContext, to simnet.Addr, phys string, want []cas.Hash) (man cas.Manifest, exists bool, have []bool, cost simnet.Cost, err error)
+	// ChunkFetch retrieves blocks by content hash (CHUNK_FETCH); phys hints
+	// at a file whose manifest covers the hashes so a holder that never
+	// indexed it can do so on demand. blocks[i] is nil for hashes the remote
+	// could not serve — callers verify every returned block against its hash.
+	ChunkFetch(tc obs.TraceContext, to simnet.Addr, phys string, hashes []cas.Hash) (blocks [][]byte, cost simnet.Cost, err error)
 }
 
 // Options configures an Engine.
@@ -81,6 +94,10 @@ type Options struct {
 	// FullPush disables the Merkle delta protocol and restores the legacy
 	// remove-and-recopy push. Kept for the sync experiment's baseline arm.
 	FullPush bool
+	// WholeFile disables block-level manifest negotiation: changed files are
+	// shipped and fetched whole (the pre-chunk-store behavior). Kept for the
+	// dedup experiment's baseline arm; implied by FullPush.
+	WholeFile bool
 }
 
 // Engine tracks the replicated hierarchies this node holds and re-establishes
@@ -88,17 +105,19 @@ type Options struct {
 // methods are safe for concurrent use; Sync is additionally self-excluding
 // (overlapping calls collapse to one).
 type Engine struct {
-	self     simnet.Addr
-	store    localfs.FileSystem
-	ov       Overlay
-	peer     Peer
-	replicas int
-	key      func(pn string) id.ID
-	events   *obs.EventLog
-	reg      *obs.Registry
-	tracer   *obs.Tracer
-	mk       *merkle.Cache // subtree digests over store, mutation-invalidated
-	fullPush bool
+	self      simnet.Addr
+	store     localfs.FileSystem
+	ov        Overlay
+	peer      Peer
+	replicas  int
+	key       func(pn string) id.ID
+	events    *obs.EventLog
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	mk        *merkle.Cache // subtree digests over store, mutation-invalidated
+	cas       *cas.Store    // block index the merkle cache keeps in lockstep
+	fullPush  bool
+	wholeFile bool
 
 	// Sync-traffic counters: payload bytes shipped, files sent vs skipped
 	// by digest match, and whole-tree digest exchanges that hit vs missed.
@@ -107,10 +126,17 @@ type Engine struct {
 	syncSkipped  *obs.Counter
 	digestHits   *obs.Counter
 	digestMisses *obs.Counter
+	// Pull-repair counters: blocks obtained over CHUNK_FETCH, and total
+	// content bytes a tree fetch materialized over the network (both the
+	// block and the whole-file path), so promote-repair traffic is
+	// measurable independent of the surrounding sync chatter.
+	blocksFetched *obs.Counter
+	fetchBytes    *obs.Counter
 
 	mu           sync.Mutex
 	tracked      map[string]Track // physical subtree root -> metadata (PN, version)
 	trackedLinks map[string]Track // level-1 special link path -> metadata
+	fetchHook    func(holder simnet.Addr, blocks int)
 
 	syncing atomic.Bool
 }
@@ -120,25 +146,30 @@ func New(o Options) *Engine {
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
+	blocks := cas.NewStore(o.Store, o.Registry)
 	return &Engine{
-		self:         o.Self,
-		store:        o.Store,
-		ov:           o.Overlay,
-		peer:         o.Peer,
-		replicas:     o.Replicas,
-		key:          o.Key,
-		events:       o.Events,
-		reg:          o.Registry,
-		tracer:       o.Tracer,
-		mk:           merkle.NewCache(o.Store),
-		fullPush:     o.FullPush,
-		syncBytes:    o.Registry.Counter("repl.sync.bytes"),
-		syncSent:     o.Registry.Counter("repl.sync.files.sent"),
-		syncSkipped:  o.Registry.Counter("repl.sync.files.skipped"),
-		digestHits:   o.Registry.Counter("repl.sync.digest.hits"),
-		digestMisses: o.Registry.Counter("repl.sync.digest.misses"),
-		tracked:      make(map[string]Track),
-		trackedLinks: make(map[string]Track),
+		self:          o.Self,
+		store:         o.Store,
+		ov:            o.Overlay,
+		peer:          o.Peer,
+		replicas:      o.Replicas,
+		key:           o.Key,
+		events:        o.Events,
+		reg:           o.Registry,
+		tracer:        o.Tracer,
+		mk:            merkle.NewCacheWithStore(o.Store, blocks),
+		cas:           blocks,
+		fullPush:      o.FullPush,
+		wholeFile:     o.WholeFile || o.FullPush,
+		syncBytes:     o.Registry.Counter("repl.sync.bytes"),
+		syncSent:      o.Registry.Counter("repl.sync.files.sent"),
+		syncSkipped:   o.Registry.Counter("repl.sync.files.skipped"),
+		digestHits:    o.Registry.Counter("repl.sync.digest.hits"),
+		digestMisses:  o.Registry.Counter("repl.sync.digest.misses"),
+		blocksFetched: o.Registry.Counter("repl.cas.blocks.fetched"),
+		fetchBytes:    o.Registry.Counter("repl.fetch.bytes"),
+		tracked:       make(map[string]Track),
+		trackedLinks:  make(map[string]Track),
 	}
 }
 
@@ -149,6 +180,7 @@ func (e *Engine) Reset() {
 	e.tracked = make(map[string]Track)
 	e.trackedLinks = make(map[string]Track)
 	e.mu.Unlock()
+	e.cas.Reset()
 }
 
 // TrackedRoots returns a snapshot (fresh map) of root -> placement name.
@@ -794,7 +826,7 @@ func (e *Engine) syncDir(tc obs.TraceContext, target simnet.Addr, t Track, local
 					return err
 				}
 			}
-			if err := e.sendFile(lsrc, ldst, step); err != nil {
+			if err := e.sendFile(tc, target, lsrc, ldst, primary, step, add); err != nil {
 				return err
 			}
 		}
@@ -814,10 +846,137 @@ func (e *Engine) syncDir(tc obs.TraceContext, target simnet.Addr, t Track, local
 	return nil
 }
 
-// sendFile ships one regular file in PushChunk-sized pieces: a truncating
-// create, then sequential writes. Memory stays bounded on both ends for
-// arbitrarily large files.
-func (e *Engine) sendFile(lsrc, ldst string, step func(FSOp) error) error {
+// sendFile ships one regular file whose digest mismatched. On the normal
+// path it negotiates at the block level: the local manifest's hashes are
+// offered as a WANT list, the receiver answers which blocks its
+// content-addressed index already holds (indexing its stale copy of this
+// very file in the process), and only the missing chunks travel inline —
+// a 1-changed-chunk file ships ~one chunk. Behind Options.WholeFile the
+// legacy whole-file streaming is used instead.
+func (e *Engine) sendFile(tc obs.TraceContext, target simnet.Addr, lsrc, ldst string, primary bool, step func(FSOp) error, add func(simnet.Cost)) error {
+	if e.wholeFile {
+		return e.sendFileWhole(lsrc, ldst, step)
+	}
+	attr, err := e.store.LookupPath(lsrc)
+	if err != nil {
+		return err
+	}
+	man, err := e.mk.ManifestOf(lsrc)
+	if err != nil {
+		return err
+	}
+	queryPath := ldst
+	if !primary {
+		queryPath = RepPath(ldst)
+	}
+	_, exists, have, c, err := e.peer.ChunkManifest(tc, target, queryPath, man.Hashes())
+	add(c)
+	if err != nil {
+		// Negotiation is an optimization, not a dependency: fall back to the
+		// verbatim stream (which will surface a real transport failure too).
+		return e.sendFileWhole(lsrc, ldst, step)
+	}
+	if !exists {
+		if err := step(FSOp{Kind: FSCreate, Path: ldst, Mode: attr.Mode}); err != nil {
+			return err
+		}
+	}
+
+	// Walk the manifest accumulating contiguous spans of chunks; each span
+	// becomes one FSChunkWrite whose inline payload is bounded by PushChunk
+	// and whose covered range is bounded by spanBytes, so memory stays
+	// bounded on both ends regardless of file size.
+	const spanBytes = 4 << 20
+	var (
+		refs      []ChunkRef
+		data      []byte
+		spanStart int64
+		spanLen   int64
+		off       int64
+	)
+	flush := func() error {
+		if len(refs) == 0 {
+			return nil
+		}
+		op := FSOp{Kind: FSChunkWrite, Path: ldst, Offset: spanStart, Chunks: refs, Data: data}
+		if err := step(op); err != nil {
+			// The receiver could not resolve a reference it promised (its
+			// copy mutated between negotiation and apply): re-ship the span
+			// verbatim. A transport failure fails the retry as well.
+			raw, rerr := e.readRange(attr.Ino, spanStart, spanLen)
+			if rerr != nil {
+				return err
+			}
+			if err := step(FSOp{Kind: FSWrite, Path: ldst, Offset: spanStart, Data: raw}); err != nil {
+				return err
+			}
+			e.syncBytes.Add(uint64(len(raw)))
+		} else {
+			e.syncBytes.Add(uint64(len(data)))
+		}
+		refs, data = nil, nil
+		spanStart, spanLen = off, 0
+		return nil
+	}
+	for i, ch := range man {
+		inline := i >= len(have) || !have[i]
+		if inline {
+			b, err := e.readRange(attr.Ino, off, int64(ch.Len))
+			if err != nil {
+				return err
+			}
+			if len(data)+len(b) > PushChunk {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			data = append(data, b...)
+		} else if spanLen >= spanBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		refs = append(refs, ChunkRef{Hash: ch.Hash, Len: ch.Len, Inline: inline})
+		off += int64(ch.Len)
+		spanLen += int64(ch.Len)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if exists {
+		// The old remote file may extend past the new content: truncate.
+		size := man.TotalLen()
+		if err := step(FSOp{Kind: FSSetattr, Path: ldst, SetAttr: localfs.SetAttr{Size: &size}}); err != nil {
+			return err
+		}
+	}
+	e.syncSent.Add(1)
+	return nil
+}
+
+// readRange reads exactly [off, off+n) of a local file.
+func (e *Engine) readRange(ino uint64, off, n int64) ([]byte, error) {
+	buf := make([]byte, 0, n)
+	for int64(len(buf)) < n {
+		data, eof, _, err := e.store.Read(ino, off+int64(len(buf)), int(n-int64(len(buf))))
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, data...)
+		if eof || len(data) == 0 {
+			break
+		}
+	}
+	if int64(len(buf)) != n {
+		return nil, errors.New("repl: short local read")
+	}
+	return buf, nil
+}
+
+// sendFileWhole ships one regular file verbatim in PushChunk-sized pieces:
+// a truncating create, then sequential writes. The WholeFile baseline and
+// the fallback when block negotiation fails.
+func (e *Engine) sendFileWhole(lsrc, ldst string, step func(FSOp) error) error {
 	attr, err := e.store.LookupPath(lsrc)
 	if err != nil {
 		return err
@@ -905,7 +1064,7 @@ func (e *Engine) pushTree(tc obs.TraceContext, target simnet.Addr, t Track, src 
 		case localfs.TypeSymlink:
 			return step(FSOp{Kind: FSSymlink, Path: dst, Target: symTarget})
 		default:
-			return e.sendFile(p, dst, step)
+			return e.sendFileWhole(p, dst, step)
 		}
 	})
 	if werr != nil {
@@ -916,27 +1075,346 @@ func (e *Engine) pushTree(tc obs.TraceContext, target simnet.Addr, t Track, src 
 }
 
 // fetchTree pulls a remote replica-area copy of a subtree into this node's
-// primary namespace via plain NFS reads, adopting the remote's version.
-// Used when a freshly promoted primary discovers a replica holding a newer
-// copy than the one it surfaced.
-func (e *Engine) fetchTree(tc obs.TraceContext, from simnet.Addr, t Track, remoteVer uint64) (simnet.Cost, error) {
+// primary namespace, adopting the remote's version. Used when a freshly
+// promoted primary discovers a replica holding a newer copy than the one it
+// surfaced. On the normal path this is a block-level delta pull: the local
+// (promoted, stale) copy is kept as a chunk source, directory digests skip
+// identical subtrees, and each mismatching file is rebuilt from its remote
+// manifest, fetching only the blocks no local file holds — in parallel from
+// every settled holder in holders plus from itself. Behind
+// Options.WholeFile the legacy remove-and-recopy walk runs instead.
+func (e *Engine) fetchTree(tc obs.TraceContext, from simnet.Addr, holders []simnet.Addr, t Track, remoteVer uint64) (simnet.Cost, error) {
 	var total simnet.Cost
 	src := RepPath(t.Root)
-	if err := e.store.RemoveAll(t.Root); err != nil {
-		return total, err
+	if e.wholeFile {
+		if err := e.store.RemoveAll(t.Root); err != nil {
+			return total, err
+		}
+		if _, err := e.store.MkdirAll(t.Root); err != nil {
+			return total, err
+		}
+		if err := e.fetchTreeWhole(tc, from, src, t.Root, &total); err != nil {
+			return total, err
+		}
+	} else {
+		if _, err := e.store.MkdirAll(t.Root); err != nil {
+			return total, err
+		}
+		if err := e.pullDir(tc, from, holders, src, t.Root, src, &total); err != nil {
+			return total, err
+		}
 	}
-	if _, err := e.store.MkdirAll(t.Root); err != nil {
-		return total, err
+	adopted := t
+	adopted.Ver = remoteVer
+	e.Track(adopted, FSOp{Kind: FSMkdirAll, Path: t.Root})
+	return total, nil
+}
+
+// pullDir reconciles one local directory against its remote counterpart
+// during a delta pull: matching child digests are skipped wholesale,
+// mismatching files are rebuilt block-wise, and local-only entries are
+// deleted. flagDir is the remote hierarchy root, where the migration
+// sentinel is protocol state rather than content.
+func (e *Engine) pullDir(tc obs.TraceContext, from simnet.Addr, holders []simnet.Addr, remoteDir, localDir, flagDir string, total *simnet.Cost) error {
+	remoteEnts, ok, c, err := e.peer.DirDigests(tc, from, remoteDir)
+	*total = simnet.Seq(*total, c)
+	if err != nil {
+		return err
 	}
+	if !ok {
+		return nil
+	}
+	locals := make(map[string]merkle.Entry)
+	if ents, lok, err := e.mk.Entries(localDir); err == nil && lok {
+		for _, ent := range ents {
+			locals[ent.Name] = ent
+		}
+	}
+	for _, ent := range remoteEnts {
+		if remoteDir == flagDir && ent.Name == MigrationFlag {
+			continue
+		}
+		rp := joinChild(remoteDir, ent.Name)
+		lp := joinChild(localDir, ent.Name)
+		l, exists := locals[ent.Name]
+		delete(locals, ent.Name)
+		if exists && l.Type == ent.Type && l.Digest == ent.Digest {
+			e.digestHits.Add(1)
+			continue
+		}
+		if exists {
+			e.digestMisses.Add(1)
+		}
+		switch ent.Type {
+		case localfs.TypeDir:
+			if exists && l.Type != localfs.TypeDir {
+				if err := e.store.RemoveAll(lp); err != nil {
+					return err
+				}
+			}
+			if _, err := e.store.MkdirAll(lp); err != nil {
+				return err
+			}
+			if err := e.pullDir(tc, from, holders, rp, lp, flagDir, total); err != nil {
+				return err
+			}
+		case localfs.TypeSymlink:
+			target, c, err := e.peer.ReadLink(tc, from, rp)
+			*total = simnet.Seq(*total, c)
+			if err != nil {
+				return err
+			}
+			if exists {
+				if err := e.store.RemoveAll(lp); err != nil {
+					return err
+				}
+			}
+			attr, err := e.store.LookupPath(path.Dir(lp))
+			if err != nil {
+				return err
+			}
+			if _, _, err := e.store.Symlink(attr.Ino, ent.Name, target); err != nil {
+				return err
+			}
+		default:
+			if exists && l.Type != localfs.TypeRegular {
+				if err := e.store.RemoveAll(lp); err != nil {
+					return err
+				}
+			}
+			if err := e.pullFile(tc, from, holders, rp, lp, total); err != nil {
+				return err
+			}
+		}
+	}
+	staleNames := make([]string, 0, len(locals))
+	for name := range locals {
+		staleNames = append(staleNames, name)
+	}
+	sort.Strings(staleNames)
+	for _, name := range staleNames {
+		if err := e.store.RemoveAll(joinChild(localDir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pullFile rebuilds one local file from its remote chunk manifest. Blocks
+// some indexed local file already holds are copied locally; the rest are
+// fetched content-addressed from the holder swarm, with a ranged read from
+// `from` as the per-block last resort. The new content is assembled fully
+// before the local file is overwritten, so the stale copy stays available
+// as a chunk source throughout.
+func (e *Engine) pullFile(tc obs.TraceContext, from simnet.Addr, holders []simnet.Addr, rp, lp string, total *simnet.Cost) error {
+	man, exists, _, c, err := e.peer.ChunkManifest(tc, from, rp, nil)
+	*total = simnet.Seq(*total, c)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return e.pullFileWhole(tc, from, rp, lp, total)
+	}
+	// Index the stale local copy (if any): its unchanged blocks then resolve
+	// locally instead of over the network.
+	if attr, lerr := e.store.LookupPath(lp); lerr == nil && attr.Type == localfs.TypeRegular {
+		e.mk.ManifestOf(lp)
+	}
+	lens := make(map[cas.Hash]uint32, len(man))
+	var need []cas.Hash
+	for _, ch := range man {
+		if _, dup := lens[ch.Hash]; dup {
+			continue
+		}
+		lens[ch.Hash] = ch.Len
+		if !e.cas.Has(ch.Hash) {
+			need = append(need, ch.Hash)
+		}
+	}
+	blocks := make(map[cas.Hash][]byte)
+	if len(need) > 0 {
+		e.fetchBlocks(tc, from, holders, rp, need, lens, blocks, total)
+	}
+	buf := make([]byte, 0, man.TotalLen())
+	var off int64
+	var fh nfs.Handle
+	haveFh := false
+	for _, ch := range man {
+		if b, ok := blocks[ch.Hash]; ok {
+			buf = append(buf, b...)
+			off += int64(ch.Len)
+			continue
+		}
+		if b, ok := e.cas.Get(ch.Hash); ok && len(b) == int(ch.Len) {
+			buf = append(buf, b...)
+			off += int64(ch.Len)
+			continue
+		}
+		// Last resort: a ranged read of this chunk's extent from `from`.
+		if !haveFh {
+			var c simnet.Cost
+			fh, _, c, err = e.peer.LookupPath(tc, from, rp)
+			*total = simnet.Seq(*total, c)
+			if err != nil {
+				return err
+			}
+			haveFh = true
+		}
+		b := make([]byte, 0, ch.Len)
+		for int64(len(b)) < int64(ch.Len) {
+			part, eof, c, err := e.peer.ReadStream(tc, from, fh, off+int64(len(b)), int(ch.Len)-len(b), 1)
+			*total = simnet.Seq(*total, c)
+			if err != nil {
+				return err
+			}
+			b = append(b, part...)
+			if eof || len(part) == 0 {
+				break
+			}
+		}
+		if len(b) != int(ch.Len) {
+			return errors.New("repl: short ranged chunk read")
+		}
+		e.fetchBytes.Add(uint64(len(b)))
+		blocks[ch.Hash] = b
+		buf = append(buf, b...)
+		off += int64(ch.Len)
+	}
+	return e.store.WriteFile(lp, buf)
+}
+
+// pullFileWhole streams one remote file verbatim — the fallback when the
+// remote cannot answer a manifest (and the building block of the WholeFile
+// baseline's tree walk).
+func (e *Engine) pullFileWhole(tc obs.TraceContext, from simnet.Addr, rp, lp string, total *simnet.Cost) error {
+	fh, attr, c, err := e.peer.LookupPath(tc, from, rp)
+	*total = simnet.Seq(*total, c)
+	if err != nil {
+		return err
+	}
+	data := make([]byte, 0, attr.Size)
+	for off := int64(0); ; {
+		chunk, eof, c, err := e.peer.ReadStream(tc, from, fh, off, PushChunk, FetchWindow)
+		*total = simnet.Seq(*total, c)
+		if err != nil {
+			return err
+		}
+		data = append(data, chunk...)
+		off += int64(len(chunk))
+		if eof || len(chunk) == 0 {
+			break
+		}
+	}
+	e.fetchBytes.Add(uint64(len(data)))
+	return e.store.WriteFile(lp, data)
+}
+
+// fetchBatch bounds how many blocks one CHUNK_FETCH round trip requests.
+const fetchBatch = 16
+
+// fetchBlocks retrieves the needed blocks from the holder swarm: the WANT
+// list is partitioned round-robin across `from` plus every other settled
+// holder, each holder's batches run as one branch of a simnet.Par fan-out,
+// and every returned block is verified against its hash. Blocks a holder
+// failed to serve are retried from `from`; whatever still cannot be
+// obtained is simply left out of the result (pullFile falls back to a
+// ranged read). The holder order is deterministic for seed-exact replay.
+func (e *Engine) fetchBlocks(tc obs.TraceContext, from simnet.Addr, holders []simnet.Addr, pathHint string, need []cas.Hash, lens map[cas.Hash]uint32, out map[cas.Hash][]byte, total *simnet.Cost) {
+	swarm := []simnet.Addr{from}
+	seen := map[simnet.Addr]bool{from: true, e.self: true}
+	sorted := append([]simnet.Addr(nil), holders...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, h := range sorted {
+		if !seen[h] {
+			seen[h] = true
+			swarm = append(swarm, h)
+		}
+	}
+	assign := make([][]cas.Hash, len(swarm))
+	for i, h := range need {
+		assign[i%len(swarm)] = append(assign[i%len(swarm)], h)
+	}
+	e.mu.Lock()
+	hook := e.fetchHook
+	e.mu.Unlock()
+
+	accept := func(holder simnet.Addr, batch []cas.Hash, blocks [][]byte, missing *[]cas.Hash) {
+		for i, h := range batch {
+			var b []byte
+			if i < len(blocks) {
+				b = blocks[i]
+			}
+			if b == nil || len(b) != int(lens[h]) || cas.SumChunk(b) != h {
+				if missing != nil {
+					*missing = append(*missing, h)
+				}
+				continue
+			}
+			out[h] = b
+			e.blocksFetched.Add(1)
+			e.fetchBytes.Add(uint64(len(b)))
+		}
+	}
+
+	var missing []cas.Hash
+	var fan []simnet.Cost
+	for hi, holder := range swarm {
+		var hc simnet.Cost
+		hashes := assign[hi]
+		for start := 0; start < len(hashes); start += fetchBatch {
+			end := start + fetchBatch
+			if end > len(hashes) {
+				end = len(hashes)
+			}
+			batch := hashes[start:end]
+			blocks, c, err := e.peer.ChunkFetch(tc, holder, pathHint, batch)
+			hc = simnet.Seq(hc, c)
+			if hook != nil {
+				hook(holder, len(batch))
+			}
+			if err != nil {
+				missing = append(missing, hashes[start:]...)
+				break
+			}
+			accept(holder, batch, blocks, &missing)
+		}
+		fan = append(fan, hc)
+	}
+	*total = simnet.Seq(*total, simnet.Par(fan...))
+
+	// Retry pass against `from` for anything a holder could not serve. What
+	// fails here stays absent and falls back to a ranged read.
+	for start := 0; start < len(missing); start += fetchBatch {
+		end := start + fetchBatch
+		if end > len(missing) {
+			end = len(missing)
+		}
+		batch := missing[start:end]
+		blocks, c, err := e.peer.ChunkFetch(tc, from, pathHint, batch)
+		*total = simnet.Seq(*total, c)
+		if hook != nil {
+			hook(from, len(batch))
+		}
+		if err != nil {
+			return
+		}
+		accept(from, batch, blocks, nil)
+	}
+}
+
+// fetchTreeWhole is the legacy full-copy walk over plain NFS reads: list,
+// recurse, stream every file. Retained behind Options.WholeFile as the
+// dedup experiment's promote-repair baseline.
+func (e *Engine) fetchTreeWhole(tc obs.TraceContext, from simnet.Addr, src, root string, total *simnet.Cost) error {
 	var walk func(remotePath, localPath string) error
 	walk = func(remotePath, localPath string) error {
 		fh, _, c, err := e.peer.LookupPath(tc, from, remotePath)
-		total = simnet.Seq(total, c)
+		*total = simnet.Seq(*total, c)
 		if err != nil {
 			return err
 		}
 		ents, c, err := e.peer.ReadDir(tc, from, fh)
-		total = simnet.Seq(total, c)
+		*total = simnet.Seq(*total, c)
 		if err != nil {
 			return err
 		}
@@ -953,7 +1431,7 @@ func (e *Engine) fetchTree(tc obs.TraceContext, from simnet.Addr, t Track, remot
 				}
 			case localfs.TypeSymlink:
 				target, c, err := e.peer.ReadLink(tc, from, rp)
-				total = simnet.Seq(total, c)
+				*total = simnet.Seq(*total, c)
 				if err != nil {
 					return err
 				}
@@ -971,38 +1449,14 @@ func (e *Engine) fetchTree(tc obs.TraceContext, from simnet.Addr, t Track, remot
 				if ent.Name == MigrationFlag && remotePath == src {
 					continue
 				}
-				efh, eattr, c, err := e.peer.LookupPath(tc, from, rp)
-				total = simnet.Seq(total, c)
-				if err != nil {
-					return err
-				}
-				data := make([]byte, 0, eattr.Size)
-				for off := int64(0); ; {
-					chunk, eof, c, err := e.peer.ReadStream(tc, from, efh, off, PushChunk, FetchWindow)
-					total = simnet.Seq(total, c)
-					if err != nil {
-						return err
-					}
-					data = append(data, chunk...)
-					off += int64(len(chunk))
-					if eof || len(chunk) == 0 {
-						break
-					}
-				}
-				if err := e.store.WriteFile(lp, data); err != nil {
+				if err := e.pullFileWhole(tc, from, rp, lp, total); err != nil {
 					return err
 				}
 			}
 		}
 		return nil
 	}
-	if err := walk(src, t.Root); err != nil {
-		return total, err
-	}
-	adopted := t
-	adopted.Ver = remoteVer
-	e.Track(adopted, FSOp{Kind: FSMkdirAll, Path: t.Root})
-	return total, nil
+	return walk(src, root)
 }
 
 // AdoptRoot makes this node's primary-path copy of a subtree current after
@@ -1019,10 +1473,24 @@ func (e *Engine) AdoptRoot(tc obs.TraceContext, t Track) (simnet.Cost, bool) {
 	}
 	var total simnet.Cost
 	myVer := e.VerOf(t.Root)
-	for _, rep := range e.ov.ReplicaCandidates(e.replicas) {
+	cands := e.ov.ReplicaCandidates(e.replicas)
+	stats := make([]TreeStat, len(cands))
+	alive := make([]bool, len(cands))
+	for i, rep := range cands {
 		st, c, err := e.peer.StatTree(tc, rep.Addr, RepPath(t.Root))
 		total = simnet.Seq(total, c)
-		if err != nil || st.Flag || st.Ver <= myVer {
+		if err != nil {
+			continue
+		}
+		stats[i] = st
+		alive[i] = true
+	}
+	for i, rep := range cands {
+		if !alive[i] {
+			continue
+		}
+		st := stats[i]
+		if st.Flag || st.Ver <= myVer {
 			continue
 		}
 		if !st.Exists {
@@ -1036,7 +1504,15 @@ func (e *Engine) AdoptRoot(tc obs.TraceContext, t Track) (simnet.Cost, bool) {
 			changed = true
 			continue
 		}
-		c, err = e.fetchTree(tc, rep.Addr, t, st.Ver)
+		// Every other candidate holding a settled copy can serve blocks for
+		// the fetch, bitswap-style, in parallel with the version's holder.
+		var holders []simnet.Addr
+		for j, other := range cands {
+			if j != i && alive[j] && stats[j].Exists && !stats[j].Flag {
+				holders = append(holders, other.Addr)
+			}
+		}
+		c, err := e.fetchTree(tc, rep.Addr, holders, t, st.Ver)
 		total = simnet.Seq(total, c)
 		if err == nil {
 			myVer = st.Ver
@@ -1044,4 +1520,83 @@ func (e *Engine) AdoptRoot(tc obs.TraceContext, t Track) (simnet.Cost, bool) {
 		}
 	}
 	return total, changed
+}
+
+// ManifestLocal returns the chunk manifest of the local regular file at
+// phys, computing and indexing it as needed — the CHUNK_MANIFEST server
+// primitive. ok is false when phys is missing or not a regular file.
+func (e *Engine) ManifestLocal(phys string) (cas.Manifest, bool) {
+	attr, err := e.store.LookupPath(phys)
+	if err != nil || attr.Type != localfs.TypeRegular {
+		return nil, false
+	}
+	m, err := e.mk.ManifestOf(phys)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// HaveBlocks answers a HAVE query against the local block index.
+func (e *Engine) HaveBlocks(hs []cas.Hash) []bool { return e.cas.HasAll(hs) }
+
+// GetBlock serves one block's bytes from the local index (hash-verified) —
+// the CHUNK_FETCH server primitive.
+func (e *Engine) GetBlock(h cas.Hash) ([]byte, bool) { return e.cas.Get(h) }
+
+// CASStats snapshots the block index accounting (dedup experiment).
+func (e *Engine) CASStats() cas.StoreStats { return e.cas.Stats() }
+
+// SetFetchHook installs a test hook invoked after every CHUNK_FETCH round
+// trip a pull repair issues (holder address plus batch size). The chaos
+// harness uses it to crash holders mid-fetch at a deterministic point.
+func (e *Engine) SetFetchHook(fn func(holder simnet.Addr, blocks int)) {
+	e.mu.Lock()
+	e.fetchHook = fn
+	e.mu.Unlock()
+}
+
+// ErrMissingChunk reports an FSChunkWrite reference the receiver could not
+// resolve from its block index; the sender answers by re-shipping the span
+// verbatim.
+var ErrMissingChunk = errors.New("repl: referenced chunk not present locally")
+
+// AssembleChunks materializes an FSChunkWrite span's bytes on the receiver:
+// inline chunks are consumed from op.Data in order, references resolve
+// against the local block index (or chunks appearing earlier in the same
+// span). Every chunk is verified against its hash before use.
+func (e *Engine) AssembleChunks(op FSOp) ([]byte, error) {
+	var size int
+	for _, cr := range op.Chunks {
+		size += int(cr.Len)
+	}
+	buf := make([]byte, 0, size)
+	data := op.Data
+	local := make(map[cas.Hash][]byte)
+	for _, cr := range op.Chunks {
+		if cr.Inline {
+			if len(data) < int(cr.Len) {
+				return nil, ErrMissingChunk
+			}
+			b := data[:cr.Len]
+			data = data[cr.Len:]
+			if cas.SumChunk(b) != cr.Hash {
+				return nil, ErrMissingChunk
+			}
+			buf = append(buf, b...)
+			local[cr.Hash] = b
+			continue
+		}
+		if b, ok := local[cr.Hash]; ok {
+			buf = append(buf, b...)
+			continue
+		}
+		b, ok := e.cas.Get(cr.Hash)
+		if !ok || len(b) != int(cr.Len) {
+			return nil, ErrMissingChunk
+		}
+		buf = append(buf, b...)
+		local[cr.Hash] = b
+	}
+	return buf, nil
 }

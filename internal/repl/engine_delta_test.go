@@ -5,6 +5,7 @@ import (
 	"path"
 	"testing"
 
+	"repro/internal/cas"
 	"repro/internal/id"
 	"repro/internal/localfs"
 	"repro/internal/merkle"
@@ -21,13 +22,26 @@ import (
 type storePeer struct {
 	remote  localfs.FileSystem
 	mk      *merkle.Cache
+	blocks  *cas.Store // the remote's content-addressed block index
 	mirrors []mirrorRec
-	vers    map[string]uint64 // primary-relative root -> recorded Ver
+	vers    map[string]uint64    // primary-relative root -> recorded Ver
+	fetches map[simnet.Addr]int  // CHUNK_FETCH round trips per holder address
+	down    map[simnet.Addr]bool // addresses whose block procedures fail
 }
+
+var errPeerDown = &nfs.Error{Proc: nfs.Proc(200), Status: nfs.ErrIO}
 
 func newStorePeer() *storePeer {
 	remote := localfs.New(0, simnet.DiskModel{})
-	return &storePeer{remote: remote, mk: merkle.NewCache(remote), vers: map[string]uint64{}}
+	blocks := cas.NewStore(remote, nil)
+	return &storePeer{
+		remote:  remote,
+		mk:      merkle.NewCacheWithStore(remote, blocks),
+		blocks:  blocks,
+		vers:    map[string]uint64{},
+		fetches: map[simnet.Addr]int{},
+		down:    map[simnet.Addr]bool{},
+	}
 }
 
 func (s *storePeer) Mirror(_ obs.TraceContext, to simnet.Addr, t Track, op FSOp, primary bool) (simnet.Cost, error) {
@@ -38,11 +52,53 @@ func (s *storePeer) Mirror(_ obs.TraceContext, to simnet.Addr, t Track, op FSOp,
 			op.Path2 = RepPath(op.Path2)
 		}
 	}
+	if op.Kind == FSChunkWrite {
+		// Assemble like a replica node would: inline bytes from the op,
+		// references from the remote's own block index.
+		data, err := s.assemble(op)
+		if err != nil {
+			return 0, err
+		}
+		op = FSOp{Kind: FSWrite, Path: op.Path, Offset: op.Offset, Data: data}
+	}
 	if err := applyLenient(s.remote, op); err != nil {
 		return 0, err
 	}
 	s.vers[t.Root] = t.Ver
 	return 0, nil
+}
+
+// assemble resolves an FSChunkWrite span the way core's replica apply does.
+func (s *storePeer) assemble(op FSOp) ([]byte, error) {
+	var buf []byte
+	data := op.Data
+	local := map[cas.Hash][]byte{}
+	for _, cr := range op.Chunks {
+		if cr.Inline {
+			if len(data) < int(cr.Len) {
+				return nil, ErrMissingChunk
+			}
+			b := data[:cr.Len]
+			data = data[cr.Len:]
+			if cas.SumChunk(b) != cr.Hash {
+				return nil, ErrMissingChunk
+			}
+			buf = append(buf, b...)
+			local[cr.Hash] = b
+			continue
+		}
+		if b, ok := local[cr.Hash]; ok {
+			buf = append(buf, b...)
+			continue
+		}
+		b, ok := s.blocks.Get(cr.Hash)
+		if !ok || len(b) != int(cr.Len) {
+			return nil, ErrMissingChunk
+		}
+		buf = append(buf, b...)
+		local[cr.Hash] = b
+	}
+	return buf, nil
 }
 
 // applyLenient executes the op kinds the push protocol emits, with the
@@ -83,6 +139,13 @@ func applyLenient(fs localfs.FileSystem, op FSOp) error {
 		return nil
 	case FSRemoveAll:
 		return fs.RemoveAll(op.Path)
+	case FSSetattr:
+		a, err := fs.LookupPath(op.Path)
+		if err != nil {
+			return err
+		}
+		_, _, err = fs.Setattr(a.Ino, op.SetAttr)
+		return err
 	case FSSymlink:
 		dir, err := parent(op.Path)
 		if err != nil {
@@ -169,6 +232,39 @@ func (s *storePeer) ReadLink(_ obs.TraceContext, to simnet.Addr, phys string) (s
 	return t, 0, err
 }
 
+func (s *storePeer) ChunkManifest(_ obs.TraceContext, to simnet.Addr, phys string, want []cas.Hash) (cas.Manifest, bool, []bool, simnet.Cost, error) {
+	if s.down[to] {
+		return nil, false, nil, 0, errPeerDown
+	}
+	var man cas.Manifest
+	exists := false
+	if attr, err := s.remote.LookupPath(phys); err == nil && attr.Type == localfs.TypeRegular {
+		if m, err := s.mk.ManifestOf(phys); err == nil {
+			man, exists = m, true
+		}
+	}
+	return man, exists, s.blocks.HasAll(want), 0, nil
+}
+
+func (s *storePeer) ChunkFetch(_ obs.TraceContext, to simnet.Addr, phys string, hashes []cas.Hash) ([][]byte, simnet.Cost, error) {
+	if s.down[to] {
+		return nil, 0, errPeerDown
+	}
+	s.fetches[to]++
+	if phys != "" {
+		if attr, err := s.remote.LookupPath(phys); err == nil && attr.Type == localfs.TypeRegular {
+			s.mk.ManifestOf(phys)
+		}
+	}
+	blocks := make([][]byte, len(hashes))
+	for i, h := range hashes {
+		if b, ok := s.blocks.Get(h); ok {
+			blocks[i] = b
+		}
+	}
+	return blocks, 0, nil
+}
+
 func deltaEngine(t *testing.T, peer Peer) (*Engine, localfs.FileSystem, *obs.Registry) {
 	t.Helper()
 	store := localfs.New(0, simnet.DiskModel{})
@@ -204,7 +300,7 @@ func TestFetchTreeKeepsNestedFlagNamedFile(t *testing.T) {
 	}
 	e, store, _ := deltaEngine(t, peer)
 
-	if _, err := e.fetchTree(obs.TraceContext{}, "r1", Track{PN: "docs", Root: "/docs"}, 5); err != nil {
+	if _, err := e.fetchTree(obs.TraceContext{}, "r1", nil, Track{PN: "docs", Root: "/docs"}, 5); err != nil {
 		t.Fatal(err)
 	}
 	if data, err := store.ReadFile("/docs/a.txt"); err != nil || string(data) != "a" {
@@ -221,8 +317,9 @@ func TestFetchTreeKeepsNestedFlagNamedFile(t *testing.T) {
 	}
 }
 
-// Satellite fix: pushes ship file contents in bounded chunks rather than one
-// whole-file op.
+// Satellite fix: whole-file pushes ship file contents in bounded chunks
+// rather than one whole-file op. (sendFileWhole is the WholeFile baseline and
+// the fallback when block negotiation fails.)
 func TestSendFileChunksLargePayload(t *testing.T) {
 	e, store, _ := deltaEngine(t, newStorePeer())
 	payload := bytes.Repeat([]byte("x"), PushChunk*2+PushChunk/2)
@@ -231,7 +328,7 @@ func TestSendFileChunksLargePayload(t *testing.T) {
 	}
 	var ops []FSOp
 	step := func(op FSOp) error { ops = append(ops, op); return nil }
-	if err := e.sendFile("/big/blob", "/big/blob", step); err != nil {
+	if err := e.sendFileWhole("/big/blob", "/big/blob", step); err != nil {
 		t.Fatal(err)
 	}
 	if len(ops) != 4 || ops[0].Kind != FSCreate {
@@ -298,7 +395,7 @@ func TestEnsureTreeDeltaSkipsAndShipsOnlyChanges(t *testing.T) {
 		if m.op.Kind == FSRemoveAll {
 			t.Fatalf("delta sync issued FSRemoveAll on %s: replicas must stay readable", m.op.Path)
 		}
-		if m.op.Kind == FSCreate || m.op.Kind == FSWrite {
+		if m.op.Kind == FSCreate || m.op.Kind == FSWrite || m.op.Kind == FSChunkWrite || m.op.Kind == FSSetattr {
 			wrote = append(wrote, m.op.Path)
 		}
 	}
@@ -357,6 +454,131 @@ func TestEnsureTreeDeltaSkipsAndShipsOnlyChanges(t *testing.T) {
 	}
 	if _, err := peer.remote.LookupPath(RepPath("/proj") + "/f4.txt"); err == nil {
 		t.Fatal("deleted file survived on the replica")
+	}
+}
+
+// patternBytes generates deterministic content with enough entropy for the
+// content-defined chunker to cut naturally.
+func patternBytes(n int, seed uint64) []byte {
+	b := make([]byte, n)
+	s := seed
+	for i := range b {
+		s = s*6364136223846793005 + 1442695040888963407
+		b[i] = byte(s >> 33)
+	}
+	return b
+}
+
+// The tentpole's delta guarantee, pinned: a small edit to a large file ships
+// at most 10% of the file's bytes over the wire. The receiver's stale copy of
+// the very file being negotiated is its chunk source — no pre-seeding.
+func TestSendFileDeltaWithinTenPercent(t *testing.T) {
+	peer := newStorePeer()
+	e, store, reg := deltaEngine(t, peer)
+
+	const size = 4 << 20
+	content := patternBytes(size, 1)
+	if err := store.WriteFile("/proj/big.bin", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.remote.WriteFile(RepPath("/proj")+"/big.bin", content); err != nil {
+		t.Fatal(err)
+	}
+	peer.vers["/proj"] = 1
+
+	// A 16-byte edit in the middle: only the chunks spanning it change.
+	edited := append([]byte(nil), content...)
+	copy(edited[size/2:], []byte("EDITED-SIXTEEN-B"))
+	if err := store.WriteFile("/proj/big.bin", edited); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ensureTree(obs.TraceContext{}, "r1", Track{PN: "proj", Root: "/proj", Ver: 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := peer.remote.ReadFile(RepPath("/proj") + "/big.bin"); err != nil || !bytes.Equal(got, edited) {
+		t.Fatalf("replica content diverged after delta (err=%v, %d bytes)", err, len(got))
+	}
+	shipped := reg.Counter("repl.sync.bytes").Load()
+	if shipped == 0 {
+		t.Fatal("no bytes shipped for a changed file")
+	}
+	if shipped > size/10 {
+		t.Fatalf("delta shipped %d bytes, want <= %d (10%% of %d)", shipped, size/10, size)
+	}
+}
+
+// The tentpole's swarm guarantee, pinned: a pull repair with a second settled
+// holder available fetches blocks from at least two holders in parallel, and
+// the rebuilt tree is byte-identical.
+func TestFetchTreeSwarmUsesMultipleHolders(t *testing.T) {
+	peer := newStorePeer()
+	e, store, reg := deltaEngine(t, peer)
+
+	content := patternBytes(1<<20, 7)
+	if err := peer.remote.WriteFile(RepPath("/pull")+"/blob.bin", content); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.fetchTree(obs.TraceContext{}, "r1", []simnet.Addr{"r2"}, Track{PN: "pull", Root: "/pull"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.ReadFile("/pull/blob.bin"); err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("pulled content diverged (err=%v, %d bytes)", err, len(got))
+	}
+	if peer.fetches["r1"] == 0 || peer.fetches["r2"] == 0 {
+		t.Fatalf("block fetches not spread across holders: %v", peer.fetches)
+	}
+	if f := reg.Counter("repl.cas.blocks.fetched").Load(); f < 2 {
+		t.Fatalf("blocks.fetched = %d, want >= 2", f)
+	}
+	if b := reg.Counter("repl.fetch.bytes").Load(); b != uint64(len(content)) {
+		t.Fatalf("fetch.bytes = %d, want %d", b, len(content))
+	}
+}
+
+// A holder dying mid-fetch must not fail the repair: its share of the WANT
+// list is retried from the version's holder and the tree still converges.
+func TestFetchTreeSurvivesDeadHolder(t *testing.T) {
+	peer := newStorePeer()
+	e, store, _ := deltaEngine(t, peer)
+
+	content := patternBytes(1<<20, 9)
+	if err := peer.remote.WriteFile(RepPath("/pull")+"/blob.bin", content); err != nil {
+		t.Fatal(err)
+	}
+	peer.down["r2"] = true
+	if _, err := e.fetchTree(obs.TraceContext{}, "r1", []simnet.Addr{"r2"}, Track{PN: "pull", Root: "/pull"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.ReadFile("/pull/blob.bin"); err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("pulled content diverged with a dead holder (err=%v, %d bytes)", err, len(got))
+	}
+}
+
+// A pull repair against a stale local copy fetches only the missing blocks:
+// the local file's unchanged chunks resolve from the local index, not the
+// network.
+func TestPullFileFetchesOnlyMissingBlocks(t *testing.T) {
+	peer := newStorePeer()
+	e, store, reg := deltaEngine(t, peer)
+
+	const size = 4 << 20
+	remote := patternBytes(size, 11)
+	stale := append([]byte(nil), remote...)
+	copy(stale[size/4:], []byte("STALE-LOCAL-EDIT"))
+	if err := peer.remote.WriteFile(RepPath("/pull")+"/doc.bin", remote); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFile("/pull/doc.bin", stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.fetchTree(obs.TraceContext{}, "r1", nil, Track{PN: "pull", Root: "/pull"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.ReadFile("/pull/doc.bin"); err != nil || !bytes.Equal(got, remote) {
+		t.Fatalf("pulled content diverged (err=%v, %d bytes)", err, len(got))
+	}
+	if b := reg.Counter("repl.fetch.bytes").Load(); b > size/10 {
+		t.Fatalf("pull repair fetched %d bytes, want <= %d (stale copy should serve the rest)", b, size/10)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/cas"
 	"repro/internal/id"
 	"repro/internal/localfs"
 	"repro/internal/merkle"
@@ -79,6 +80,14 @@ func (f *fakePeer) ReadStream(obs.TraceContext, simnet.Addr, nfs.Handle, int64, 
 
 func (f *fakePeer) ReadLink(obs.TraceContext, simnet.Addr, string) (string, simnet.Cost, error) {
 	return "", 0, fmt.Errorf("fakePeer: no remote store")
+}
+
+func (f *fakePeer) ChunkManifest(obs.TraceContext, simnet.Addr, string, []cas.Hash) (cas.Manifest, bool, []bool, simnet.Cost, error) {
+	return nil, false, nil, 0, fmt.Errorf("fakePeer: no remote store")
+}
+
+func (f *fakePeer) ChunkFetch(obs.TraceContext, simnet.Addr, string, []cas.Hash) ([][]byte, simnet.Cost, error) {
+	return nil, 0, fmt.Errorf("fakePeer: no remote store")
 }
 
 func testEngine(ov *fakeOverlay, peer *fakePeer) (*Engine, localfs.FileSystem) {

@@ -12,6 +12,7 @@ package repl
 import (
 	"fmt"
 
+	"repro/internal/cas"
 	"repro/internal/localfs"
 	"repro/internal/merkle"
 	"repro/internal/nfs"
@@ -62,8 +63,9 @@ const (
 	FSRemoveAll // recursive removal (migration resync, forced deletes)
 	FSRename
 	FSSymlink
-	FSWriteFile // create-or-truncate plus full contents, used by migration
-	FSWriteV    // vectored write: a write-back buffer's coalesced spans
+	FSWriteFile  // create-or-truncate plus full contents, used by migration
+	FSWriteV     // vectored write: a write-back buffer's coalesced spans
+	FSChunkWrite // manifest span: chunk refs resolved against the receiver's block index
 )
 
 func (k FSOpKind) String() string {
@@ -92,6 +94,8 @@ func (k FSOpKind) String() string {
 		return "writefile"
 	case FSWriteV:
 		return "writev"
+	case FSChunkWrite:
+		return "chunkwrite"
 	default:
 		return fmt.Sprintf("fsop(%d)", uint32(k))
 	}
@@ -113,6 +117,20 @@ type FSOp struct {
 	SetAttr localfs.SetAttr
 	Prune   bool            // rmdir/remove: prune empty scaffolding above
 	Spans   []nfs.WriteSpan // writev: coalesced spans, applied in order
+	Chunks  []ChunkRef      // chunkwrite: the span's chunk sequence, at Offset
+}
+
+// ChunkRef is one chunk of an FSChunkWrite span. Inline chunks carry their
+// bytes concatenated (in chunk order) in the op's Data; the rest are
+// references the receiver resolves against its own content-addressed block
+// index — bytes it already holds are never reshipped. The receiver
+// hash-verifies both kinds and rejects the whole span if any reference
+// cannot be resolved, which the sender answers by re-shipping the span
+// verbatim.
+type ChunkRef struct {
+	Hash   cas.Hash
+	Len    uint32
+	Inline bool
 }
 
 // Track carries subtree-ownership metadata alongside mutations so replicas

@@ -159,6 +159,7 @@ func Run(opts Options) (*Report, error) {
 			// dominate memory at N=1000.
 			AttrCacheTTL: -1,
 			NameCacheTTL: -1,
+			RingCacheTTL: -1,
 			TraceBufSize: -1,
 		},
 	})
