@@ -28,11 +28,15 @@ chaos:
 
 # soak is the gated slow target: the 500-node scale-out soak (internal/scale)
 # replaying >= 10K Purdue-trace operations under diurnal availability churn
-# with the overlay invariant oracle enforced every epoch. The run's seed is
-# logged; replay a failure with
+# with the overlay invariant oracle enforced every epoch, followed by the
+# maintenance scrub soak (internal/chaos) that injects silent corruption in
+# batches and requires the anti-entropy scrub to converge every batch. Each
+# run's seed is logged; replay a failure with
 #   KOSHA_SCALE_SOAK=1 KOSHA_SCALE_SEED=<seed> go test ./internal/scale -run TestSoakLarge -v
+#   KOSHA_MAINT_SOAK=1 KOSHA_MAINT_SEED=<seed> go test ./internal/chaos -run TestMaintScrubSoak -v
 soak:
 	KOSHA_SCALE_SOAK=1 $(GO) test -count=1 -timeout 30m ./internal/scale -run TestSoakLarge -v
+	KOSHA_MAINT_SOAK=1 $(GO) test -count=1 -timeout 30m ./internal/chaos -run TestMaintScrubSoak -v
 
 # scale-smoke is the quick (<=100-node) scale-sweep variant wired into ci:
 # two soak points plus the hops-vs-N JSON fields the docs table is built from.
@@ -64,6 +68,11 @@ smoke:
 		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
 	done; \
 	echo "smoke: koshabench stream JSON ok"
+	@out=$$($(GO) run ./cmd/koshabench -exp rebalance -quick -format json); \
+	for f in skew_before skew_after moved_bytes moved_fraction high_water; do \
+		echo "$$out" | grep -q "\"$$f\"" || { echo "smoke: missing $$f in koshabench JSON" >&2; exit 1; }; \
+	done; \
+	echo "smoke: koshabench rebalance JSON ok"
 
 # metrics-smoke spawns a real koshad with the pprof/metrics listener on and
 # asserts the Prometheus exposition carries an overlay-health gauge and a

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|latency|sync|dedup|stream|churn|all [-runs N] [-quick] [-format table|csv|json]
+//	koshabench -exp table1|table2|fig5|fig6|fig7|scale|model|cache|latency|sync|dedup|stream|churn|rebalance|all [-runs N] [-quick] [-format table|csv|json]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, latency, sync, dedup, stream, churn, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig5, fig6, fig7, scale, model, cache, latency, sync, dedup, stream, churn, rebalance, all")
 	runs := flag.Int("runs", 0, "override the number of averaged runs (0 = default)")
 	quick := flag.Bool("quick", false, "scaled-down workloads for a fast smoke run")
 	format := flag.String("format", "table", "output format: table, csv, or json (json: latency only)")
@@ -255,6 +255,28 @@ func main() {
 			opts.WriteCount = 64
 		}
 		res, err := experiments.RunStream(opts)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "json":
+			return res.FprintJSON(os.Stdout)
+		case "csv":
+			res.FprintCSV(os.Stdout, opts)
+		default:
+			res.Fprint(os.Stdout, opts)
+		}
+		return nil
+	})
+
+	run("rebalance", func() error {
+		opts := experiments.DefaultRebalanceOptions()
+		if *quick {
+			opts.Trees = 24
+			opts.BigFile = 48 << 10
+			opts.SmallFile = 6 << 10
+		}
+		res, err := experiments.RunRebalance(opts)
 		if err != nil {
 			return err
 		}

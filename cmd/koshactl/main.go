@@ -446,6 +446,18 @@ func printStats(title string, p core.StatsPayload) {
 		fmt.Printf("  write-back: %d writes coalesced over %d flushes\n",
 			s.Counters["io.writeback.coalesced"], fl)
 	}
+	if rounds := s.Counters["maint.scrub.rounds"]; rounds > 0 {
+		fmt.Printf("  scrub: %d rounds, %d divergences (%d repaired), %d bad blocks\n",
+			rounds, s.Counters["maint.scrub.divergences"],
+			s.Counters["maint.scrub.repaired"], s.Counters["maint.scrub.badblocks"])
+	}
+	if moves := s.Counters["maint.rebalance.moves"]; moves > 0 {
+		fmt.Printf("  rebalance: %d moves, %d bytes migrated\n",
+			moves, s.Counters["maint.rebalance.bytes"])
+	}
+	if bp, ok := s.Gauges["maint.util.bp"]; ok {
+		fmt.Printf("  utilization %.1f%%\n", float64(bp)/100)
+	}
 	if len(p.Events.Counts) > 0 {
 		kinds := make([]string, 0, len(p.Events.Counts))
 		for k := range p.Events.Counts {

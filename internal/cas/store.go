@@ -1,7 +1,9 @@
 package cas
 
 import (
+	"bytes"
 	"path"
+	"sort"
 	"strings"
 	"sync"
 
@@ -51,7 +53,7 @@ type Store struct {
 
 	mu      sync.Mutex
 	blocks  map[Hash]*block
-	files   map[string]Manifest
+	files   map[string]fileEntry
 	unique  int64
 	logical int64
 
@@ -60,12 +62,20 @@ type Store struct {
 	gcBytes *obs.Counter // bytes of blocks dropped at zero references
 }
 
+// fileEntry is one indexed byte range of a file: a manifest whose chunks
+// start at base. Whole-file entries (AddFile) have base 0; warm-on-receive
+// spans (AddAt) may start anywhere.
+type fileEntry struct {
+	base int64
+	man  Manifest
+}
+
 // NewStore builds an empty index over fs. reg may be nil (oracle use).
 func NewStore(fs localfs.FileSystem, reg *obs.Registry) *Store {
 	s := &Store{
 		fs:     fs,
 		blocks: make(map[Hash]*block),
-		files:  make(map[string]Manifest),
+		files:  make(map[string]fileEntry),
 	}
 	if reg != nil {
 		s.stored = reg.Counter("repl.cas.blocks.stored")
@@ -84,14 +94,24 @@ func count(c *obs.Counter, n uint64) {
 // AddFile (re)indexes path as manifest m, replacing any previous entry for
 // the path. Safe to call from the merkle cache's compute path.
 func (s *Store) AddFile(path string, m Manifest) {
+	s.AddAt(path, 0, m)
+}
+
+// AddAt indexes a byte range of path — chunks of m laid out sequentially
+// from offset base — replacing any previous entry for the path. The repl
+// receiver uses it to warm the index when it applies an inline chunk span,
+// so the first push after a heal gets HAVE hits without waiting for a
+// digest recompute. A file written in several spans keeps only the most
+// recent span indexed; the next whole-file digest restores full coverage.
+func (s *Store) AddAt(path string, base int64, m Manifest) {
 	path = cleanPath(path)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.files[path]; ok && old.Equal(m) {
+	if old, ok := s.files[path]; ok && old.base == base && old.man.Equal(m) {
 		return
 	}
 	s.dropLocked(path)
-	var off int64
+	off := base
 	for _, c := range m {
 		b := s.blocks[c.Hash]
 		if b == nil {
@@ -107,7 +127,7 @@ func (s *Store) AddFile(path string, m Manifest) {
 		s.logical += int64(c.Len)
 		off += int64(c.Len)
 	}
-	s.files[path] = m
+	s.files[path] = fileEntry{base: base, man: m}
 }
 
 // Forget drops the index entry for one file, releasing its block references
@@ -143,7 +163,7 @@ func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.blocks = make(map[Hash]*block)
-	s.files = make(map[string]Manifest)
+	s.files = make(map[string]fileEntry)
 	s.unique, s.logical = 0, 0
 }
 
@@ -154,18 +174,18 @@ func (s *Store) resetLocked() {
 	}
 	count(s.gcBytes, uint64(dropped))
 	s.blocks = make(map[Hash]*block)
-	s.files = make(map[string]Manifest)
+	s.files = make(map[string]fileEntry)
 	s.unique, s.logical = 0, 0
 }
 
 func (s *Store) dropLocked(path string) {
-	m, ok := s.files[path]
+	fe, ok := s.files[path]
 	if !ok {
 		return
 	}
 	delete(s.files, path)
-	var off int64
-	for _, c := range m {
+	off := fe.base
+	for _, c := range fe.man {
 		b := s.blocks[c.Hash]
 		if b != nil {
 			b.refs--
@@ -204,12 +224,17 @@ func (s *Store) HasAll(hs []Hash) []bool {
 	return out
 }
 
-// ManifestFor returns the indexed manifest for path, if any.
+// ManifestFor returns the indexed whole-file manifest for path, if any.
+// Span entries (AddAt with nonzero base) describe only part of the file, so
+// they don't answer.
 func (s *Store) ManifestFor(path string) (Manifest, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m, ok := s.files[cleanPath(path)]
-	return m, ok
+	fe, ok := s.files[cleanPath(path)]
+	if !ok || fe.base != 0 {
+		return nil, false
+	}
+	return fe.man, true
 }
 
 // Get returns the bytes of block h if some indexed file still holds them.
@@ -270,6 +295,42 @@ func (s *Store) pruneStale(h Hash, stale []blockLoc) {
 			}
 		}
 	}
+}
+
+// VerifySample re-reads and hash-verifies up to n indexed blocks, resuming
+// after cursor in ascending hash order and wrapping past the end. Each
+// check goes through Get, so stale locations are pruned as a side effect; a
+// block left with no verifiable location counts as bad (the caller decides
+// whether to repair or forget it). The walk order is a pure function of the
+// index contents, keeping scrub rounds seed-deterministic. Returns the
+// cursor for the next round and the per-round counts.
+func (s *Store) VerifySample(cursor Hash, n int) (next Hash, checked, bad int) {
+	if n <= 0 {
+		return cursor, 0, 0
+	}
+	s.mu.Lock()
+	hs := make([]Hash, 0, len(s.blocks))
+	for h := range s.blocks {
+		hs = append(hs, h)
+	}
+	s.mu.Unlock()
+	if len(hs) == 0 {
+		return Hash{}, 0, 0
+	}
+	sort.Slice(hs, func(i, j int) bool { return bytes.Compare(hs[i][:], hs[j][:]) < 0 })
+	start := sort.Search(len(hs), func(i int) bool { return bytes.Compare(hs[i][:], cursor[:]) > 0 })
+	if n > len(hs) {
+		n = len(hs)
+	}
+	for i := 0; i < n; i++ {
+		h := hs[(start+i)%len(hs)]
+		next = h
+		checked++
+		if _, ok := s.Get(h); !ok {
+			bad++
+		}
+	}
+	return next, checked, bad
 }
 
 // Stats snapshots the index accounting.

@@ -45,6 +45,14 @@ type Options struct {
 	// acked-history invariants are judged on durable data, not buffers.
 	WriteBackBytes int
 
+	// Maint enables the background maintenance subsystem on every node: the
+	// anti-entropy scrub always, plus the capacity rebalancer when
+	// MaintRebalance is also set. The runner ticks every live node once per
+	// chaos step in index order, so maintenance traffic interleaves with the
+	// workload as one seed-determined sequence.
+	Maint          bool
+	MaintRebalance bool
+
 	// Logf, when set, receives the trace live (e.g. t.Logf).
 	Logf func(format string, args ...any)
 }
@@ -90,6 +98,16 @@ type Report struct {
 	Applied    int // chaos steps applied
 	Skipped    int // chaos steps skipped by guards
 	Trace      []string
+
+	// Maintenance totals across all nodes (populated when Options.Maint is
+	// set): scrub rounds run, divergences detected and repaired, rebalance
+	// moves completed and bytes migrated. Part of the report so determinism
+	// tests replay maintenance activity along with the workload.
+	ScrubRounds    uint64
+	ScrubDiverged  uint64
+	ScrubRepaired  uint64
+	RebalanceMoves uint64
+	RebalanceBytes uint64
 }
 
 // Availability is the fraction of workload operations whose first attempt
@@ -123,6 +141,8 @@ func Run(o Options) (*Report, error) {
 		NameCacheTTL:      -1,
 		RingCacheTTL:      -1,
 		WriteBackBytes:    o.WriteBackBytes,
+		MaintScrub:        o.Maint,
+		MaintRebalance:    o.Maint && o.MaintRebalance,
 	}
 	c, err := cluster.New(cluster.Options{Nodes: o.Nodes, Seed: uint64(o.Seed), Config: cfg})
 	if err != nil {
@@ -330,6 +350,17 @@ func Run(o Options) (*Report, error) {
 		if applied && (st.Kind == OpCrash || st.Kind == OpHeal || st.Kind == OpClearFaults) {
 			c.Stabilize()
 		}
+		// One maintenance round per step, every live node in index order:
+		// scrub exchanges and rebalance moves run between workload bursts
+		// exactly where a real deployment's low-rate timers would, and the
+		// fixed order keeps the run a pure function of the seed.
+		if o.Maint {
+			for j := range c.Nodes {
+				if !s.Down(j) {
+					c.Nodes[j].Maint().Tick()
+				}
+			}
+		}
 
 		m := mounts[i%len(mounts)]
 		rep.CheckReads += len(model.Files())
@@ -367,6 +398,16 @@ func Run(o Options) (*Report, error) {
 	}
 	if err := ReplicaConvergence(c, model, o.Replicas); err != nil {
 		return fail("replica convergence: %v", err)
+	}
+	if o.Maint {
+		for _, nd := range c.Nodes {
+			reg := nd.Obs()
+			rep.ScrubRounds += reg.Counter("maint.scrub.rounds").Load()
+			rep.ScrubDiverged += reg.Counter("maint.scrub.divergences").Load()
+			rep.ScrubRepaired += reg.Counter("maint.scrub.repaired").Load()
+			rep.RebalanceMoves += reg.Counter("maint.rebalance.moves").Load()
+			rep.RebalanceBytes += reg.Counter("maint.rebalance.bytes").Load()
+		}
 	}
 	return rep, nil
 }

@@ -114,8 +114,27 @@ func (n *Node) applyFSOp(op FSOp, lenient bool) (localfs.Attr, simnet.Cost, erro
 		if err != nil {
 			return localfs.Attr{}, simnet.Seq(resolveCost, cost), err
 		}
+		// Warm-on-receive: the span's chunks just landed at known offsets, so
+		// index them immediately — the next push negotiating against this
+		// node gets HAVE hits without waiting for a digest recompute.
+		n.rep.WarmChunks(op.Path, op)
 		attr, _ = n.store.LookupPath(op.Path)
 		return attr, simnet.Seq(resolveCost, cost), nil
+
+	case FSRelink:
+		// Atomic ownership flip (rebalance migration): whatever occupies
+		// Path — the migrated directory itself or a stale special link — is
+		// replaced by a link to Target in one apply, so the name never
+		// resolves to nothing in between.
+		if err := n.store.RemoveAll(op.Path); err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		pattr, err := parentOf(op.Path)
+		if err != nil {
+			return localfs.Attr{}, resolveCost, err
+		}
+		attr, cost, err := n.store.Symlink(pattr.Ino, path.Base(op.Path), op.Target)
+		return attr, simnet.Seq(resolveCost, cost), err
 
 	case FSWriteFile:
 		if err := n.store.WriteFile(op.Path, op.Data); err != nil {

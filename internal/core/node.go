@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/id"
 	"repro/internal/localfs"
+	"repro/internal/maint"
 	"repro/internal/nfs"
 	"repro/internal/obs"
 	"repro/internal/pastry"
@@ -140,6 +141,28 @@ type Config struct {
 	RetryBackoff time.Duration
 	// RetryBackoffCap bounds the exponential backoff. Default 80ms.
 	RetryBackoffCap time.Duration
+
+	// Background maintenance (internal/maint). MaintScrub enables the
+	// anti-entropy scrub loop; MaintRebalance the capacity-driven
+	// rebalancer. Both are off by default — the engine is always
+	// constructed (Node.Maint), but Tick does nothing until a loop is
+	// enabled, and nothing calls Tick unless a harness or daemon does.
+	MaintScrub     bool
+	MaintRebalance bool
+	// MaintTokens is the shared per-tick work budget (default 64);
+	// MaintVerifyFiles / MaintVerifyBlocks bound the scrub's local
+	// verification windows per round (defaults 4 / 32; negative disables).
+	MaintTokens       int
+	MaintVerifyFiles  int
+	MaintVerifyBlocks int
+	// MaintHighWater arms the rebalancer (default 0.80); MaintLowWater is
+	// where a shedding round stops (default 0.60). MaintSaltProbes bounds
+	// re-salting attempts per victim (default 4); MaintMoveBytes caps the
+	// bytes migrated per round (default 8 MiB).
+	MaintHighWater  float64
+	MaintLowWater   float64
+	MaintSaltProbes int
+	MaintMoveBytes  int64
 }
 
 func (c Config) withDefaults() Config {
@@ -320,6 +343,10 @@ type Node struct {
 	wbCoalesced *obs.Counter
 	wbFlushes   *obs.Counter
 
+	// maintEng is the background maintenance engine (scrub + rebalancer).
+	// Always constructed; its loops run only when enabled and ticked.
+	maintEng *maint.Engine
+
 	storeSeq atomic.Uint64 // storage-root allocation counter
 	gen      uint64        // store incarnation counter
 
@@ -413,11 +440,30 @@ func NewNodeWithStore(addr simnet.Addr, nodeID id.ID, net simnet.Transport, cfg 
 	n.overlay = pastry.NewNode(nodeID, addr, net, cfg.LeafSize)
 	n.overlay.OnLeafSetChange(n.onLeafChange)
 	n.attach()
+	n.maintEng = maint.New(maint.Options{
+		Host:          maintHost{n},
+		Registry:      n.reg,
+		Events:        n.events,
+		Replicas:      cfg.Replicas,
+		Scrub:         cfg.MaintScrub,
+		Rebalance:     cfg.MaintRebalance,
+		TokensPerTick: cfg.MaintTokens,
+		VerifyFiles:   cfg.MaintVerifyFiles,
+		VerifyBlocks:  cfg.MaintVerifyBlocks,
+		HighWater:     cfg.MaintHighWater,
+		LowWater:      cfg.MaintLowWater,
+		SaltProbes:    cfg.MaintSaltProbes,
+		MoveBytes:     cfg.MaintMoveBytes,
+	})
 	return n
 }
 
 func (n *Node) attach() {
 	n.overlay.Attach()
+	// Feed the contributed store's capacity accounting to the overlay so it
+	// rides the leaf-set keep-alive traffic (the rebalancer's gossip view).
+	// Done here because Revive replaces the overlay instance.
+	n.overlay.SetLoadProvider(n.loadProvider)
 	n.nsrv.Attach(n.net, n.addr)
 	// On context-aware transports the kosha service registers its
 	// ctx-carrying handler (serveApply forwards the caller's trace into the
@@ -541,6 +587,9 @@ func (n *Node) Revive(newID id.ID, seed simnet.Addr) (simnet.Cost, error) {
 	}
 	n.store.RemoveAll("/")
 	n.rep.Reset()
+	if n.maintEng != nil {
+		n.maintEng.Reset()
+	}
 	n.ringEpoch.Add(1)
 	n.mu.Lock()
 	n.gen++

@@ -235,7 +235,12 @@ func (m *Mount) materialize(tr *obs.Trace, vpath string) (*ventry, localfs.Attr,
 // failure has already invalidated the caches naming the dead node (noteErr),
 // so re-resolution routes onto a replica holder. One NoEnt retry with
 // dropped caches covers stale resolver entries whose storage root moved
-// (renames relocate storage by design).
+// (renames relocate storage by design). ErrNotDir gets the same single
+// revalidation: a re-salting redirect or a rebalancer migration replaces a
+// cached directory root with a special link, so a walk through the stale
+// entry hits a non-directory where the root used to be; a fresh resolution
+// follows the link instead. A genuine not-a-directory error survives the
+// retry and is returned unchanged.
 func (m *Mount) materializeRetry(tr *obs.Trace, vpath string) (*ventry, localfs.Attr, simnet.Cost, error) {
 	var total simnet.Cost
 	staleRetried := false
@@ -245,10 +250,15 @@ func (m *Mount) materializeRetry(tr *obs.Trace, vpath string) (*ventry, localfs.
 		if err == nil || attempt >= 3 {
 			return de, attr, total, err
 		}
-		if errors.Is(err, staleStore) {
+		switch {
+		case errors.Is(err, staleStore):
 			if staleRetried {
 				return de, attr, total, &nfs.Error{Proc: nfs.ProcLookup, Status: nfs.ErrNoEnt}
 			}
+			staleRetried = true
+			m.dropCachesUnder(vpath)
+			continue
+		case nfs.IsStatus(err, nfs.ErrNotDir) && !staleRetried:
 			staleRetried = true
 			m.dropCachesUnder(vpath)
 			continue

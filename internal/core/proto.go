@@ -84,6 +84,7 @@ const (
 	FSWriteFile  = repl.FSWriteFile
 	FSWriteV     = repl.FSWriteV
 	FSChunkWrite = repl.FSChunkWrite
+	FSRelink     = repl.FSRelink
 )
 
 func putFSOp(e *wire.Encoder, op FSOp) {

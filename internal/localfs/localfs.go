@@ -961,6 +961,51 @@ func (f *FS) WriteFile(p string, data []byte) error {
 	return err
 }
 
+// CorruptFile flips one byte of the regular file at p — at offset off
+// modulo the file length — WITHOUT firing mutation notifications. It models
+// silent media bit-rot: digest caches and replication hooks subscribe to
+// mutations, so the flip leaves every memoized digest stale and only a
+// fresh re-hash of the bytes (the anti-entropy scrub) can detect it.
+func (f *FS) CorruptFile(p string, off int64) error {
+	parts, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.root
+	for _, part := range parts {
+		if cur.typ != TypeDir {
+			return ErrNotDir
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoEnt, p)
+		}
+		cur = next
+	}
+	if cur.typ != TypeRegular {
+		return fmt.Errorf("%w: corrupt %q: not a regular file", ErrInval, p)
+	}
+	if len(cur.data) == 0 {
+		return fmt.Errorf("%w: corrupt %q: empty file", ErrInval, p)
+	}
+	i := off % int64(len(cur.data))
+	if i < 0 {
+		i += int64(len(cur.data))
+	}
+	cur.data[i] ^= 0xFF
+	return nil
+}
+
+// Corrupter is implemented by stores that support silent bit-rot fault
+// injection (see FS.CorruptFile). Chaos scenarios type-assert for it.
+type Corrupter interface {
+	CorruptFile(p string, off int64) error
+}
+
+var _ Corrupter = (*FS)(nil)
+
 // FileSystem is the store interface Kosha builds on: both the in-memory FS
 // in this package and the persistent on-disk store in internal/diskfs
 // implement it, so a node's contributed partition can live in RAM (tests,

@@ -306,6 +306,19 @@ func (c *Cache) ManifestOf(p string) (cas.Manifest, error) {
 	return m, nil
 }
 
+// CachedManifest returns the memoized manifest for p without recomputing.
+// This is what replication *believes* the file holds: the anti-entropy
+// scrub compares it against a fresh re-chunk of the actual bytes, so silent
+// corruption (which fires no mutation notification and therefore never
+// invalidates the memo) becomes detectable.
+func (c *Cache) CachedManifest(p string) (cas.Manifest, bool) {
+	p = path.Clean("/" + p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.manifests[p]
+	return m, ok
+}
+
 // Entries lists the immediate children of a directory with their subtree
 // digests, in sorted name order. ok is false when p does not exist or is not
 // a directory.

@@ -12,6 +12,10 @@ const (
 	EvFailover   = "failover"
 	EvResync     = "resync"
 	EvCachePurge = "cache-purge"
+	// Background-maintenance event kinds (internal/maint): a scrub-detected
+	// divergence being repaired, and a rebalancer subtree migration.
+	EvScrubRepair   = "scrub-repair"
+	EvRebalanceMove = "rebalance-move"
 )
 
 // Counter names for RPC retry accounting, shared by the core retrier and the

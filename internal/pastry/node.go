@@ -45,6 +45,12 @@ type Node struct {
 	alive bool
 
 	onChange func(LeafSetChange)
+
+	// Capacity gossip: loadFn reports this node's own occupancy; loads
+	// caches the most recent Load heard from each peer via pNotify
+	// piggybacks (request and reply), keyed by address.
+	loadFn func() Load
+	loads  map[simnet.Addr]Load
 }
 
 // NewNode creates a node with the given identifier and network address. The
@@ -61,6 +67,46 @@ func (n *Node) Info() NodeInfo {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.st.self
+}
+
+// SetLoadProvider registers the callback that reports this node's storage
+// occupancy; it is piggybacked on every leaf-set heartbeat this node sends
+// or answers. A nil provider advertises a zero (unlimited) load.
+func (n *Node) SetLoadProvider(fn func() Load) {
+	n.mu.Lock()
+	n.loadFn = fn
+	n.mu.Unlock()
+}
+
+// PeerLoads returns a copy of the freshest Load heard from each peer.
+// Entries persist until overwritten; consumers filter by live membership.
+func (n *Node) PeerLoads() map[simnet.Addr]Load {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[simnet.Addr]Load, len(n.loads))
+	for a, l := range n.loads {
+		out[a] = l
+	}
+	return out
+}
+
+func (n *Node) localLoad() Load {
+	n.mu.RLock()
+	fn := n.loadFn
+	n.mu.RUnlock()
+	if fn == nil {
+		return Load{}
+	}
+	return fn()
+}
+
+func (n *Node) recordLoad(addr simnet.Addr, l Load) {
+	n.mu.Lock()
+	if n.loads == nil {
+		n.loads = make(map[simnet.Addr]Load)
+	}
+	n.loads[addr] = l
+	n.mu.Unlock()
 }
 
 // OnLeafSetChange registers the callback invoked when leaf-set membership
@@ -658,8 +704,19 @@ func (n *Node) rpcGetLeafSet(to simnet.Addr) ([]NodeInfo, simnet.Cost, error) {
 }
 
 func (n *Node) rpcNotify(to simnet.Addr, who NodeInfo) (simnet.Cost, error) {
-	_, cost, err := n.call(to, pNotify, func(e *wire.Encoder) { putNodeInfo(e, who) })
-	return cost, err
+	d, cost, err := n.call(to, pNotify, func(e *wire.Encoder) {
+		putNodeInfo(e, who)
+		putLoad(e, n.localLoad())
+	})
+	if err != nil {
+		return cost, err
+	}
+	d.Uint32()
+	ld := getLoad(d)
+	if d.Err() == nil {
+		n.recordLoad(to, ld)
+	}
+	return cost, nil
 }
 
 func (n *Node) rpcGetRow(to simnet.Addr, row int) ([]NodeInfo, simnet.Cost, error) {
@@ -731,11 +788,14 @@ func (n *Node) handle(from simnet.Addr, req []byte) ([]byte, simnet.Cost, error)
 
 	case pNotify:
 		who := getNodeInfo(d)
+		ld := getLoad(d)
 		if d.Err() != nil {
 			return nil, 0, d.Err()
 		}
 		n.addPeer(who)
+		n.recordLoad(who.Addr, ld)
 		e.PutUint32(0)
+		putLoad(e, n.localLoad())
 
 	case pRemoveNode:
 		var dead id.ID

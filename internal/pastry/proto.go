@@ -70,6 +70,31 @@ type NodeInfo struct {
 // IsZero reports whether the info is unset.
 func (n NodeInfo) IsZero() bool { return n.Addr == "" && n.ID.IsZero() }
 
+// Load is a node's storage occupancy, piggybacked on leaf-set heartbeats
+// (pNotify) so capacity views spread with the traffic that already exists.
+// Capacity <= 0 means unlimited.
+type Load struct {
+	Used     int64
+	Capacity int64
+}
+
+// Utilization returns Used/Capacity, or 0 for unlimited stores.
+func (l Load) Utilization() float64 {
+	if l.Capacity <= 0 {
+		return 0
+	}
+	return float64(l.Used) / float64(l.Capacity)
+}
+
+func putLoad(e *wire.Encoder, l Load) {
+	e.PutInt64(l.Used)
+	e.PutInt64(l.Capacity)
+}
+
+func getLoad(d *wire.Decoder) Load {
+	return Load{Used: d.Int64(), Capacity: d.Int64()}
+}
+
 func putNodeInfo(e *wire.Encoder, n NodeInfo) {
 	e.PutFixedOpaque(n.ID[:])
 	e.PutString(string(n.Addr))

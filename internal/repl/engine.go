@@ -4,6 +4,7 @@ import (
 	"errors"
 	"path"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -132,6 +133,9 @@ type Engine struct {
 	// measurable independent of the surrounding sync chatter.
 	blocksFetched *obs.Counter
 	fetchBytes    *obs.Counter
+	// routedFetched counts blocks obtained from a holder found via routing
+	// after the leaf-set swarm (and its retry pass) came up empty.
+	routedFetched *obs.Counter
 
 	mu           sync.Mutex
 	tracked      map[string]Track // physical subtree root -> metadata (PN, version)
@@ -168,6 +172,7 @@ func New(o Options) *Engine {
 		digestMisses:  o.Registry.Counter("repl.sync.digest.misses"),
 		blocksFetched: o.Registry.Counter("repl.cas.blocks.fetched"),
 		fetchBytes:    o.Registry.Counter("repl.fetch.bytes"),
+		routedFetched: o.Registry.Counter("repl.cas.blocks.routed"),
 		tracked:       make(map[string]Track),
 		trackedLinks:  make(map[string]Track),
 	}
@@ -639,6 +644,13 @@ func (e *Engine) ensureTree(tc obs.TraceContext, target simnet.Addr, t Track, pr
 			return cost, err
 		}
 		if remote.Exists && !remote.Flag && remote.Ver >= t.Ver {
+			return cost, nil
+		}
+		if !remote.Exists && remote.Ver > t.Ver {
+			// The target knows a strictly newer state and holds no data:
+			// that is a deletion tombstone. Pushing our older copy would
+			// resurrect the hierarchy; leave it and let the tombstone
+			// propagate back to us through the normal sync path.
 			return cost, nil
 		}
 		repRemote, c, err := e.peer.DigestTree(tc, target, RepPath(t.Root))
@@ -1382,8 +1394,8 @@ func (e *Engine) fetchBlocks(tc obs.TraceContext, from simnet.Addr, holders []si
 	}
 	*total = simnet.Seq(*total, simnet.Par(fan...))
 
-	// Retry pass against `from` for anything a holder could not serve. What
-	// fails here stays absent and falls back to a ranged read.
+	// Retry pass against `from` for anything a holder could not serve.
+	var unresolved []cas.Hash
 	for start := 0; start < len(missing); start += fetchBatch {
 		end := start + fetchBatch
 		if end > len(missing) {
@@ -1396,10 +1408,68 @@ func (e *Engine) fetchBlocks(tc obs.TraceContext, from simnet.Addr, holders []si
 			hook(from, len(batch))
 		}
 		if err != nil {
+			unresolved = append(unresolved, missing[start:]...)
+			break
+		}
+		accept(from, batch, blocks, &unresolved)
+	}
+
+	// Routed-holder fallback: when the leaf-set swarm came up empty, ask the
+	// node that routing says owns the subtree's key — it serves the file at
+	// its primary path. This covers the window where the candidates around us
+	// are fresh (post-heal) but the settled owner is outside the leaf set.
+	if len(unresolved) == 0 {
+		return
+	}
+	alt, altCost, ok := e.routedSource(pathHint)
+	*total = simnet.Seq(*total, altCost)
+	if !ok || seen[alt] {
+		return
+	}
+	altHint := PrimaryRoot(pathHint)
+	for start := 0; start < len(unresolved); start += fetchBatch {
+		end := start + fetchBatch
+		if end > len(unresolved) {
+			end = len(unresolved)
+		}
+		batch := unresolved[start:end]
+		blocks, c, err := e.peer.ChunkFetch(tc, alt, altHint, batch)
+		*total = simnet.Seq(*total, c)
+		if hook != nil {
+			hook(alt, len(batch))
+		}
+		if err != nil {
 			return
 		}
-		accept(from, batch, blocks, nil)
+		before := len(out)
+		accept(alt, batch, blocks, nil)
+		e.routedFetched.Add(uint64(len(out) - before))
 	}
+}
+
+// routedSource resolves the node that currently owns the key controlling the
+// subtree containing pathHint (a physical path, possibly replica-area). The
+// longest tracked-root prefix wins, keeping the lookup deterministic when
+// nested hierarchies are tracked.
+func (e *Engine) routedSource(pathHint string) (simnet.Addr, simnet.Cost, bool) {
+	p := PrimaryRoot(pathHint)
+	e.mu.Lock()
+	var pn string
+	best := -1
+	for root, t := range e.tracked {
+		if (root == p || strings.HasPrefix(p, root+"/")) && len(root) > best {
+			pn, best = t.PN, len(root)
+		}
+	}
+	e.mu.Unlock()
+	if best < 0 || e.key == nil {
+		return "", 0, false
+	}
+	res, err := e.ov.Route(e.key(pn))
+	if err != nil || res.Node.Addr == e.self {
+		return "", res.Cost, false
+	}
+	return res.Node.Addr, res.Cost, true
 }
 
 // fetchTreeWhole is the legacy full-copy walk over plain NFS reads: list,

@@ -1,0 +1,282 @@
+package repl
+
+import (
+	"path"
+	"sort"
+
+	"repro/internal/cas"
+	"repro/internal/localfs"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// This file is the engine surface the background maintenance subsystem
+// (internal/maint) is built from: tracked-state snapshots, the anti-entropy
+// verify/exchange primitives, and subtree migration as a library call. The
+// maintenance engine owns scheduling, budgets, and policy; everything here
+// is a single bounded action.
+
+// TrackOf returns a snapshot of the tracked metadata for one subtree root.
+func (e *Engine) TrackOf(root string) (Track, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tracked[root]
+	if ok {
+		t.Root = root
+	}
+	return t, ok
+}
+
+// Tracks returns a sorted snapshot of every tracked subtree root's metadata
+// (Root filled in from the map key). Sorted so maintenance walks visit roots
+// in a deterministic order.
+func (e *Engine) Tracks() []Track {
+	e.mu.Lock()
+	out := make([]Track, 0, len(e.tracked))
+	for root, t := range e.tracked {
+		t.Root = root
+		out = append(out, t)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Root < out[j].Root })
+	return out
+}
+
+// Tombstone records the deletion of a tracked root at the next version and
+// removes any local copies. The next Sync propagates the tombstone to the
+// replica set exactly like a foreground removal would. Used by the
+// rebalancer after a migration's ownership flip: the old root's data now
+// lives under the new root on the new owner.
+func (e *Engine) Tombstone(root string) {
+	e.mu.Lock()
+	t, ok := e.tracked[root]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	t.Root = root
+	t.Ver++
+	t.Dead = true
+	e.tracked[root] = t
+	e.mu.Unlock()
+	e.store.RemoveAll(root)
+	e.store.RemoveAll(RepPath(root))
+}
+
+// EnsureReplica refreshes one candidate's replica-area copy of a tracked
+// root — ensureTree as a library call, used when a digest exchange detects
+// divergence outside any foreground event.
+func (e *Engine) EnsureReplica(tc obs.TraceContext, target simnet.Addr, root string) (simnet.Cost, error) {
+	t, ok := e.TrackOf(root)
+	if !ok || t.Dead {
+		return 0, nil
+	}
+	return e.ensureTree(tc, target, Track{PN: t.PN, Root: root, Ver: t.Ver}, false)
+}
+
+// CheckReplica compares this node's digest of a root it owns against one
+// replica candidate's replica-area copy — the scrub's TREE_DIGEST exchange.
+// diverged reports a settled remote copy whose content differs or is
+// missing; in-flight copies (migration flag up) are never flagged.
+func (e *Engine) CheckReplica(tc obs.TraceContext, cand simnet.Addr, root string) (diverged bool, cost simnet.Cost, err error) {
+	local := e.DigestLocal(root)
+	if !local.Exists || local.Flag {
+		return false, 0, nil
+	}
+	remote, cost, err := e.peer.DigestTree(tc, cand, RepPath(root))
+	if err != nil {
+		return false, cost, err
+	}
+	if remote.Flag {
+		return false, cost, nil
+	}
+	return !remote.Exists || remote.Root != local.Root, cost, nil
+}
+
+// MigrateTree pushes the local subtree at src to target as the new primary
+// copy at t.Root, under the MIGRATION_NOT_COMPLETE flag protocol with
+// chunk-negotiated delta transfer. src is separate from t.Root so a
+// rebalance move can ship an existing hierarchy under a fresh destination
+// root. Safe to retry after a mid-move target crash: the flag re-arms and
+// negotiation skips blocks that already arrived.
+func (e *Engine) MigrateTree(tc obs.TraceContext, target simnet.Addr, t Track, src string) (simnet.Cost, error) {
+	if _, err := e.store.LookupPath(src); err != nil {
+		return 0, err
+	}
+	remote, cost, err := e.peer.DigestTree(tc, target, t.Root)
+	if err != nil {
+		return cost, err
+	}
+	if remote.Exists && !remote.Flag && remote.Ver >= t.Ver {
+		return cost, nil
+	}
+	c, err := e.deltaPush(tc, target, t, src, true, remote)
+	return simnet.Seq(cost, c), err
+}
+
+// WarmChunks indexes an applied FSChunkWrite span into the local block
+// index at the path and offset it landed at. The receiver-side half of
+// warm-on-receive: the write's mutation notification just dropped this
+// file's index entry, so re-registering the span keeps HAVE answers warm
+// for the next negotiation without a digest recompute.
+func (e *Engine) WarmChunks(phys string, op FSOp) {
+	if op.Kind != FSChunkWrite || len(op.Chunks) == 0 {
+		return
+	}
+	m := make(cas.Manifest, 0, len(op.Chunks))
+	for _, cr := range op.Chunks {
+		m = append(m, cas.Chunk{Hash: cr.Hash, Len: cr.Len})
+	}
+	e.cas.AddAt(phys, op.Offset, m)
+}
+
+// LocalFiles lists the regular files under this node's copy of a tracked
+// root, in sorted walk order, with the physical path the copy lives at.
+// The migration-flag sentinel is excluded: it is protocol state, not
+// replicated content. Used by the maintenance scrub to build its
+// file-verification schedule.
+func (e *Engine) LocalFiles(root string) (src string, files []string) {
+	src, ok := e.LocalTreePath(root)
+	if !ok {
+		return "", nil
+	}
+	flagPath := path.Join(src, MigrationFlag)
+	e.store.Walk(src, func(p string, a localfs.Attr, _ string) error {
+		if a.Type == localfs.TypeRegular && p != flagPath {
+			files = append(files, p)
+		}
+		return nil
+	})
+	return src, files
+}
+
+// VerifyBlocks hash-checks up to n indexed blocks against the store,
+// resuming from cursor (see cas.Store.VerifySample). Bad locations are
+// pruned; a block left with no verifiable location counts as bad.
+func (e *Engine) VerifyBlocks(cursor cas.Hash, n int) (next cas.Hash, checked, bad int) {
+	return e.cas.VerifySample(cursor, n)
+}
+
+// VerifyOutcome classifies one VerifyFile check.
+type VerifyOutcome int
+
+const (
+	// VerifyClean: the bytes match what replication believes (or the file
+	// had no baseline yet and one was just established).
+	VerifyClean VerifyOutcome = iota
+	// VerifyRepaired: corruption was detected and the file rebuilt.
+	VerifyRepaired
+	// VerifyFailed: corruption was detected but some chunk could not be
+	// recovered; the stale digest memo was dropped so digest exchanges see
+	// the divergence.
+	VerifyFailed
+)
+
+// BlockSource is one remote node a VerifyFile repair may fetch blocks from,
+// with the physical path its copy of the file lives at (primary path on the
+// owner, replica-area path on candidates).
+type BlockSource struct {
+	Addr simnet.Addr
+	Phys string
+}
+
+// VerifyFile re-chunks the local regular file at phys and compares against
+// the memoized manifest — the scrub's bit-rot detector. Silent corruption
+// never fires a mutation notification, so the memo still describes the
+// *intended* bytes; a mismatch means the media lied. Repair rebuilds the
+// file to the cached manifest, preferring chunks still intact locally (the
+// fresh re-chunk and the block index), then content-addressed fetches from
+// helpers. Files without a baseline get one computed (counted clean).
+func (e *Engine) VerifyFile(tc obs.TraceContext, phys string, helpers []BlockSource) (VerifyOutcome, simnet.Cost) {
+	var total simnet.Cost
+	attr, err := e.store.LookupPath(phys)
+	if err != nil || attr.Type != localfs.TypeRegular {
+		return VerifyClean, 0
+	}
+	cached, ok := e.mk.CachedManifest(phys)
+	if !ok {
+		e.mk.ManifestOf(phys)
+		return VerifyClean, 0
+	}
+	data, err := e.store.ReadFile(phys)
+	if err != nil {
+		return VerifyClean, 0
+	}
+	fresh := cas.Split(data)
+	if fresh.Equal(cached) {
+		return VerifyClean, 0
+	}
+
+	// Gather the cached manifest's chunks: intact spans of the corrupt file
+	// first, then the local block index, then the helper swarm.
+	blocks := make(map[cas.Hash][]byte, len(cached))
+	var off int64
+	for _, ch := range fresh {
+		blocks[ch.Hash] = data[off : off+int64(ch.Len)]
+		off += int64(ch.Len)
+	}
+	lens := make(map[cas.Hash]uint32, len(cached))
+	var need []cas.Hash
+	for _, ch := range cached {
+		if _, dup := lens[ch.Hash]; dup {
+			continue
+		}
+		lens[ch.Hash] = ch.Len
+		if b, ok := blocks[ch.Hash]; ok && len(b) == int(ch.Len) {
+			continue
+		}
+		if b, ok := e.cas.Get(ch.Hash); ok && len(b) == int(ch.Len) {
+			blocks[ch.Hash] = b
+			continue
+		}
+		need = append(need, ch.Hash)
+	}
+	for _, h := range helpers {
+		if len(need) == 0 {
+			break
+		}
+		var rest []cas.Hash
+		for start := 0; start < len(need); start += fetchBatch {
+			end := start + fetchBatch
+			if end > len(need) {
+				end = len(need)
+			}
+			batch := need[start:end]
+			got, c, err := e.peer.ChunkFetch(tc, h.Addr, h.Phys, batch)
+			total = simnet.Seq(total, c)
+			if err != nil {
+				rest = append(rest, need[start:]...)
+				break
+			}
+			for i, hh := range batch {
+				var b []byte
+				if i < len(got) {
+					b = got[i]
+				}
+				if b == nil || len(b) != int(lens[hh]) || cas.SumChunk(b) != hh {
+					rest = append(rest, hh)
+					continue
+				}
+				blocks[hh] = b
+				e.blocksFetched.Add(1)
+				e.fetchBytes.Add(uint64(len(b)))
+			}
+		}
+		need = rest
+	}
+	if len(need) > 0 {
+		// Some chunk is gone everywhere we can reach. Leave the bytes but
+		// drop the stale memo: digests now report the corrupt truth, so the
+		// divergence surfaces in exchanges instead of hiding forever.
+		e.mk.Invalidate(phys)
+		return VerifyFailed, total
+	}
+	buf := make([]byte, 0, cached.TotalLen())
+	for _, ch := range cached {
+		buf = append(buf, blocks[ch.Hash]...)
+	}
+	if err := e.store.WriteFile(phys, buf); err != nil {
+		return VerifyFailed, total
+	}
+	return VerifyRepaired, total
+}

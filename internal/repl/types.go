@@ -66,6 +66,7 @@ const (
 	FSWriteFile  // create-or-truncate plus full contents, used by migration
 	FSWriteV     // vectored write: a write-back buffer's coalesced spans
 	FSChunkWrite // manifest span: chunk refs resolved against the receiver's block index
+	FSRelink     // atomic ownership flip: replace the entry at Path with a symlink to Target
 )
 
 func (k FSOpKind) String() string {
@@ -96,6 +97,8 @@ func (k FSOpKind) String() string {
 		return "writev"
 	case FSChunkWrite:
 		return "chunkwrite"
+	case FSRelink:
+		return "relink"
 	default:
 		return fmt.Sprintf("fsop(%d)", uint32(k))
 	}

@@ -56,6 +56,11 @@ type Options struct {
 	// SampleRoutes is the per-check route sample size for the invariant
 	// oracle (default 32).
 	SampleRoutes int
+	// Maint enables the background maintenance engine (anti-entropy scrub)
+	// on every node and ticks each live node once per epoch, in index
+	// order, after the epoch's traffic — the same deterministic schedule
+	// the chaos runner uses.
+	Maint bool
 	// FS overrides the synthesized file-system snapshot (default the
 	// Purdue engineering trace, Table 1).
 	FS trace.FSConfig
@@ -135,6 +140,13 @@ type Report struct {
 
 	// OpCost is the summed simulated critical-path cost of workload ops.
 	OpCost simnet.Cost
+
+	// Maintenance totals over the run (zero unless Options.Maint): scrub
+	// rounds ticked, divergences caught, and repairs applied.
+	ScrubRounds    uint64
+	ScrubDiverged  uint64
+	ScrubRepaired  uint64
+	ScrubBadBlocks uint64
 }
 
 func (r *Report) logf(o Options, format string, args ...any) {
@@ -161,6 +173,7 @@ func Run(opts Options) (*Report, error) {
 			NameCacheTTL: -1,
 			RingCacheTTL: -1,
 			TraceBufSize: -1,
+			MaintScrub:   opts.Maint,
 		},
 	})
 	if err != nil {
@@ -219,6 +232,14 @@ func Run(opts Options) (*Report, error) {
 			}
 		}
 
+		if opts.Maint {
+			for _, nd := range c.Nodes {
+				if !c.Net.IsDown(nd.Addr()) {
+					nd.Maint().Tick()
+				}
+			}
+		}
+
 		if _, err := checkOverlay(c, opts, pastry.InvariantLive, uint64(epoch)); err != nil {
 			return rep, fmt.Errorf("scale: epoch %d (hour %d): live invariants: %w", epoch, hour, err)
 		}
@@ -266,6 +287,10 @@ func Run(opts Options) (*Report, error) {
 	}
 	rep.MeanRouteHops = agg.MeanRatio("route.hops", "route.count")
 	rep.ReplicaFanout = agg.MeanRatio("replicate.fanout", "replicate.count")
+	rep.ScrubRounds = agg.Counters["maint.scrub.rounds"]
+	rep.ScrubDiverged = agg.Counters["maint.scrub.divergences"]
+	rep.ScrubRepaired = agg.Counters["maint.scrub.repaired"]
+	rep.ScrubBadBlocks = agg.Counters["maint.scrub.badblocks"]
 	rep.Joins = len(c.JoinCosts)
 	if rep.Joins > 0 {
 		rep.MeanJoinCost = simnet.Seq(c.JoinCosts...) / simnet.Cost(rep.Joins)

@@ -23,6 +23,7 @@ func TestSoakSmoke(t *testing.T) {
 		Epochs: 12,
 		Ops:    240,
 		FS:     trace.SmallFSConfig(),
+		Maint:  true,
 		Logf:   t.Logf,
 	})
 	if err != nil {
@@ -37,6 +38,9 @@ func TestSoakSmoke(t *testing.T) {
 	if rep.ProbeMeanHops <= 0 {
 		t.Fatalf("no route probes in final invariant check: %+v", rep)
 	}
+	if rep.ScrubRounds == 0 {
+		t.Fatalf("maintenance enabled but no scrub rounds ran: %+v", rep)
+	}
 }
 
 // TestSoakDeterministic replays the smoke configuration on one seed twice:
@@ -48,6 +52,7 @@ func TestSoakDeterministic(t *testing.T) {
 		Epochs: 8,
 		Ops:    160,
 		FS:     trace.SmallFSConfig(),
+		Maint:  true,
 	}
 	a, err := Run(opts)
 	if err != nil {
